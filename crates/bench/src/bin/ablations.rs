@@ -1,0 +1,177 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Fanout dominance**: the paper's heuristic (one worst-load
+//!    representative per path shape) vs the sound Pareto set — constraint
+//!    counts and resulting width at identical specs.
+//! 2. **Opportunistic Time Borrowing** (paper §5.3): end-to-end path
+//!    constraints vs conventional per-stage budgets on multi-stage domino
+//!    macros.
+//! 3. **Dynamic-circuit methodology rules**: noise/clock-ratio
+//!    constraints on vs off — what undisciplined width optimization does
+//!    to clock load.
+
+use smart_core::{compaction_stats, size_circuit, DelaySpec, SizingOptions};
+use smart_macros::{ComparatorVariant, MacroSpec, MuxTopology};
+use smart_models::ModelLibrary;
+use smart_sta::Boundary;
+
+fn boundary_for(circuit: &smart_netlist::Circuit, load: f64) -> Boundary {
+    let mut b = Boundary::default();
+    for p in circuit.output_ports() {
+        b.output_loads.insert(p.name.clone(), load);
+    }
+    b
+}
+
+fn main() {
+    let lib = ModelLibrary::reference();
+
+    println!("## Ablation 1 — fanout dominance: heuristic vs sound Pareto\n");
+    println!(
+        "{:<24} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "macro", "raw", "heur paths", "exact paths", "heur width", "exact width"
+    );
+    for (name, spec, budget) in [
+        ("cla16", MacroSpec::ClaAdder { width: 16 }, 1400.0),
+        ("cla32", MacroSpec::ClaAdder { width: 32 }, 1800.0),
+        (
+            "cmp32",
+            MacroSpec::Comparator {
+                width: 32,
+                variant: ComparatorVariant::merced(),
+            },
+            500.0,
+        ),
+        ("inc13", MacroSpec::Incrementor { width: 13 }, 4200.0),
+    ] {
+        let circuit = spec.generate();
+        let boundary = boundary_for(&circuit, 12.0);
+        let heur = SizingOptions::default();
+        let exact = SizingOptions {
+            heuristic_dominance: false,
+            ..Default::default()
+        };
+        let sh = compaction_stats(&circuit, &lib, &boundary, &heur).unwrap();
+        let se = compaction_stats(&circuit, &lib, &boundary, &exact).unwrap();
+        let wh = size_circuit(&circuit, &lib, &boundary, &DelaySpec::uniform(budget), &heur)
+            .map(|o| o.total_width);
+        let we = size_circuit(&circuit, &lib, &boundary, &DelaySpec::uniform(budget), &exact)
+            .map(|o| o.total_width);
+        println!(
+            "{:<24} {:>10} {:>12} {:>12} {:>12} {:>12}",
+            name,
+            sh.raw_paths,
+            sh.classes.len(),
+            se.classes.len(),
+            wh.map(|w| format!("{w:.0}")).unwrap_or_else(|e| format!("{e:.10}")),
+            we.map(|w| format!("{w:.0}")).unwrap_or_else(|e| format!("{e:.10}")),
+        );
+    }
+    println!(
+        "\n(The heuristic's width may differ slightly from the sound mode's; the\n\
+         Fig.-4 STA loop guarantees both meet the spec.)\n"
+    );
+
+    println!("## Ablation 2 — Opportunistic Time Borrowing (paper §5.3)\n");
+    println!(
+        "{:<24} {:>14} {:>14} {:>10}",
+        "macro", "OTB width", "no-OTB width", "penalty"
+    );
+    for (name, spec, budget) in [
+        (
+            "cmp32 (D1-D2)",
+            MacroSpec::Comparator {
+                width: 32,
+                variant: ComparatorVariant::merced(),
+            },
+            520.0,
+        ),
+        (
+            "zd32 domino (D1-D2)",
+            MacroSpec::ZeroDetect {
+                width: 32,
+                style: smart_macros::ZeroDetectStyle::Domino,
+            },
+            460.0,
+        ),
+        ("cla8 (D1 + KS-D2)", MacroSpec::ClaAdder { width: 8 }, 950.0),
+    ] {
+        let circuit = spec.generate();
+        let boundary = boundary_for(&circuit, 15.0);
+        let otb = SizingOptions::default();
+        let hard = SizingOptions {
+            otb: false,
+            ..Default::default()
+        };
+        let w_otb = size_circuit(&circuit, &lib, &boundary, &DelaySpec::uniform(budget), &otb);
+        let w_hard =
+            size_circuit(&circuit, &lib, &boundary, &DelaySpec::uniform(budget), &hard);
+        match (w_otb, w_hard) {
+            (Ok(a), Ok(b)) => println!(
+                "{:<24} {:>14.0} {:>14.0} {:>9.1}%",
+                name,
+                a.total_width,
+                b.total_width,
+                100.0 * (b.total_width / a.total_width - 1.0)
+            ),
+            (Ok(a), Err(e)) => println!(
+                "{:<24} {:>14.0} {:>14} (hard boundaries: {e})",
+                name, a.total_width, "infeasible"
+            ),
+            (Err(e), _) => println!("{name:<24} OTB infeasible: {e}"),
+        }
+    }
+    println!(
+        "\n(Per-stage budgets either cost width or become outright infeasible —\n\
+         the formulation's built-in time borrowing is what makes tight domino\n\
+         specs reachable.)\n"
+    );
+
+    println!("## Ablation 3 — dynamic-circuit methodology rules (noise/clock ratio)\n");
+    println!(
+        "{:<24} {:>12} {:>12} {:>12} {:>12}",
+        "macro", "width (on)", "clock (on)", "width (off)", "clock (off)"
+    );
+    for (name, spec, budget) in [
+        (
+            "mux8 unsplit domino",
+            MacroSpec::Mux {
+                topology: MuxTopology::UnsplitDomino,
+                width: 8,
+            },
+            280.0,
+        ),
+        (
+            "mux12 partitioned",
+            MacroSpec::Mux {
+                topology: MuxTopology::PartitionedDomino,
+                width: 12,
+            },
+            300.0,
+        ),
+    ] {
+        let circuit = spec.generate();
+        let boundary = boundary_for(&circuit, 20.0);
+        let on = SizingOptions::default();
+        let off = SizingOptions {
+            noise_constraints: false,
+            ..Default::default()
+        };
+        let a = size_circuit(&circuit, &lib, &boundary, &DelaySpec::uniform(budget), &on)
+            .expect("disciplined");
+        let b = size_circuit(&circuit, &lib, &boundary, &DelaySpec::uniform(budget), &off)
+            .expect("undisciplined");
+        println!(
+            "{:<24} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            name,
+            a.total_width,
+            circuit.clock_load(&a.sizing),
+            b.total_width,
+            circuit.clock_load(&b.sizing),
+        );
+    }
+    println!(
+        "\n(Without the rules the optimizer buys width with clocked devices —\n\
+         slightly less total width, materially more clock load.)"
+    );
+}

@@ -1,0 +1,28 @@
+//! §6.4: the full datapath block (macros = 22% width / 36% power);
+//! paper reports ~8% block width and ~8% block power reduction.
+
+use smart_bench::block64;
+use smart_core::SizingOptions;
+use smart_models::ModelLibrary;
+
+fn main() {
+    let lib = ModelLibrary::reference();
+    let r = block64(&lib, &SizingOptions::default());
+    println!("# Section 6.4 — full functional block");
+    println!("macro devices        : {}", r.baseline.macro_devices);
+    println!(
+        "macro width share    : {:.1}%",
+        100.0 * r.baseline.macro_width / r.baseline.width
+    );
+    println!(
+        "macro power share    : {:.1}%",
+        100.0 * r.baseline.macro_power / r.baseline.power
+    );
+    println!("block width savings  : {:.1}%", r.width_savings() * 100.0);
+    println!("block power savings  : {:.1}%", r.power_savings() * 100.0);
+    println!(
+        "macro power savings  : {:.1}%",
+        r.macro_power_savings() * 100.0
+    );
+    println!("instances re-sized   : {}", r.resized);
+}

@@ -1,0 +1,29 @@
+//! Fig. 5(c): normalized total transistor width of decoders,
+//! original (hand-design model) vs SMART, at identical measured delay.
+
+use smart_bench::fig5c;
+use smart_core::SizingOptions;
+use smart_models::ModelLibrary;
+
+fn main() {
+    let lib = ModelLibrary::reference();
+    let rows = fig5c(&lib, &SizingOptions::default());
+    println!("# Fig 5(c) — decoders: normalized transistor width");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>9} {:>10}",
+        "circuit", "original", "SMART", "normalized", "savings", "delay(ps)"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>10.1} {:>10.1} {:>10.3} {:>8.1}% {:>10.1}",
+            r.circuit,
+            r.original_width,
+            r.smart_width,
+            r.normalized(),
+            r.width_savings() * 100.0,
+            r.delay
+        );
+    }
+    let avg = rows.iter().map(|r| r.width_savings()).sum::<f64>() / rows.len() as f64;
+    println!("# average width savings: {:.1}%", avg * 100.0);
+}

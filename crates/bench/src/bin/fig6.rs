@@ -1,0 +1,26 @@
+//! Fig. 6: area-delay tradeoff curve of the 64-bit dynamic CLA adder
+//! (paper's normalized delays 1.0, 1.074, 1.1716, 1.2707).
+
+use smart_bench::fig6;
+use smart_core::SizingOptions;
+use smart_models::ModelLibrary;
+
+fn main() {
+    let width: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(64);
+    let lib = ModelLibrary::reference();
+    let pts = fig6(&lib, &SizingOptions::default(), width);
+    println!("# Fig 6 — {width}-bit domino adder area-delay curve");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "norm delay", "norm area", "delay (ps)", "width"
+    );
+    for p in &pts {
+        println!(
+            "{:>12.4} {:>12.4} {:>12.1} {:>12.1}",
+            p.norm_delay, p.norm_area, p.delay_ps, p.width
+        );
+    }
+}

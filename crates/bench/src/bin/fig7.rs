@@ -1,0 +1,23 @@
+//! Fig. 7: 32-bit D1-D2 comparator topology exploration — original vs
+//! SMART resize vs the two alternative D1/D2 gate mixes, at matched
+//! phase delays.
+
+use smart_bench::fig7;
+use smart_core::SizingOptions;
+use smart_models::ModelLibrary;
+
+fn main() {
+    let lib = ModelLibrary::reference();
+    let rows = fig7(&lib, &SizingOptions::default());
+    println!("# Fig 7 — 32-bit comparator topology exploration (normalized to original)");
+    println!(
+        "{:<34} {:>8} {:>8} {:>8} {:>8}",
+        "candidate", "area", "clock", "eval", "pre"
+    );
+    for r in &rows {
+        println!(
+            "{:<34} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            r.name, r.norm_area, r.norm_clock, r.norm_eval, r.norm_pre
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Table 1: average transistor-width and clock-load savings per mux
+//! topology (paper: 15/25/16/45/42 % width, 39/28 % clock).
+
+use smart_bench::table1;
+use smart_core::SizingOptions;
+use smart_models::ModelLibrary;
+
+fn main() {
+    let lib = ModelLibrary::reference();
+    let rows = table1(&lib, &SizingOptions::default());
+    println!("# Table 1 — mux topologies: average savings over instances");
+    println!(
+        "{:<28} {:>12} {:>12} {:>10}",
+        "topology", "width sav.", "clock sav.", "instances"
+    );
+    for r in &rows {
+        let clock = r
+            .clock_savings
+            .map(|c| format!("{:.1}%", c * 100.0))
+            .unwrap_or_else(|| "n/a".into());
+        println!(
+            "{:<28} {:>11.1}% {:>12} {:>10}",
+            r.topology,
+            r.width_savings * 100.0,
+            clock,
+            r.instances
+        );
+    }
+}

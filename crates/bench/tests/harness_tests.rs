@@ -1,0 +1,89 @@
+//! Tests of the experiment harness itself: row math, determinism, and the
+//! §6.1 protocol's invariants.
+
+use smart_bench::{protocol_61, SavingsRow};
+use smart_core::SizingOptions;
+use smart_macros::{MacroSpec, MuxTopology};
+use smart_models::ModelLibrary;
+
+#[test]
+fn savings_row_math() {
+    let row = SavingsRow {
+        circuit: "t".into(),
+        original_width: 200.0,
+        smart_width: 150.0,
+        delay: 100.0,
+        original_clock: 40.0,
+        smart_clock: 30.0,
+    };
+    assert!((row.normalized() - 0.75).abs() < 1e-12);
+    assert!((row.width_savings() - 0.25).abs() < 1e-12);
+    assert!((row.clock_savings().unwrap() - 0.25).abs() < 1e-12);
+
+    let unclocked = SavingsRow {
+        original_clock: 0.0,
+        smart_clock: 0.0,
+        ..row
+    };
+    assert!(unclocked.clock_savings().is_none());
+}
+
+#[test]
+fn protocol_is_deterministic() {
+    let lib = ModelLibrary::reference();
+    let opts = SizingOptions::default();
+    let spec = MacroSpec::Mux {
+        topology: MuxTopology::UnsplitDomino,
+        width: 4,
+    };
+    let a = protocol_61("x", &spec, 15.0, &lib, &opts).unwrap();
+    let b = protocol_61("x", &spec, 15.0, &lib, &opts).unwrap();
+    assert_eq!(a.original_width, b.original_width);
+    assert_eq!(a.smart_width, b.smart_width);
+    assert_eq!(a.delay, b.delay);
+}
+
+#[test]
+fn heavier_load_slows_the_matched_delay() {
+    let lib = ModelLibrary::reference();
+    let opts = SizingOptions::default();
+    let spec = MacroSpec::Decoder { in_bits: 3 };
+    let light = protocol_61("l", &spec, 6.0, &lib, &opts).unwrap();
+    let heavy = protocol_61("h", &spec, 30.0, &lib, &opts).unwrap();
+    assert!(heavy.delay > light.delay);
+    assert!(heavy.original_width > light.original_width);
+}
+
+#[test]
+fn smart_never_exceeds_original_width_in_the_protocol() {
+    // The baseline point satisfies every constraint the GP solves under
+    // (it is slope-signed-off and meets its own delay), so the optimum
+    // can never be heavier.
+    let lib = ModelLibrary::reference();
+    let opts = SizingOptions::default();
+    for (spec, load) in [
+        (
+            MacroSpec::Mux {
+                topology: MuxTopology::StronglyMutexedPass,
+                width: 8,
+            },
+            25.0,
+        ),
+        (MacroSpec::Incrementor { width: 8 }, 10.0),
+        (
+            MacroSpec::ZeroDetect {
+                width: 16,
+                style: smart_macros::ZeroDetectStyle::Domino,
+            },
+            12.0,
+        ),
+    ] {
+        let row = protocol_61("t", &spec, load, &lib, &opts).unwrap();
+        assert!(
+            row.smart_width <= row.original_width * 1.001,
+            "{spec}: smart {} vs original {}",
+            row.smart_width,
+            row.original_width
+        );
+    }
+}

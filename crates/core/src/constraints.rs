@@ -1,0 +1,430 @@
+//! Constraint generation — the "constraint generator" box of the paper's
+//! Fig. 4: timing constraints on the compacted paths, slope constraints,
+//! device-size bounds, noise rules and designer pins, all posynomial.
+
+use std::collections::{HashMap, HashSet};
+
+use smart_gp::GpProblem;
+use smart_models::arcs::Edge;
+use smart_models::{label_vars, ModelLibrary};
+use smart_netlist::{Circuit, ComponentKind, DeviceRole, NetId};
+use smart_posy::{Monomial, Posynomial, VarId};
+use smart_sta::Boundary;
+
+use crate::compact::Compaction;
+use crate::{CostMetric, DelaySpec, FlowError, SizingOptions};
+
+/// Per-label coefficients of a cost objective.
+fn width_weights(circuit: &Circuit) -> Vec<f64> {
+    let mut w = vec![0.0; circuit.labels().len()];
+    for (_, comp) in circuit.components() {
+        for spec in comp.kind.roles() {
+            w[comp.label_of(spec.role).index()] += spec.width_factor * spec.mult as f64;
+        }
+    }
+    w
+}
+
+/// Power weights: width weighted by the switching activity of the net
+/// charging each device's gate (clocked devices are the expensive ones —
+/// the mechanism behind the paper's clock-load savings in Table 1).
+fn power_weights(circuit: &Circuit, lib: &ModelLibrary) -> Vec<f64> {
+    use smart_netlist::{LoadKind, NetKind};
+    let mut w = vec![0.0; circuit.labels().len()];
+    let act = |kind: NetKind| match kind {
+        NetKind::Clock => 2.0,
+        NetKind::Dynamic => 0.75,
+        NetKind::Signal => lib.process().default_activity,
+    };
+    for (id, net) in circuit.nets() {
+        let a = act(net.kind);
+        for &(comp_id, pin) in circuit.loads_of(id) {
+            let comp = circuit.comp(comp_id);
+            for load in comp.kind.input_load(pin) {
+                let f = match load.kind {
+                    LoadKind::Gate => load.factor,
+                    LoadKind::Diffusion => load.factor * lib.process().diff_factor,
+                };
+                w[comp.label_of(load.role).index()] += a * f;
+            }
+        }
+    }
+    // Driver junction capacitance switches with the driven net too.
+    for (id, net) in circuit.nets() {
+        let a = act(net.kind);
+        for &comp_id in circuit.drivers_of(id) {
+            let comp = circuit.comp(comp_id);
+            for load in comp.kind.output_self_load() {
+                w[comp.label_of(load.role).index()] +=
+                    a * load.factor * lib.process().diff_factor;
+            }
+        }
+    }
+    w
+}
+
+/// Builds the cost objective posynomial.
+pub fn cost_objective(
+    circuit: &Circuit,
+    lib: &ModelLibrary,
+    vars: &[VarId],
+    cost: CostMetric,
+) -> Posynomial {
+    let weights = match cost {
+        CostMetric::Width => width_weights(circuit),
+        CostMetric::Power => power_weights(circuit, lib),
+    };
+    let mut obj = Posynomial::zero();
+    for (i, &w) in weights.iter().enumerate() {
+        if w > 0.0 {
+            obj += Monomial::new(w).pow(vars[i], 1.0);
+        }
+    }
+    obj
+}
+
+/// Everything needed to solve one sizing GP: the problem plus the
+/// label-variable mapping.
+pub struct SizingGp {
+    /// The assembled geometric program.
+    pub gp: GpProblem,
+    /// `vars[label.index()]` is the width variable of that label.
+    pub vars: Vec<VarId>,
+    /// Number of timing constraints emitted.
+    pub timing_constraints: usize,
+    /// Number of slope constraints emitted.
+    pub slope_constraints: usize,
+}
+
+/// Posynomial capacitance of `net` including boundary load.
+fn cap_posy(
+    circuit: &Circuit,
+    lib: &ModelLibrary,
+    vars: &[VarId],
+    net: NetId,
+    extra_loads: &HashMap<NetId, f64>,
+) -> Posynomial {
+    let mut p = lib.net_cap_posy(circuit, net, vars);
+    if let Some(&e) = extra_loads.get(&net) {
+        if e > 0.0 {
+            p += Monomial::new(e);
+        }
+    }
+    p
+}
+
+/// Assembles the sizing GP from a compaction.
+///
+/// Timing constraints follow the paper's taxonomy automatically, because
+/// the timing graph already expands them: static gates contribute
+/// rise+fall path variants (two constraints per path), pass/tri-state
+/// control pins contribute all four edge pairs, domino gates contribute
+/// separate precharge and evaluate paths. Paths are timed end-to-end
+/// across domino stage boundaries, which is what gives the formulation
+/// its automatic Opportunistic Time Borrowing (paper §5.3): a fast D1
+/// stage donates its slack to the D2 stage sharing the path.
+///
+/// # Errors
+///
+/// [`FlowError::UnknownPin`] if a pinned label name is absent.
+#[allow(clippy::too_many_arguments)]
+pub fn build_sizing_gp(
+    circuit: &Circuit,
+    lib: &ModelLibrary,
+    compaction: &Compaction,
+    boundary: &Boundary,
+    extra_loads: &HashMap<NetId, f64>,
+    spec: &DelaySpec,
+    opts: &SizingOptions,
+) -> Result<SizingGp, FlowError> {
+    let (pool, vars) = label_vars(circuit);
+    let mut gp = GpProblem::new(pool);
+    gp.set_objective(cost_objective(circuit, lib, &vars, opts.cost));
+
+    // Input boundary: arrival time and slope per source net.
+    let input_time = |net: NetId| -> (f64, f64) {
+        let default_slope = boundary.default_slope.unwrap_or(lib.process().slope_min);
+        for port in circuit.input_ports() {
+            if port.net == net {
+                return boundary
+                    .input_times
+                    .get(&port.name)
+                    .copied()
+                    .unwrap_or((0.0, default_slope));
+            }
+        }
+        (0.0, default_slope)
+    };
+
+    // Timing constraints. With OTB (default, the paper's formulation)
+    // each compacted class yields ONE end-to-end constraint, so slack
+    // borrows freely across domino stage boundaries. Without OTB the
+    // class is cut at every dynamic node and each segment receives an
+    // equal share of the budget — the conventional hard-boundary
+    // discipline, kept for the ablation study.
+    let mut timing_constraints = 0;
+    for (ci, class) in compaction.classes.iter().enumerate() {
+        let budget = if class.is_precharge {
+            spec.precharge_budget()
+        } else {
+            spec.data
+        };
+        let segments: Vec<&[usize]> = if opts.otb {
+            vec![&class.arcs[..]]
+        } else {
+            let mut segs = Vec::new();
+            let mut start = 0;
+            for (k, &ai) in class.arcs.iter().enumerate() {
+                let to = compaction.graph.arcs[ai].to.net;
+                if circuit.net(to).kind == smart_netlist::NetKind::Dynamic {
+                    segs.push(&class.arcs[start..=k]);
+                    start = k + 1;
+                }
+            }
+            if start < class.arcs.len() {
+                segs.push(&class.arcs[start..]);
+            }
+            segs
+        };
+        let seg_count = segments.len();
+        for (si, seg) in segments.into_iter().enumerate() {
+            let (t0, s0) = input_time(class.source.net);
+            let mut delay = Posynomial::zero();
+            if si == 0 && t0 > 0.0 {
+                delay += Monomial::new(t0);
+            }
+            let mut slope_prev = Posynomial::constant(s0.max(1e-3));
+            for &ai in seg {
+                let arc = &compaction.graph.arcs[ai];
+                let comp = circuit.comp(arc.comp);
+                let cap = cap_posy(circuit, lib, &vars, arc.to.net, extra_loads);
+                delay +=
+                    lib.stage_delay_posy(comp, arc.to.edge, &cap, Some(&slope_prev), &vars);
+                slope_prev = lib.stage_slope_posy(comp, arc.to.edge, &cap, &vars);
+            }
+            let seg_budget = budget / seg_count as f64;
+            let label = format!(
+                "path{ci}.{si} {} -> {} ({})",
+                circuit.net(class.source.net).name,
+                circuit.net(class.endpoint.net).name,
+                if class.is_precharge { "pre" } else { "eval" }
+            );
+            gp.add_le(label, delay, Monomial::new(seg_budget))?;
+            timing_constraints += 1;
+        }
+    }
+
+    // Slope (reliability) constraints, deduplicated by (component labels,
+    // edge, cap composition).
+    let mut slope_constraints = 0;
+    let mut seen: HashSet<String> = HashSet::new();
+    for arc in &compaction.graph.arcs {
+        // Dynamic nodes are exempt from the static edge-rate rule: their
+        // discharge slope is set by the stack the topology chose (wide
+        // un-split dominos are inherently slow there — the reason the
+        // partitioned topology exists) and is already governed by the
+        // evaluate timing constraints plus the noise rule.
+        if circuit.net(arc.to.net).kind == smart_netlist::NetKind::Dynamic {
+            continue;
+        }
+        let comp = circuit.comp(arc.comp);
+        let key = format!(
+            "{:?}|{:?}|{:?}|{:?}",
+            comp.label_bindings(),
+            comp.kind,
+            arc.to.edge,
+            compaction.net_caps[arc.to.net.index()]
+        );
+        if !seen.insert(key) {
+            continue;
+        }
+        let cap = cap_posy(circuit, lib, &vars, arc.to.net, extra_loads);
+        let slope = lib.stage_slope_posy(comp, arc.to.edge, &cap, &vars);
+        // Shared (multi-driver) nets — pass-gate and tri-state buses —
+        // carry the junction load of every off driver, which puts a floor
+        // on their edge rate; projects exempt such nodes from the
+        // single-driver rule, so the limit scales with driver count.
+        let drivers = circuit.drivers_of(arc.to.net).len().max(1) as f64;
+        gp.add_le(
+            format!("slope {} {:?}", comp.path, arc.to.edge),
+            slope,
+            Monomial::new(opts.slope_max * drivers),
+        )?;
+        slope_constraints += 1;
+    }
+
+    // Device size bounds.
+    for (label, _) in circuit.labels().iter() {
+        let v = vars[label.index()];
+        gp.add_lower_bound(v, lib.process().w_min);
+        gp.add_upper_bound(v, lib.process().w_max);
+    }
+
+    // Dynamic-circuit methodology rules (emitted together under the noise
+    // switch): (a) the precharge device keeps a minimum strength relative
+    // to the data pull-down, so leakage through a wide network cannot
+    // collapse the node; (b) clocked devices (precharge, evaluate foot)
+    // stay within a fixed ratio of the data stack — the clock-load
+    // discipline every domino methodology imposes, without which a width
+    // objective trades N small data devices for one huge clocked one.
+    if opts.noise_constraints {
+        let mut seen_noise: HashSet<Vec<usize>> = HashSet::new();
+        for (_, comp) in circuit.components() {
+            if let ComponentKind::Domino {
+                ref network,
+                clocked_eval,
+            } = comp.kind
+            {
+                let pre = comp.label_of(DeviceRole::Precharge);
+                let data = comp.label_of(DeviceRole::DataN);
+                let branches = network.top_branch_count();
+                let key = vec![pre.index(), data.index(), clocked_eval as usize, branches];
+                if !seen_noise.insert(key) {
+                    continue;
+                }
+                // Leakage scales with the number of parallel pull-down
+                // branches on the node, so the precharge strength floor
+                // does too — the mechanism that makes very wide dynamic
+                // nodes (Xorsum4, un-split muxes) expensive in practice.
+                gp.add_le(
+                    format!("noise {}", comp.path),
+                    Posynomial::from(
+                        Monomial::new(0.08 * branches as f64)
+                            .pow(vars[data.index()], 1.0)
+                            .pow(vars[pre.index()], -1.0),
+                    ),
+                    Monomial::one(),
+                )?;
+                gp.add_le(
+                    format!("clk-ratio pre {}", comp.path),
+                    Posynomial::from(
+                        Monomial::new(1.0 / 2.0)
+                            .pow(vars[pre.index()], 1.0)
+                            .pow(vars[data.index()], -1.0),
+                    ),
+                    Monomial::one(),
+                )?;
+                if clocked_eval {
+                    let foot = comp.label_of(DeviceRole::Evaluate);
+                    gp.add_le(
+                        format!("clk-ratio foot {}", comp.path),
+                        Posynomial::from(
+                            Monomial::new(1.0 / 2.0)
+                                .pow(vars[foot.index()], 1.0)
+                                .pow(vars[data.index()], -1.0),
+                        ),
+                        Monomial::one(),
+                    )?;
+                }
+            }
+        }
+    }
+
+    // Designer pins.
+    for (name, &value) in &opts.pinned {
+        let label = circuit
+            .labels()
+            .lookup(name)
+            .ok_or_else(|| FlowError::UnknownPin { name: name.clone() })?;
+        gp.pin(vars[label.index()], value);
+    }
+
+    Ok(SizingGp {
+        gp,
+        vars,
+        timing_constraints,
+        slope_constraints,
+    })
+}
+
+/// Builds a *delay-minimization* GP: an auxiliary variable `T` bounds all
+/// paths and is itself minimized (used to find the fastest achievable
+/// point of a topology, the left end of Fig. 6's curve).
+///
+/// # Errors
+///
+/// Same as [`build_sizing_gp`].
+pub fn build_min_delay_gp(
+    circuit: &Circuit,
+    lib: &ModelLibrary,
+    compaction: &Compaction,
+    boundary: &Boundary,
+    extra_loads: &HashMap<NetId, f64>,
+    opts: &SizingOptions,
+) -> Result<(SizingGp, VarId), FlowError> {
+    // Assemble with a dummy budget, then rewrite: paths ≤ T.
+    let (pool, vars) = label_vars(circuit);
+    let mut gp = GpProblem::new(pool);
+    let t_var = gp.pool_mut().var("__T");
+    gp.set_objective(Posynomial::var(t_var));
+
+    let input_time = |net: NetId| -> (f64, f64) {
+        let default_slope = boundary.default_slope.unwrap_or(lib.process().slope_min);
+        for port in circuit.input_ports() {
+            if port.net == net {
+                return boundary
+                    .input_times
+                    .get(&port.name)
+                    .copied()
+                    .unwrap_or((0.0, default_slope));
+            }
+        }
+        (0.0, default_slope)
+    };
+
+    let mut timing_constraints = 0;
+    for (ci, class) in compaction.classes.iter().enumerate() {
+        let (t0, s0) = input_time(class.source.net);
+        let mut delay = Posynomial::zero();
+        if t0 > 0.0 {
+            delay += Monomial::new(t0);
+        }
+        let mut slope_prev = Posynomial::constant(s0.max(1e-3));
+        for &ai in &class.arcs {
+            let arc = &compaction.graph.arcs[ai];
+            let comp = circuit.comp(arc.comp);
+            let cap = cap_posy(circuit, lib, &vars, arc.to.net, extra_loads);
+            delay += lib.stage_delay_posy(comp, arc.to.edge, &cap, Some(&slope_prev), &vars);
+            slope_prev = lib.stage_slope_posy(comp, arc.to.edge, &cap, &vars);
+        }
+        gp.add_le(format!("path{ci} <= T"), delay, Monomial::var(t_var))?;
+        timing_constraints += 1;
+    }
+    for (label, _) in circuit.labels().iter() {
+        let v = vars[label.index()];
+        gp.add_lower_bound(v, lib.process().w_min);
+        gp.add_upper_bound(v, lib.process().w_max);
+    }
+    gp.add_lower_bound(t_var, 1e-3);
+    gp.add_upper_bound(t_var, 1e7);
+    for (name, &value) in &opts.pinned {
+        let label = circuit
+            .labels()
+            .lookup(name)
+            .ok_or_else(|| FlowError::UnknownPin { name: name.clone() })?;
+        gp.pin(vars[label.index()], value);
+    }
+    Ok((
+        SizingGp {
+            gp,
+            vars,
+            timing_constraints,
+            slope_constraints: 0,
+        },
+        t_var,
+    ))
+}
+
+/// Maps output-port boundary loads to nets.
+pub fn boundary_extra_loads(circuit: &Circuit, boundary: &Boundary) -> HashMap<NetId, f64> {
+    let mut m = HashMap::new();
+    for port in circuit.output_ports() {
+        if let Some(&l) = boundary.output_loads.get(&port.name) {
+            *m.entry(port.net).or_insert(0.0) += l;
+        }
+    }
+    m
+}
+
+/// Re-exported edge alias to keep `smart_models` out of caller signatures.
+pub type PathEdge = Edge;

@@ -1,0 +1,102 @@
+//! Error type of the SMART flow.
+
+use std::error::Error;
+use std::fmt;
+
+use smart_gp::GpError;
+use smart_sta::StaError;
+
+/// Errors raised by the sizing/exploration flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// The geometric program failed (infeasible spec, unbounded, or
+    /// numerical trouble); carries the solver's diagnosis.
+    Gp(GpError),
+    /// Timing analysis failed (combinational loop, bad boundary).
+    Sta(StaError),
+    /// Path compaction still produced more classes than
+    /// [`crate::SizingOptions::path_limit`] — the macro's labeling defeats
+    /// regularity-based reduction.
+    TooManyPaths {
+        /// Compacted class count.
+        classes: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The Fig.-4 loop ran out of outer iterations without converging to
+    /// the specified delay.
+    NoConvergence {
+        /// Last measured worst delay (ps).
+        measured: f64,
+        /// The specification it chased (ps).
+        spec: f64,
+    },
+    /// The circuit has no timing endpoints (no output ports reachable).
+    NoEndpoints,
+    /// A pinned label name does not exist in the circuit.
+    UnknownPin {
+        /// The missing label name.
+        name: String,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Gp(e) => write!(f, "sizing optimization failed: {e}"),
+            FlowError::Sta(e) => write!(f, "timing analysis failed: {e}"),
+            FlowError::TooManyPaths { classes, limit } => write!(
+                f,
+                "path compaction left {classes} constraint paths (limit {limit})"
+            ),
+            FlowError::NoConvergence { measured, spec } => write!(
+                f,
+                "sizing loop did not converge: measured {measured:.1} ps vs spec {spec:.1} ps"
+            ),
+            FlowError::NoEndpoints => write!(f, "circuit has no reachable timing endpoints"),
+            FlowError::UnknownPin { name } => {
+                write!(f, "pinned label '{name}' does not exist in this circuit")
+            }
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Gp(e) => Some(e),
+            FlowError::Sta(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpError> for FlowError {
+    fn from(e: GpError) -> Self {
+        FlowError::Gp(e)
+    }
+}
+
+impl From<StaError> for FlowError {
+    fn from(e: StaError) -> Self {
+        FlowError::Sta(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = FlowError::from(GpError::Unbounded);
+        assert!(e.to_string().contains("unbounded"));
+        assert!(e.source().is_some());
+        let e = FlowError::TooManyPaths {
+            classes: 50_000,
+            limit: 20_000,
+        };
+        assert!(e.to_string().contains("50000"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Topology exploration — the paper's Fig. 1 flow: elaborate every
+//! database alternative for the requested function, size each under the
+//! instance constraints, and compare on the cost metric, letting the tool
+//! pick the best or the designer inspect the whole table (the Fig. 7
+//! experiment is exactly one run of this).
+
+use smart_models::ModelLibrary;
+use smart_netlist::Circuit;
+use smart_power::{estimate, ActivityProfile, PowerReport};
+use smart_sta::Boundary;
+
+use smart_macros::MacroSpec;
+
+use crate::sizing::{size_circuit, SizingOutcome};
+use crate::{DelaySpec, FlowError, SizingOptions};
+
+/// Quality metrics of one sized candidate.
+#[derive(Debug)]
+pub struct CandidateMetrics {
+    /// The sizing outcome (widths, measured delay, iteration counts).
+    pub outcome: SizingOutcome,
+    /// Total gate width on clock nets — the paper's clock-load metric.
+    pub clock_load: f64,
+    /// Switching-power estimate.
+    pub power: PowerReport,
+    /// Transistor count of the topology.
+    pub devices: usize,
+}
+
+/// One explored candidate: the spec, its circuit, and either metrics or
+/// the failure that disqualified it (e.g. the topology cannot meet the
+/// delay).
+#[derive(Debug)]
+pub struct Candidate {
+    /// The macro spec of this alternative.
+    pub spec: MacroSpec,
+    /// The elaborated circuit.
+    pub circuit: Circuit,
+    /// Sized metrics, or why sizing failed.
+    pub result: Result<CandidateMetrics, FlowError>,
+}
+
+/// The full exploration table.
+#[derive(Debug)]
+pub struct Exploration {
+    /// All candidates in database order (requested topology first).
+    pub candidates: Vec<Candidate>,
+}
+
+impl Exploration {
+    /// The feasible candidate with the lowest total width (the default
+    /// area/power proxy the paper reports).
+    pub fn best_by_width(&self) -> Option<&Candidate> {
+        self.candidates
+            .iter()
+            .filter(|c| c.result.is_ok())
+            .min_by(|a, b| {
+                let wa = a.result.as_ref().unwrap().outcome.total_width;
+                let wb = b.result.as_ref().unwrap().outcome.total_width;
+                wa.partial_cmp(&wb).expect("widths are finite")
+            })
+    }
+
+    /// The feasible candidate with the lowest total power.
+    pub fn best_by_power(&self) -> Option<&Candidate> {
+        self.candidates
+            .iter()
+            .filter(|c| c.result.is_ok())
+            .min_by(|a, b| {
+                let pa = a.result.as_ref().unwrap().power.total();
+                let pb = b.result.as_ref().unwrap().power.total();
+                pa.partial_cmp(&pb).expect("powers are finite")
+            })
+    }
+
+    /// Number of candidates that met the constraints.
+    pub fn feasible_count(&self) -> usize {
+        self.candidates.iter().filter(|c| c.result.is_ok()).count()
+    }
+}
+
+/// Sizes one elaborated circuit and collects its metrics.
+pub fn size_and_measure(
+    circuit: &Circuit,
+    lib: &ModelLibrary,
+    boundary: &Boundary,
+    spec: &DelaySpec,
+    opts: &SizingOptions,
+) -> Result<CandidateMetrics, FlowError> {
+    let outcome = size_circuit(circuit, lib, boundary, spec, opts)?;
+    let clock_load = circuit.clock_load(&outcome.sizing);
+    let power = estimate(circuit, lib, &outcome.sizing, &ActivityProfile::default());
+    Ok(CandidateMetrics {
+        clock_load,
+        power,
+        devices: circuit.device_count(),
+        outcome,
+    })
+}
+
+/// Runs the Fig.-1 exploration: every database alternative of `request`
+/// is elaborated, sized under the same instance constraints and measured.
+pub fn explore(
+    request: &MacroSpec,
+    lib: &ModelLibrary,
+    boundary: &Boundary,
+    spec: &DelaySpec,
+    opts: &SizingOptions,
+) -> Exploration {
+    let mut candidates = Vec::new();
+    // Requested topology first, then the alternatives.
+    let mut alts = request.alternatives();
+    if let Some(pos) = alts.iter().position(|s| s == request) {
+        alts.swap(0, pos);
+    }
+    for alt in alts {
+        let circuit = alt.generate();
+        let result = size_and_measure(&circuit, lib, boundary, spec, opts);
+        candidates.push(Candidate {
+            spec: alt,
+            circuit,
+            result,
+        });
+    }
+    Exploration { candidates }
+}

@@ -1,0 +1,217 @@
+//! Dynamic-node noise analysis — the advisory report behind the paper's
+//! §2 requirement that "the designer should be allowed to control
+//! transistor sizes of portions of the macro ... to improve the noise
+//! immunity of the circuit based on the local operating conditions".
+//!
+//! For every dynamic node the report computes:
+//!
+//! * **leakage ratio** — total off-path pull-down width over precharge
+//!   width (each parallel branch leaks; the precharge must hold the node);
+//! * **charge-sharing exposure** — internal stack capacitance that can
+//!   redistribute onto the node when a partial path turns on, as a
+//!   fraction of the node's total capacitance;
+//! * **coupling exposure** — the node's capacitance relative to the
+//!   weakest restoring drive (big floating nodes with weak keepers are
+//!   aggressor-coupling victims).
+//!
+//! The flow's GP enforces a leakage floor (`constraints.rs`); this module
+//! is the *observability* side: where the margins are, so the designer
+//! can pin sizes before re-running, which `SizingOptions::pinned` then
+//! honors.
+
+use smart_models::ModelLibrary;
+use smart_netlist::{Circuit, ComponentKind, DeviceRole, NetKind, Sizing};
+
+/// Noise metrics of one dynamic node.
+#[derive(Debug, Clone)]
+pub struct DynamicNodeNoise {
+    /// Instance path of the domino gate owning the node.
+    pub gate: String,
+    /// Net name of the dynamic node.
+    pub node: String,
+    /// Σ(data width × parallel branches) / precharge width.
+    pub leakage_ratio: f64,
+    /// Internal stack junction capacitance / total node capacitance.
+    pub charge_sharing: f64,
+    /// Node capacitance per unit of precharge width (restoring drive).
+    pub cap_per_drive: f64,
+}
+
+impl DynamicNodeNoise {
+    /// Whether the node violates the given leakage-ratio limit.
+    pub fn leaky(&self, limit: f64) -> bool {
+        self.leakage_ratio > limit
+    }
+}
+
+/// Noise report over a sized circuit.
+#[derive(Debug, Clone)]
+pub struct NoiseReport {
+    /// One entry per dynamic node, worst leakage first.
+    pub nodes: Vec<DynamicNodeNoise>,
+}
+
+impl NoiseReport {
+    /// Nodes exceeding `limit` leakage ratio.
+    pub fn violations(&self, limit: f64) -> impl Iterator<Item = &DynamicNodeNoise> {
+        self.nodes.iter().filter(move |n| n.leaky(limit))
+    }
+
+    /// The worst node, if any dynamic nodes exist.
+    pub fn worst(&self) -> Option<&DynamicNodeNoise> {
+        self.nodes.first()
+    }
+}
+
+/// Analyzes every dynamic node of `circuit` under `sizing`.
+pub fn analyze_noise(circuit: &Circuit, lib: &ModelLibrary, sizing: &Sizing) -> NoiseReport {
+    let mut nodes = Vec::new();
+    for (_, comp) in circuit.components() {
+        let ComponentKind::Domino { ref network, .. } = comp.kind else {
+            continue;
+        };
+        let out = comp.output_net();
+        if circuit.net(out).kind != NetKind::Dynamic {
+            continue;
+        }
+        let w_pre = sizing.width(comp.label_of(DeviceRole::Precharge));
+        let w_data = sizing.width(comp.label_of(DeviceRole::DataN));
+        let branches = network.top_branch_count() as f64;
+        let devices = network.device_count() as f64;
+        let node_cap = lib.net_cap(circuit, out, sizing);
+        // Junction cap of stack devices NOT on the node (the charge-
+        // sharing reservoir): every device below the top row.
+        let internal_devices = (devices - branches).max(0.0);
+        let internal_cap = internal_devices * w_data * lib.process().diff_factor;
+        nodes.push(DynamicNodeNoise {
+            gate: comp.path.clone(),
+            node: circuit.net(out).name.clone(),
+            leakage_ratio: branches * w_data / w_pre,
+            charge_sharing: internal_cap / (internal_cap + node_cap),
+            cap_per_drive: node_cap / w_pre,
+        });
+    }
+    nodes.sort_by(|a, b| {
+        b.leakage_ratio
+            .partial_cmp(&a.leakage_ratio)
+            .expect("finite ratios")
+    });
+    NoiseReport { nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{size_circuit, DelaySpec, SizingOptions};
+    use smart_macros::{MacroSpec, MuxTopology};
+    use smart_sta::Boundary;
+
+    fn sized_mux(width: usize) -> (smart_netlist::Circuit, Sizing) {
+        let circuit = MacroSpec::Mux {
+            topology: MuxTopology::UnsplitDomino,
+            width,
+        }
+        .generate();
+        let lib = ModelLibrary::reference();
+        let mut boundary = Boundary::default();
+        boundary.output_loads.insert("y".into(), 15.0);
+        let out = size_circuit(
+            &circuit,
+            &lib,
+            &boundary,
+            &DelaySpec::uniform(320.0),
+            &SizingOptions::default(),
+        )
+        .unwrap();
+        (circuit, out.sizing)
+    }
+
+    #[test]
+    fn wider_muxes_are_leakier() {
+        let lib = ModelLibrary::reference();
+        let (c4, s4) = sized_mux(4);
+        let (c12, s12) = sized_mux(12);
+        let r4 = analyze_noise(&c4, &lib, &s4);
+        let r12 = analyze_noise(&c12, &lib, &s12);
+        assert_eq!(r4.nodes.len(), 1);
+        assert_eq!(r12.nodes.len(), 1);
+        assert!(
+            r12.worst().unwrap().leakage_ratio > r4.worst().unwrap().leakage_ratio,
+            "12-way: {} vs 4-way: {}",
+            r12.worst().unwrap().leakage_ratio,
+            r4.worst().unwrap().leakage_ratio
+        );
+        // The GP's leakage floor keeps the ratio bounded.
+        assert!(r12.worst().unwrap().leakage_ratio <= 1.0 / 0.08 + 1e-6);
+    }
+
+    #[test]
+    fn static_circuits_have_no_dynamic_nodes() {
+        let circuit = MacroSpec::Decoder { in_bits: 3 }.generate();
+        let lib = ModelLibrary::reference();
+        let sizing = Sizing::uniform(circuit.labels(), 2.0);
+        let report = analyze_noise(&circuit, &lib, &sizing);
+        assert!(report.nodes.is_empty());
+        assert!(report.worst().is_none());
+    }
+
+    #[test]
+    fn pinning_the_precharge_reduces_leakage_ratio() {
+        let circuit = MacroSpec::Mux {
+            topology: MuxTopology::UnsplitDomino,
+            width: 8,
+        }
+        .generate();
+        let lib = ModelLibrary::reference();
+        let mut boundary = Boundary::default();
+        boundary.output_loads.insert("y".into(), 15.0);
+        let base = size_circuit(
+            &circuit,
+            &lib,
+            &boundary,
+            &DelaySpec::uniform(320.0),
+            &SizingOptions::default(),
+        )
+        .unwrap();
+        let base_ratio = analyze_noise(&circuit, &lib, &base.sizing)
+            .worst()
+            .unwrap()
+            .leakage_ratio;
+        // Designer pins a beefier precharge after reading the report.
+        let mut opts = SizingOptions::default();
+        let w_pre = base.sizing.width(circuit.labels().lookup("P1").unwrap());
+        opts.pinned.insert("P1".into(), w_pre * 2.0);
+        let pinned = size_circuit(
+            &circuit,
+            &lib,
+            &boundary,
+            &DelaySpec::uniform(320.0),
+            &opts,
+        )
+        .unwrap();
+        let pinned_ratio = analyze_noise(&circuit, &lib, &pinned.sizing)
+            .worst()
+            .unwrap()
+            .leakage_ratio;
+        assert!(
+            pinned_ratio < base_ratio,
+            "pinned {pinned_ratio} vs base {base_ratio}"
+        );
+    }
+
+    #[test]
+    fn charge_sharing_is_a_fraction() {
+        let lib = ModelLibrary::reference();
+        let (c, s) = sized_mux(8);
+        let report = analyze_noise(&c, &lib, &s);
+        for n in &report.nodes {
+            assert!((0.0..1.0).contains(&n.charge_sharing), "{n:?}");
+            assert!(n.cap_per_drive > 0.0);
+        }
+        // Violations iterator honors the limit.
+        let all: Vec<_> = report.violations(0.0).collect();
+        assert_eq!(all.len(), report.nodes.len());
+        let none: Vec<_> = report.violations(1e9).collect();
+        assert!(none.is_empty());
+    }
+}

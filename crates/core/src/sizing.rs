@@ -1,0 +1,221 @@
+//! The SMART sizing loop — the paper's Fig. 4: constraint generation →
+//! GP solve → netlist update → static timing verification → delay-spec
+//! retargeting, iterated to convergence.
+
+use smart_models::ModelLibrary;
+use smart_netlist::{Circuit, Sizing};
+use smart_sta::{analyze, Boundary};
+
+use crate::compact::{compact, Compaction};
+use crate::constraints::{boundary_extra_loads, build_min_delay_gp, build_sizing_gp};
+use crate::{DelaySpec, FlowError, SizingOptions};
+
+/// Outcome of one sizing run.
+#[derive(Debug)]
+pub struct SizingOutcome {
+    /// The optimized widths.
+    pub sizing: Sizing,
+    /// STA-measured worst data/evaluate delay at the solution (ps).
+    pub measured_delay: f64,
+    /// STA-measured worst precharge completion (ps), for domino macros.
+    pub measured_precharge: f64,
+    /// Total transistor width at the solution.
+    pub total_width: f64,
+    /// Fig.-4 outer iterations used.
+    pub iterations: usize,
+    /// Constraint paths after compaction.
+    pub constraint_paths: usize,
+    /// Exhaustive path count before compaction (§5.2 numerator).
+    pub raw_paths: u128,
+}
+
+/// Measures worst delays with the same models the GP used.
+pub(crate) fn measure(
+    circuit: &Circuit,
+    lib: &ModelLibrary,
+    sizing: &Sizing,
+    boundary: &Boundary,
+    compaction: &Compaction,
+) -> Result<(f64, f64), FlowError> {
+    let report = analyze(circuit, lib, sizing, boundary)?;
+    let mut data = 0.0f64;
+    let mut pre = 0.0f64;
+    for class in &compaction.classes {
+        if let Some(a) = report.arrival(class.endpoint.net, class.endpoint.edge) {
+            if class.is_precharge {
+                pre = pre.max(a.time);
+            } else {
+                data = data.max(a.time);
+            }
+        }
+    }
+    Ok((data, pre))
+}
+
+/// Sizes `circuit` to meet `spec` under `boundary`, minimizing the
+/// configured cost — the full Fig.-4 loop.
+///
+/// # Errors
+///
+/// * [`FlowError::Gp`] — the spec is unachievable (infeasible) or the
+///   solver failed.
+/// * [`FlowError::NoConvergence`] — STA kept disagreeing with the
+///   constraint view beyond the outer iteration budget.
+/// * Propagates compaction and STA errors.
+pub fn size_circuit(
+    circuit: &Circuit,
+    lib: &ModelLibrary,
+    boundary: &Boundary,
+    spec: &DelaySpec,
+    opts: &SizingOptions,
+) -> Result<SizingOutcome, FlowError> {
+    let (_, vars) = smart_models::label_vars(circuit);
+    let extra = boundary_extra_loads(circuit, boundary);
+    let compaction = compact(circuit, lib, &vars, &extra, opts)?;
+
+    let mut working_spec = spec.clone();
+    let mut last = (f64::INFINITY, f64::INFINITY);
+    for iter in 1..=opts.max_outer_iters {
+        let built = build_sizing_gp(
+            circuit,
+            lib,
+            &compaction,
+            boundary,
+            &extra,
+            &working_spec,
+            opts,
+        )?;
+        // Warm start: the caller's previous sizing if provided (the
+        // designer's re-run loop), else mid-range widths — either keeps
+        // phase I anchored inside the size box on large macros.
+        let w0 = (lib.process().w_min * lib.process().w_max).sqrt();
+        let initial = match &opts.warm_start {
+            Some(prev) if prev.len() == circuit.labels().len() => {
+                prev.as_slice().to_vec()
+            }
+            _ => vec![w0; built.gp.dim()],
+        };
+        let sol = built.gp.solve(&smart_gp::SolverOptions {
+            initial_x: Some(initial),
+            ..Default::default()
+        })?;
+        let sizing = Sizing::from_widths(
+            (0..circuit.labels().len())
+                .map(|i| sol.x[built.vars[i].index()])
+                .collect(),
+        );
+        let (data, pre) = measure(circuit, lib, &sizing, boundary, &compaction)?;
+        last = (data, pre);
+        let data_ok = data <= spec.data * (1.0 + opts.timing_tolerance);
+        let pre_ok = pre <= spec.precharge_budget() * (1.0 + opts.timing_tolerance);
+        if data_ok && pre_ok {
+            return Ok(SizingOutcome {
+                total_width: circuit.total_width(&sizing),
+                sizing,
+                measured_delay: data,
+                measured_precharge: pre,
+                iterations: iter,
+                constraint_paths: compaction.classes.len(),
+                raw_paths: compaction.raw_paths,
+            });
+        }
+        // Retarget: shrink the constraint budgets by the measured
+        // overshoot ("new delay specification" box of Fig. 4).
+        if !data_ok && data > 0.0 {
+            working_spec.data *= (spec.data / data).min(0.98);
+        }
+        if !pre_ok && pre > 0.0 {
+            let budget = working_spec.precharge_budget();
+            working_spec.precharge = Some(budget * (spec.precharge_budget() / pre).min(0.98));
+        }
+    }
+    Err(FlowError::NoConvergence {
+        measured: last.0,
+        spec: spec.data,
+    })
+}
+
+/// Finds the fastest achievable delay of a topology (minimum-`T` GP) and
+/// the sizing that achieves it. The returned delay is STA-verified.
+///
+/// # Errors
+///
+/// Propagates GP/STA/compaction errors.
+pub fn minimize_delay(
+    circuit: &Circuit,
+    lib: &ModelLibrary,
+    boundary: &Boundary,
+    opts: &SizingOptions,
+) -> Result<(f64, SizingOutcome), FlowError> {
+    let (_, vars) = smart_models::label_vars(circuit);
+    let extra = boundary_extra_loads(circuit, boundary);
+    let compaction = compact(circuit, lib, &vars, &extra, opts)?;
+    let (built, t_var) = build_min_delay_gp(circuit, lib, &compaction, boundary, &extra, opts)?;
+    // Warm start: mid-range widths with the delay variable at its upper
+    // bound — strictly feasible, so phase I exits immediately instead of
+    // climbing from T = 1 through a wall of violated path constraints.
+    let w0 = (lib.process().w_min * lib.process().w_max).sqrt();
+    let mut x0 = vec![w0; built.gp.dim()];
+    x0[t_var.index()] = 1e6;
+    let sol = built.gp.solve(&smart_gp::SolverOptions {
+        initial_x: Some(x0),
+        ..Default::default()
+    })?;
+    let sizing = Sizing::from_widths(
+        (0..circuit.labels().len())
+            .map(|i| sol.x[built.vars[i].index()])
+            .collect(),
+    );
+    let t_star = sol.x[t_var.index()];
+    let (data, pre) = measure(circuit, lib, &sizing, boundary, &compaction)?;
+    Ok((
+        t_star,
+        SizingOutcome {
+            total_width: circuit.total_width(&sizing),
+            sizing,
+            measured_delay: data,
+            measured_precharge: pre,
+            iterations: 1,
+            constraint_paths: compaction.classes.len(),
+            raw_paths: compaction.raw_paths,
+        },
+    ))
+}
+
+/// Measures the worst evaluate/data delay and the worst precharge-path
+/// completion of a sized circuit, using the same path classification the
+/// constraint generator uses (a precharge path is one containing a
+/// precharge arc, timed end-to-end through any static reset logic after
+/// the dynamic node).
+///
+/// # Errors
+///
+/// Propagates compaction/STA errors.
+pub fn measure_phase_delays(
+    circuit: &Circuit,
+    lib: &ModelLibrary,
+    sizing: &Sizing,
+    boundary: &Boundary,
+    opts: &SizingOptions,
+) -> Result<(f64, f64), FlowError> {
+    let (_, vars) = smart_models::label_vars(circuit);
+    let extra = boundary_extra_loads(circuit, boundary);
+    let compaction = compact(circuit, lib, &vars, &extra, opts)?;
+    measure(circuit, lib, sizing, boundary, &compaction)
+}
+
+/// Convenience: runs compaction alone and reports the §5.2 statistics.
+///
+/// # Errors
+///
+/// Propagates compaction errors.
+pub fn compaction_stats(
+    circuit: &Circuit,
+    lib: &ModelLibrary,
+    boundary: &Boundary,
+    opts: &SizingOptions,
+) -> Result<Compaction, FlowError> {
+    let (_, vars) = smart_models::label_vars(circuit);
+    let extra = boundary_extra_loads(circuit, boundary);
+    compact(circuit, lib, &vars, &extra, opts)
+}

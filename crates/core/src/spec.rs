@@ -1,0 +1,104 @@
+//! Design constraints and flow options: "a macro instance with its local
+//! constraints like delays, slopes and loads" (paper §3).
+
+use std::collections::HashMap;
+
+use smart_netlist::Sizing;
+
+/// Cost metric the sizer minimizes after the timing constraints are met
+/// (paper Fig. 1: "specified cost function (area, power)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CostMetric {
+    /// Total transistor width (area proxy; also the paper's reporting
+    /// metric in Figs. 5-6 and Table 1).
+    #[default]
+    Width,
+    /// Activity-weighted switched capacitance (power proxy): clocked
+    /// device widths count extra because clock nets toggle every cycle.
+    Power,
+}
+
+/// The timing target of one macro instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelaySpec {
+    /// Budget for data/evaluate paths, input to output (ps).
+    pub data: f64,
+    /// Budget for domino precharge paths (ps); `None` applies the data
+    /// budget to precharge as well.
+    pub precharge: Option<f64>,
+}
+
+impl DelaySpec {
+    /// A uniform budget for all path phases.
+    pub fn uniform(ps: f64) -> Self {
+        DelaySpec {
+            data: ps,
+            precharge: None,
+        }
+    }
+
+    /// The precharge budget (defaults to the data budget).
+    pub fn precharge_budget(&self) -> f64 {
+        self.precharge.unwrap_or(self.data)
+    }
+}
+
+/// Options controlling one sizing run.
+#[derive(Debug, Clone)]
+pub struct SizingOptions {
+    /// Cost to minimize.
+    pub cost: CostMetric,
+    /// Maximum Fig.-4 outer iterations (GP solve → STA → retarget).
+    pub max_outer_iters: usize,
+    /// Acceptable overshoot of measured vs specified delay (relative).
+    pub timing_tolerance: f64,
+    /// Maximum output transition time (ps) enforced on every stage
+    /// (paper: slopes are "important for timing and reliability").
+    pub slope_max: f64,
+    /// Designer-pinned label widths by label *name* (paper §2: "the
+    /// designer should be allowed to control transistor sizes of portions
+    /// of the macro").
+    pub pinned: HashMap<String, f64>,
+    /// Cap on compacted constraint paths; exceeded ⇒ error, signalling a
+    /// macro whose labeling defeats compaction.
+    pub path_limit: usize,
+    /// Enforce the dynamic-node noise rule (precharge keeps a minimum
+    /// strength relative to the data pull-down).
+    pub noise_constraints: bool,
+    /// Opportunistic Time Borrowing (paper §5.3). `true` (the paper's
+    /// formulation) times each path end-to-end across domino stage
+    /// boundaries, so a fast stage donates slack to the next. `false`
+    /// cuts every path at dynamic-node boundaries and gives each segment
+    /// an equal share of the budget — the conventional per-stage
+    /// discipline, kept for ablation.
+    pub otb: bool,
+    /// Optional warm start for the GP (e.g. the previous sizing when
+    /// re-running after a small spec or pin change — the designer's
+    /// iterate-and-tune loop of Fig. 1). Ignored if its label count does
+    /// not match the circuit.
+    pub warm_start: Option<Sizing>,
+    /// Fanout-dominance mode. `true` (the paper's §5.2 heuristic: "We
+    /// heuristically decide the dominance based on the fanout") keeps one
+    /// worst-total-load representative per path shape — maximal reduction,
+    /// and any optimism is caught by the Fig.-4 STA feedback loop.
+    /// `false` keeps the provably sufficient Pareto set (sound without the
+    /// outer loop, at a larger constraint count).
+    pub heuristic_dominance: bool,
+}
+
+impl Default for SizingOptions {
+    fn default() -> Self {
+        SizingOptions {
+            cost: CostMetric::Width,
+            max_outer_iters: 12,
+            timing_tolerance: 0.01,
+            slope_max: 120.0,
+            pinned: HashMap::new(),
+            path_limit: 20_000,
+            noise_constraints: true,
+            warm_start: None,
+            otb: true,
+            heuristic_dominance: true,
+        }
+    }
+}

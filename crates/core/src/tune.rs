@@ -1,0 +1,224 @@
+//! The topology optimizer — SMART's third component (paper §3(iii):
+//! "automatically tune a topology for a specific macro instance starting
+//! from a general topology"; listed as under development in the paper,
+//! implemented here as structural parameter tuning).
+//!
+//! Given a parameterized general topology, the tuner sweeps its
+//! structural knobs (partition point of a split domino mux, Xorsum group
+//! size of a comparator), sizes every candidate under the instance
+//! constraints with the ordinary flow, and returns the sweep with the
+//! winner — the same size-then-compare discipline as Fig. 1, applied
+//! *within* one topology family.
+
+use smart_models::ModelLibrary;
+use smart_netlist::Circuit;
+use smart_sta::Boundary;
+
+use smart_macros::{comparator, mux, ComparatorVariant};
+
+use crate::explore::{size_and_measure, CandidateMetrics};
+use crate::{DelaySpec, FlowError, SizingOptions};
+
+/// One structural candidate of a tuning sweep.
+#[derive(Debug)]
+pub struct TuneCandidate {
+    /// Human-readable knob setting (e.g. `"split m=3"`).
+    pub setting: String,
+    /// The elaborated circuit.
+    pub circuit: Circuit,
+    /// Sized metrics or the failure that disqualified the setting.
+    pub result: Result<CandidateMetrics, FlowError>,
+}
+
+/// A completed tuning sweep.
+#[derive(Debug)]
+pub struct TuneSweep {
+    /// All candidates in knob order.
+    pub candidates: Vec<TuneCandidate>,
+}
+
+impl TuneSweep {
+    /// The feasible setting with the least total width.
+    pub fn best_by_width(&self) -> Option<&TuneCandidate> {
+        self.candidates
+            .iter()
+            .filter(|c| c.result.is_ok())
+            .min_by(|a, b| {
+                let wa = a.result.as_ref().unwrap().outcome.total_width;
+                let wb = b.result.as_ref().unwrap().outcome.total_width;
+                wa.partial_cmp(&wb).expect("widths are finite")
+            })
+    }
+
+    /// The feasible setting with the least clock load.
+    pub fn best_by_clock(&self) -> Option<&TuneCandidate> {
+        self.candidates
+            .iter()
+            .filter(|c| c.result.is_ok())
+            .min_by(|a, b| {
+                let ca = a.result.as_ref().unwrap().clock_load;
+                let cb = b.result.as_ref().unwrap().clock_load;
+                ca.partial_cmp(&cb).expect("clock loads are finite")
+            })
+    }
+
+    /// Number of feasible settings.
+    pub fn feasible_count(&self) -> usize {
+        self.candidates.iter().filter(|c| c.result.is_ok()).count()
+    }
+}
+
+fn run_sweep(
+    candidates: Vec<(String, Circuit)>,
+    lib: &ModelLibrary,
+    boundary: &Boundary,
+    spec: &DelaySpec,
+    opts: &SizingOptions,
+) -> TuneSweep {
+    TuneSweep {
+        candidates: candidates
+            .into_iter()
+            .map(|(setting, mut circuit)| {
+                circuit.add_route_parasitics(0.5, 0.8);
+                let result = size_and_measure(&circuit, lib, boundary, spec, opts);
+                TuneCandidate {
+                    setting,
+                    circuit,
+                    result,
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Tunes the partition point `m` of an `width`-input partitioned domino
+/// mux (paper §4 Fig. 2(f): "A good choice of m is m = floor(n/2)") —
+/// the tuner checks that advice against the instance's actual
+/// constraints.
+pub fn tune_partition_point(
+    width: usize,
+    lib: &ModelLibrary,
+    boundary: &Boundary,
+    spec: &DelaySpec,
+    opts: &SizingOptions,
+) -> TuneSweep {
+    assert!(width >= 3, "partitioned mux needs at least 3 inputs");
+    let candidates = (1..width)
+        .map(|m| {
+            (
+                format!("split m={m}"),
+                mux::partitioned_domino(width, m),
+            )
+        })
+        .collect();
+    run_sweep(candidates, lib, boundary, spec, opts)
+}
+
+/// Tunes the Xorsum group size of a `width`-bit D1-D2 comparator over all
+/// divisors of `width` up to 8 bits per gate.
+pub fn tune_comparator_grouping(
+    width: usize,
+    d2_fanin: usize,
+    lib: &ModelLibrary,
+    boundary: &Boundary,
+    spec: &DelaySpec,
+    opts: &SizingOptions,
+) -> TuneSweep {
+    let candidates = (1..=8usize)
+        .filter(|k| width.is_multiple_of(*k))
+        .map(|k| {
+            (
+                format!("xorsum k={k}"),
+                comparator(width, ComparatorVariant { xorsum: k, d2_fanin }),
+            )
+        })
+        .collect();
+    run_sweep(candidates, lib, boundary, spec, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boundary() -> Boundary {
+        let mut b = Boundary::default();
+        b.output_loads.insert("y".into(), 20.0);
+        b
+    }
+
+    #[test]
+    fn partition_sweep_covers_all_splits_and_picks_a_winner() {
+        let lib = ModelLibrary::reference();
+        let sweep = tune_partition_point(
+            6,
+            &lib,
+            &boundary(),
+            &DelaySpec::uniform(380.0),
+            &SizingOptions::default(),
+        );
+        assert_eq!(sweep.candidates.len(), 5, "m in 1..6");
+        assert!(sweep.feasible_count() >= 3);
+        let best = sweep.best_by_width().expect("winner");
+        let best_w = best.result.as_ref().unwrap().outcome.total_width;
+        for c in &sweep.candidates {
+            if let Ok(m) = &c.result {
+                assert!(m.outcome.total_width + 1e-9 >= best_w);
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_split_is_near_optimal() {
+        // The paper's rule of thumb: m = floor(n/2) is a good choice. The
+        // tuner's winner should be within 15% of the balanced split.
+        let lib = ModelLibrary::reference();
+        let sweep = tune_partition_point(
+            8,
+            &lib,
+            &boundary(),
+            &DelaySpec::uniform(380.0),
+            &SizingOptions::default(),
+        );
+        let balanced = sweep
+            .candidates
+            .iter()
+            .find(|c| c.setting == "split m=4")
+            .unwrap()
+            .result
+            .as_ref()
+            .expect("balanced split feasible")
+            .outcome
+            .total_width;
+        let best = sweep
+            .best_by_width()
+            .unwrap()
+            .result
+            .as_ref()
+            .unwrap()
+            .outcome
+            .total_width;
+        assert!(
+            balanced <= best * 1.15,
+            "balanced {balanced} vs best {best}"
+        );
+    }
+
+    #[test]
+    fn comparator_grouping_sweep_runs() {
+        let lib = ModelLibrary::reference();
+        let mut b = Boundary::default();
+        b.output_loads.insert("eq".into(), 15.0);
+        let sweep = tune_comparator_grouping(
+            16,
+            4,
+            &lib,
+            &b,
+            &DelaySpec::uniform(420.0),
+            &SizingOptions::default(),
+        );
+        // Divisors of 16 up to 8: 1, 2, 4, 8.
+        assert_eq!(sweep.candidates.len(), 4);
+        assert!(sweep.feasible_count() >= 2);
+        assert!(sweep.best_by_clock().is_some());
+    }
+}

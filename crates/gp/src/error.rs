@@ -1,0 +1,75 @@
+//! Error type for GP construction and solving.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by [`crate::GpProblem`] construction or solving.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GpError {
+    /// A constraint was added with a zero (empty) posynomial body.
+    EmptyConstraint {
+        /// Label the caller supplied for the constraint.
+        label: String,
+    },
+    /// Phase I finished without finding a strictly feasible point: the
+    /// constraint set is (numerically) infeasible. For the sizing flow this
+    /// means the delay target cannot be met at any device size — the signal
+    /// for SMART to report "constraints unachievable" to the designer.
+    Infeasible {
+        /// Worst constraint body value `fᵢ(x)` achieved (≥ 1 means violated).
+        worst_violation: f64,
+    },
+    /// Iterates escaped the sanity box: no positive minimizer (e.g. the
+    /// objective keeps improving as a size goes to 0 or ∞ because a bound is
+    /// missing).
+    Unbounded,
+    /// Newton/barrier machinery failed to make progress.
+    Numerical {
+        /// Stage that failed (`"phase1"`, `"phase2"`, `"setup"`).
+        stage: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::EmptyConstraint { label } => {
+                write!(f, "constraint '{label}' has an empty posynomial body")
+            }
+            GpError::Infeasible { worst_violation } => write!(
+                f,
+                "geometric program is infeasible (worst constraint body {worst_violation:.4}, needs <= 1)"
+            ),
+            GpError::Unbounded => {
+                write!(f, "geometric program is unbounded; a size bound is missing")
+            }
+            GpError::Numerical { stage, detail } => {
+                write!(f, "numerical failure in {stage}: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for GpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cause() {
+        let e = GpError::Infeasible { worst_violation: 2.5 };
+        assert!(e.to_string().contains("2.5"));
+        let e = GpError::EmptyConstraint { label: "t1".into() };
+        assert!(e.to_string().contains("t1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GpError>();
+    }
+}

@@ -1,0 +1,73 @@
+//! First-order (KKT) optimality diagnostics for a solved GP.
+
+use smart_posy::LogPosynomial;
+
+use crate::linalg::norm;
+
+/// Karush-Kuhn-Tucker residuals at a candidate optimum, computed in the
+/// convex log-space formulation.
+///
+/// The barrier method's centering condition gives the multiplier estimates
+/// `λᵢ = 1 / (t · (−Fᵢ(y)))`; at convergence, stationarity
+/// `‖∇F₀ + Σ λᵢ∇Fᵢ‖` is small and the duality-gap estimate is `m/t`.
+/// Tests assert these residuals rather than comparing against magic optimal
+/// values.
+#[derive(Debug, Clone)]
+pub struct KktReport {
+    /// `‖∇F₀(y) + Σ λᵢ ∇Fᵢ(y)‖₂` with the barrier multiplier estimates.
+    pub stationarity: f64,
+    /// Estimated duality gap `m/t` at the final barrier parameter.
+    pub duality_gap: f64,
+    /// Multiplier estimates, one per constraint (empty if unconstrained).
+    pub multipliers: Vec<f64>,
+    /// `max(0, Fᵢ(y))` over all constraints — primal infeasibility in
+    /// log-space (0 when strictly feasible).
+    pub primal_infeasibility: f64,
+}
+
+impl KktReport {
+    /// Computes the report at log-point `y` with the solver's final barrier
+    /// parameter `t` (multipliers are the barrier estimates `1/(t·(−Fᵢ))`).
+    pub(crate) fn at_point(
+        obj: &LogPosynomial,
+        cons: &[LogPosynomial],
+        y: &[f64],
+        t: f64,
+    ) -> Self {
+        let m = cons.len();
+        if m == 0 {
+            let (_, g) = obj.value_grad(y);
+            return KktReport {
+                stationarity: norm(&g),
+                duality_gap: 0.0,
+                multipliers: Vec::new(),
+                primal_infeasibility: 0.0,
+            };
+        }
+        let (_, mut r) = obj.value_grad(y);
+        let mut multipliers = Vec::with_capacity(m);
+        let mut infeas = 0.0f64;
+        for c in cons {
+            let (fv, fg) = c.value_grad(y);
+            infeas = infeas.max(fv.max(0.0));
+            let lambda = if fv < 0.0 { 1.0 / (t * (-fv)) } else { f64::INFINITY };
+            multipliers.push(lambda);
+            if lambda.is_finite() {
+                for (ri, gi) in r.iter_mut().zip(&fg) {
+                    *ri += lambda * gi;
+                }
+            }
+        }
+        KktReport {
+            stationarity: norm(&r),
+            duality_gap: m as f64 / t,
+            multipliers,
+            primal_infeasibility: infeas,
+        }
+    }
+
+    /// Whether the point satisfies first-order optimality within `tol`.
+    pub fn is_optimal(&self, tol: f64) -> bool {
+        self.stationarity <= tol && self.primal_infeasibility <= tol && self.duality_gap <= tol
+    }
+}

@@ -1,0 +1,189 @@
+//! Minimal dense linear algebra for the Newton steps of the GP solver.
+//!
+//! Problem sizes after SMART's label-sharing are tiny (tens to a few hundred
+//! variables), so a dense Cholesky is both sufficient and fully inspectable —
+//! no external linear-algebra dependency is warranted (cf. DESIGN.md §5).
+
+/// Dot product of two equally sized slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot of mismatched lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// In-place `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy of mismatched lengths");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite matrix,
+/// returning the lower factor, or `None` if a pivot is not strictly positive
+/// (matrix not PD to working precision).
+#[allow(clippy::needless_range_loop)] // triangular index arithmetic reads better with indices
+pub fn cholesky(a: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let n = a.len();
+    let mut l = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        debug_assert_eq!(a[i].len(), n, "matrix must be square");
+        for j in 0..=i {
+            let mut s = a[i][j];
+            for k in 0..j {
+                s -= l[i][k] * l[j][k];
+            }
+            if i == j {
+                if !s.is_finite() || s <= 0.0 {
+                    return None;
+                }
+                l[i][j] = s.sqrt();
+            } else {
+                l[i][j] = s / l[j][j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+///
+/// Returns `None` when `A` is not PD to working precision.
+pub fn solve_spd(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let l = cholesky(a)?;
+    let n = b.len();
+    // Forward solve L z = b.
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[i][k] * z[k];
+        }
+        z[i] = s / l[i][i];
+    }
+    // Back solve Lᵀ x = z.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = z[i];
+        for k in (i + 1)..n {
+            s -= l[k][i] * x[k];
+        }
+        x[i] = s / l[i][i];
+    }
+    Some(x)
+}
+
+/// Solves `A x = b` for symmetric `A`, adding a growing ridge `λI` until the
+/// matrix factors. Used for Newton steps on nearly singular Hessians (e.g.
+/// variables that appear in no active constraint).
+///
+/// Returns the solution together with the ridge that was needed.
+pub fn solve_spd_ridged(a: &[Vec<f64>], b: &[f64]) -> (Vec<f64>, f64) {
+    if let Some(x) = solve_spd(a, b) {
+        return (x, 0.0);
+    }
+    let n = a.len();
+    // Scale the ridge to the matrix magnitude.
+    let diag_max = (0..n)
+        .map(|i| a[i][i].abs())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let mut lambda = diag_max * 1e-10;
+    loop {
+        let mut ar = a.to_vec();
+        for (i, row) in ar.iter_mut().enumerate() {
+            row[i] += lambda;
+        }
+        if let Some(x) = solve_spd(&ar, b) {
+            return (x, lambda);
+        }
+        lambda *= 10.0;
+        assert!(
+            lambda.is_finite() && lambda < diag_max * 1e12,
+            "ridge escalation failed; matrix is pathological"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_norm_axpy() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, -5.0, 6.0];
+        assert_eq!(dot(&a, &b), 4.0 - 10.0 + 18.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        let mut y = [1.0, 1.0, 1.0];
+        axpy(2.0, &a, &mut y);
+        assert_eq!(y, [3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn cholesky_solves_known_system() {
+        // A = [[4,2],[2,3]], b = [2,1] -> x = [0.5, 0]
+        let a = vec![vec![4.0, 2.0], vec![2.0, 3.0]];
+        let x = solve_spd(&a, &[2.0, 1.0]).expect("pd");
+        assert!((x[0] - 0.5).abs() < 1e-12);
+        assert!(x[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        assert!(cholesky(&a).is_none());
+        let a = vec![vec![-1.0]];
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn ridged_solve_handles_singular() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 0.0]];
+        let (x, lambda) = solve_spd_ridged(&a, &[1.0, 0.0]);
+        assert!(lambda > 0.0);
+        assert!((x[0] - 1.0).abs() < 1e-6);
+        assert!(x[1].abs() < 1e-6);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn solve_residual_is_small_on_random_spd() {
+        // Deterministic pseudo-random SPD matrix: A = MᵀM + I.
+        let n = 12;
+        let mut seed = 42u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let m: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| rnd()).collect()).collect();
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    a[i][j] += m[k][i] * m[k][j];
+                }
+            }
+            a[i][i] += 1.0;
+        }
+        let b: Vec<f64> = (0..n).map(|_| rnd()).collect();
+        let x = solve_spd(&a, &b).expect("pd");
+        // Check residual.
+        for i in 0..n {
+            let ri: f64 = (0..n).map(|j| a[i][j] * x[j]).sum::<f64>() - b[i];
+            assert!(ri.abs() < 1e-9, "row {i} residual {ri}");
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Geometric-program problem construction.
+
+use smart_posy::{Monomial, Posynomial, VarId, VarPool};
+
+use crate::GpError;
+
+/// One inequality constraint `body ≤ 1` in normalized GP form, with a label
+/// for diagnostics (SMART uses labels like `"path p12 rise"` so the designer
+/// can see which timing constraint is binding).
+#[derive(Debug, Clone)]
+pub struct GpConstraint {
+    /// Human-readable origin of the constraint.
+    pub label: String,
+    /// The posynomial body `f(x)`; the constraint is `f(x) ≤ 1`.
+    pub body: Posynomial,
+}
+
+/// A geometric program in standard form:
+///
+/// ```text
+/// minimize    f₀(x)              (posynomial)
+/// subject to  fᵢ(x) ≤ 1, i=1..m  (posynomials)
+///             x > 0
+/// ```
+///
+/// Bounds and pinned variables are expressed as monomial constraints
+/// (`x/ub ≤ 1`, `lb·x⁻¹ ≤ 1`), exactly how the SMART sizer encodes device
+/// min/max size and designer-pinned sizes.
+///
+/// ```
+/// use smart_posy::{Monomial, Posynomial, VarPool};
+/// use smart_gp::GpProblem;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut pool = VarPool::new();
+/// let w = pool.var("W");
+/// let mut gp = GpProblem::new(pool);
+/// gp.set_objective(Posynomial::var(w));                 // minimize W
+/// gp.add_le("delay", Posynomial::from(Monomial::new(2.0).pow(w, -1.0)),
+///           Monomial::new(1.0))?;                       // 2/W <= 1
+/// let sol = gp.solve(&Default::default())?;
+/// assert!((sol.x[w.index()] - 2.0).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpProblem {
+    pool: VarPool,
+    objective: Posynomial,
+    constraints: Vec<GpConstraint>,
+}
+
+impl GpProblem {
+    /// Creates a problem over the variables of `pool`.
+    ///
+    /// The pool may keep growing through [`GpProblem::pool_mut`] until
+    /// [`GpProblem::solve`] is called.
+    pub fn new(pool: VarPool) -> Self {
+        GpProblem {
+            pool,
+            objective: Posynomial::constant(1.0),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// The variable pool.
+    pub fn pool(&self) -> &VarPool {
+        &self.pool
+    }
+
+    /// Mutable access to the pool, for registering further variables.
+    pub fn pool_mut(&mut self) -> &mut VarPool {
+        &mut self.pool
+    }
+
+    /// Sets the posynomial objective to minimize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objective` is the zero posynomial.
+    pub fn set_objective(&mut self, objective: Posynomial) {
+        assert!(!objective.is_zero(), "objective must be a nonzero posynomial");
+        self.objective = objective;
+    }
+
+    /// The current objective.
+    pub fn objective(&self) -> &Posynomial {
+        &self.objective
+    }
+
+    /// The constraints added so far.
+    pub fn constraints(&self) -> &[GpConstraint] {
+        &self.constraints
+    }
+
+    /// Adds `lhs ≤ rhs` where `rhs` is a monomial; normalized internally to
+    /// `lhs/rhs ≤ 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::EmptyConstraint`] if `lhs` is the zero posynomial
+    /// (such a constraint is vacuous and usually indicates a modeling bug).
+    pub fn add_le(
+        &mut self,
+        label: impl Into<String>,
+        lhs: Posynomial,
+        rhs: Monomial,
+    ) -> Result<(), GpError> {
+        if lhs.is_zero() {
+            return Err(GpError::EmptyConstraint { label: label.into() });
+        }
+        self.constraints.push(GpConstraint {
+            label: label.into(),
+            body: lhs.div_monomial(&rhs),
+        });
+        Ok(())
+    }
+
+    /// Adds an upper bound `x ≤ ub`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ub` is not finite and strictly positive.
+    pub fn add_upper_bound(&mut self, v: VarId, ub: f64) {
+        let name = format!("{} <= {ub}", self.pool.name(v));
+        self.add_le(name, Posynomial::var(v), Monomial::new(ub))
+            .expect("variable posynomial is nonzero");
+    }
+
+    /// Adds a lower bound `x ≥ lb` (encoded `lb·x⁻¹ ≤ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lb` is not finite and strictly positive.
+    pub fn add_lower_bound(&mut self, v: VarId, lb: f64) {
+        let name = format!("{} >= {lb}", self.pool.name(v));
+        let body = Posynomial::from(Monomial::new(lb).pow(v, -1.0));
+        self.add_le(name, body, Monomial::new(1.0))
+            .expect("bound posynomial is nonzero");
+    }
+
+    /// Pins `x = value` (designer-controlled size, paper §2): both bounds at
+    /// `value` with a small relative slack so the feasible set keeps an
+    /// interior for the barrier method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite and strictly positive.
+    pub fn pin(&mut self, v: VarId, value: f64) {
+        assert!(
+            value.is_finite() && value > 0.0,
+            "pinned size must be finite and > 0, got {value}"
+        );
+        const SLACK: f64 = 1.0 + 1e-6;
+        self.add_upper_bound(v, value * SLACK);
+        self.add_lower_bound(v, value / SLACK);
+    }
+
+    /// Number of optimization variables.
+    pub fn dim(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_constraint_is_rejected() {
+        let mut pool = VarPool::new();
+        let _ = pool.var("w");
+        let mut gp = GpProblem::new(pool);
+        let err = gp
+            .add_le("empty", Posynomial::zero(), Monomial::one())
+            .unwrap_err();
+        assert!(err.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn normalization_divides_by_rhs() {
+        let mut pool = VarPool::new();
+        let w = pool.var("w");
+        let mut gp = GpProblem::new(pool);
+        gp.add_le("c", Posynomial::var(w), Monomial::new(4.0))
+            .unwrap();
+        let body = &gp.constraints()[0].body;
+        // x/4 at x=4 is exactly 1.
+        assert!((body.eval(&[4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pin_creates_two_constraints() {
+        let mut pool = VarPool::new();
+        let w = pool.var("w");
+        let mut gp = GpProblem::new(pool);
+        gp.pin(w, 3.0);
+        assert_eq!(gp.constraints().len(), 2);
+        // x=3 is strictly inside both.
+        for c in gp.constraints() {
+            assert!(c.body.eval(&[3.0]) < 1.0);
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Interior-point solver for geometric programs.
+//!
+//! Pipeline: log-transform every posynomial (convex `log-sum-exp` form),
+//! find a strictly feasible point with a phase-I slack formulation, then run
+//! a standard barrier method — damped Newton centering steps with
+//! backtracking line search, geometric increase of the barrier parameter —
+//! until the duality-gap estimate `m/t` is below tolerance. See Boyd &
+//! Vandenberghe, ch. 11; this mirrors the "GP solver" box of the paper's
+//! Fig. 4.
+
+use smart_posy::LogPosynomial;
+
+use crate::linalg::{axpy, dot, norm, solve_spd_ridged};
+use crate::{GpError, GpProblem, KktReport};
+
+/// Tuning knobs for the barrier solver. The defaults solve every sizing
+/// problem in this repository; they are exposed for stress tests.
+#[derive(Debug, Clone)]
+pub struct SolverOptions {
+    /// Target duality-gap estimate `m/t` at termination.
+    pub tol: f64,
+    /// Newton decrement threshold for each centering problem.
+    pub newton_tol: f64,
+    /// Barrier parameter multiplier per outer iteration.
+    pub mu: f64,
+    /// Maximum Newton iterations per centering problem.
+    pub max_newton_iter: usize,
+    /// Maximum outer (barrier) iterations.
+    pub max_outer_iter: usize,
+    /// Phase-I slack below which the point counts as strictly feasible.
+    pub feasibility_margin: f64,
+    /// Optional warm-start point in the original (positive) variables,
+    /// indexed like the solution vector. A feasible start skips phase I
+    /// entirely; an infeasible one still anchors phase I in the right
+    /// region (important when a variable's natural scale is far from 1,
+    /// e.g. an auxiliary delay variable in a min-delay program).
+    pub initial_x: Option<Vec<f64>>,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            tol: 1e-8,
+            newton_tol: 1e-10,
+            mu: 20.0,
+            max_newton_iter: 200,
+            max_outer_iter: 100,
+            feasibility_margin: 1e-7,
+            initial_x: None,
+        }
+    }
+}
+
+/// Result of a successful GP solve.
+#[derive(Debug, Clone)]
+pub struct GpSolution {
+    /// Optimal point in the original (positive) variables, indexed by
+    /// [`smart_posy::VarId::index`].
+    pub x: Vec<f64>,
+    /// Objective value `f₀(x)` at the optimum.
+    pub objective: f64,
+    /// Total Newton steps spent in phase I (feasibility).
+    pub phase1_newton_steps: usize,
+    /// Total Newton steps spent in phase II (optimization).
+    pub phase2_newton_steps: usize,
+    /// First-order optimality diagnostics.
+    pub kkt: KktReport,
+}
+
+impl GpSolution {
+    /// Constraint bodies `fᵢ(x)` at the optimum, paired with their labels;
+    /// values near 1 are *tight* (binding) constraints.
+    pub fn constraint_activity<'a>(&self, problem: &'a GpProblem) -> Vec<(&'a str, f64)> {
+        problem
+            .constraints()
+            .iter()
+            .map(|c| (c.label.as_str(), c.body.eval(&self.x)))
+            .collect()
+    }
+}
+
+/// Hard cap on `‖y‖∞` (log-space); beyond this the problem is declared
+/// unbounded (x outside `[e⁻⁴⁰, e⁴⁰]` is physically meaningless for sizes).
+const Y_BOUND: f64 = 40.0;
+
+/// Trust-region-style cap on a single Newton step in log space.
+const MAX_STEP: f64 = 8.0;
+
+impl GpProblem {
+    /// Solves the geometric program.
+    ///
+    /// # Errors
+    ///
+    /// * [`GpError::Infeasible`] — phase I could not drive the worst
+    ///   constraint violation below the feasibility margin.
+    /// * [`GpError::Unbounded`] — iterates escaped the sanity box, meaning
+    ///   the objective has no positive minimizer under the constraints.
+    /// * [`GpError::Numerical`] — Newton failed to make progress (returned
+    ///   with the stage name for diagnosis).
+    pub fn solve(&self, opts: &SolverOptions) -> Result<GpSolution, GpError> {
+        let dim = self.dim();
+        if dim == 0 {
+            return Err(GpError::Numerical {
+                stage: "setup",
+                detail: "problem has no variables".into(),
+            });
+        }
+        let obj = LogPosynomial::from_posynomial(self.objective(), dim);
+        let cons: Vec<LogPosynomial> = self
+            .constraints()
+            .iter()
+            .map(|c| LogPosynomial::from_posynomial(&c.body, dim))
+            .collect();
+
+        let start: Vec<f64> = match &opts.initial_x {
+            Some(x0) => {
+                assert!(
+                    x0.len() >= dim,
+                    "initial point has {} coordinates, problem has {dim}",
+                    x0.len()
+                );
+                x0[..dim]
+                    .iter()
+                    .map(|&v| {
+                        assert!(v.is_finite() && v > 0.0, "initial point must be > 0");
+                        v.ln()
+                    })
+                    .collect()
+            }
+            None => vec![0.0; dim],
+        };
+        let mut phase1_steps = 0;
+        let y0 = if cons.is_empty() {
+            start
+        } else {
+            phase1(&cons, start, opts, &mut phase1_steps)?
+        };
+
+        let mut phase2_steps = 0;
+        let (y, t_final) = phase2(&obj, &cons, y0, opts, &mut phase2_steps)?;
+
+        let x: Vec<f64> = y.iter().map(|&v| v.exp()).collect();
+        let kkt = KktReport::at_point(&obj, &cons, &y, t_final);
+        Ok(GpSolution {
+            objective: self.objective().eval(&x),
+            x,
+            phase1_newton_steps: phase1_steps,
+            phase2_newton_steps: phase2_steps,
+            kkt,
+        })
+    }
+}
+
+/// Phase I: minimize slack `s` subject to `Fᵢ(y) ≤ s`; succeeds as soon as a
+/// point with `s < -margin` is found.
+fn phase1(
+    cons: &[LogPosynomial],
+    start: Vec<f64>,
+    opts: &SolverOptions,
+    steps: &mut usize,
+) -> Result<Vec<f64>, GpError> {
+    let dim = start.len();
+    let mut y = start;
+    let worst = |y: &[f64]| -> f64 {
+        cons.iter()
+            .map(|c| c.value(y))
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+    let mut s = worst(&y) + 1.0;
+    if s - 1.0 < -opts.feasibility_margin {
+        return Ok(y); // the start is already strictly feasible
+    }
+
+    // Start the barrier at t ≈ m: for small t the centering point has
+    // slack s ≈ m/t, which un-tethers every constraint and lets the
+    // iterate drift; at t = m the initial slack stays O(1).
+    let mut t = 1.0f64.max(cons.len() as f64);
+    for _ in 0..opts.max_outer_iter {
+        // Centering on φ(y,s) = t·s − Σ log(s − Fᵢ(y)).
+        for _ in 0..opts.max_newton_iter {
+            *steps += 1;
+            let n = dim + 1;
+            let mut grad = vec![0.0; n];
+            let mut hess = vec![vec![0.0; n]; n];
+            grad[dim] = t;
+            let mut domain_ok = true;
+            for c in cons {
+                let (fv, fg, fh) = c.value_grad_hess(&y);
+                let g = s - fv;
+                if g <= 0.0 {
+                    domain_ok = false;
+                    break;
+                }
+                let inv = 1.0 / g;
+                let inv2 = inv * inv;
+                for i in 0..dim {
+                    grad[i] += inv * fg[i];
+                    grad[dim] -= 0.0; // s-part accumulated below
+                    for j in 0..dim {
+                        hess[i][j] += inv2 * fg[i] * fg[j] + inv * fh[i][j];
+                    }
+                    hess[i][dim] -= inv2 * fg[i];
+                    hess[dim][i] -= inv2 * fg[i];
+                }
+                grad[dim] -= inv;
+                hess[dim][dim] += inv2;
+            }
+            if !domain_ok {
+                return Err(GpError::Numerical {
+                    stage: "phase1",
+                    detail: "iterate left the barrier domain".into(),
+                });
+            }
+            let neg_grad: Vec<f64> = grad.iter().map(|&g| -g).collect();
+            let (d, _) = solve_spd_ridged(&hess, &neg_grad);
+            let decrement2 = -dot(&grad, &d);
+            if decrement2 / 2.0 < opts.newton_tol {
+                break;
+            }
+            // Backtracking line search keeping s − Fᵢ > 0.
+            let value = |y: &[f64], s: f64| -> Option<f64> {
+                let mut v = t * s;
+                for c in cons {
+                    let g = s - c.value(y);
+                    if g <= 0.0 {
+                        return None;
+                    }
+                    v -= g.ln();
+                }
+                Some(v)
+            };
+            let f0 = value(&y, s).ok_or(GpError::Numerical {
+                stage: "phase1",
+                detail: "current point infeasible for barrier".into(),
+            })?;
+            // Cap the step so the phase-I recession direction (s → −∞ with
+            // g fixed) cannot fling the iterate outside the sanity box
+            // before the early feasibility return fires.
+            let mut alpha = (MAX_STEP / norm(&d)).min(1.0);
+            let slope = dot(&grad, &d);
+            let mut accepted = false;
+            for _ in 0..60 {
+                let mut yn = y.clone();
+                axpy(alpha, &d[..dim], &mut yn);
+                let sn = s + alpha * d[dim];
+                if let Some(fv) = value(&yn, sn) {
+                    if fv <= f0 + 0.25 * alpha * slope {
+                        y = yn;
+                        s = sn;
+                        accepted = true;
+                        break;
+                    }
+                }
+                alpha *= 0.5;
+            }
+            if !accepted {
+                break; // stalled; outer loop will tighten or fail
+            }
+            // Return on *actual* strict feasibility of y, not only via the
+            // slack s — the slack can lag while the barrier drifts along
+            // directions where some gᵢ grows without bound.
+            if s < -opts.feasibility_margin || worst(&y) < -opts.feasibility_margin {
+                return Ok(y);
+            }
+            if y.iter().any(|v| v.abs() > Y_BOUND) {
+                if std::env::var("SMART_GP_DEBUG").is_ok() {
+                    let (i, v) = y
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+                        .unwrap();
+                    eprintln!("phase1 escape: y[{i}] = {v}, s = {s}, t = {t}");
+                }
+                return Err(GpError::Unbounded);
+            }
+        }
+        if s < -opts.feasibility_margin {
+            return Ok(y);
+        }
+        if cons.len() as f64 / t < opts.tol {
+            break;
+        }
+        t *= opts.mu;
+    }
+    Err(GpError::Infeasible {
+        worst_violation: worst(&y).exp(),
+    })
+}
+
+/// Phase II: barrier method on `t·F₀(y) − Σ log(−Fᵢ(y))` from a strictly
+/// feasible start.
+fn phase2(
+    obj: &LogPosynomial,
+    cons: &[LogPosynomial],
+    mut y: Vec<f64>,
+    opts: &SolverOptions,
+    steps: &mut usize,
+) -> Result<(Vec<f64>, f64), GpError> {
+    let dim = y.len();
+    let m = cons.len();
+    let mut t: f64 = 1.0f64.max(m as f64);
+
+    let value = |y: &[f64], t: f64| -> Option<f64> {
+        let mut v = t * obj.value(y);
+        for c in cons {
+            let fv = c.value(y);
+            if fv >= 0.0 {
+                return None;
+            }
+            v -= (-fv).ln();
+        }
+        Some(v)
+    };
+
+    loop {
+        // Centering.
+        for _ in 0..opts.max_newton_iter {
+            *steps += 1;
+            let (_, og, oh) = obj.value_grad_hess(&y);
+            let mut grad: Vec<f64> = og.iter().map(|&g| t * g).collect();
+            let mut hess: Vec<Vec<f64>> = oh
+                .iter()
+                .map(|row| row.iter().map(|&h| t * h).collect())
+                .collect();
+            for c in cons {
+                let (fv, fg, fh) = c.value_grad_hess(&y);
+                if fv >= 0.0 {
+                    return Err(GpError::Numerical {
+                        stage: "phase2",
+                        detail: "iterate left the feasible interior".into(),
+                    });
+                }
+                let inv = -1.0 / fv; // 1/(−Fᵢ) > 0
+                let inv2 = inv * inv;
+                for i in 0..dim {
+                    grad[i] += inv * fg[i];
+                    for j in 0..dim {
+                        hess[i][j] += inv2 * fg[i] * fg[j] + inv * fh[i][j];
+                    }
+                }
+            }
+            let neg_grad: Vec<f64> = grad.iter().map(|&g| -g).collect();
+            let (d, _) = solve_spd_ridged(&hess, &neg_grad);
+            let decrement2 = -dot(&grad, &d);
+            if decrement2.abs() / 2.0 < opts.newton_tol {
+                break;
+            }
+            let f0 = value(&y, t).ok_or(GpError::Numerical {
+                stage: "phase2",
+                detail: "lost feasibility before line search".into(),
+            })?;
+            let slope = dot(&grad, &d);
+            let mut alpha = (MAX_STEP / norm(&d)).min(1.0);
+            let mut accepted = false;
+            for _ in 0..60 {
+                let mut yn = y.clone();
+                axpy(alpha, &d, &mut yn);
+                if let Some(fv) = value(&yn, t) {
+                    if fv <= f0 + 0.25 * alpha * slope {
+                        y = yn;
+                        accepted = true;
+                        break;
+                    }
+                }
+                alpha *= 0.5;
+            }
+            if !accepted {
+                break;
+            }
+            if y.iter().any(|v| v.abs() > Y_BOUND) {
+                if std::env::var("SMART_GP_DEBUG").is_ok() {
+                    let (i, v) = y
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+                        .unwrap();
+                    eprintln!("phase2 escape: y[{i}] = {v}, t = {t}, alpha = {alpha}");
+                }
+                return Err(GpError::Unbounded);
+            }
+            if norm(&d) * alpha < 1e-14 {
+                break;
+            }
+        }
+        if m == 0 || (m as f64) / t < opts.tol {
+            return Ok((y, t));
+        }
+        t *= opts.mu;
+        if t > 1e18 {
+            return Ok((y, t));
+        }
+    }
+}

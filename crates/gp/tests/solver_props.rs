@@ -1,0 +1,100 @@
+//! Property-based solver tests: on random feasible GPs, solutions satisfy
+//! all constraints and cannot be dominated by uniform shrink/perturbation.
+
+use proptest::prelude::*;
+use smart_gp::{GpProblem, SolverOptions};
+use smart_posy::{Monomial, Posynomial, VarId, VarPool};
+
+const DIM: usize = 3;
+
+/// Random "sizing-shaped" GP: minimize Σ wᵢ subject to a handful of random
+/// load/drive style constraints `c · wⱼ/wᵢ + k/wᵢ <= budget` plus bounds.
+/// Always feasible by construction (budget chosen above the value at w = ub).
+fn arb_problem() -> impl Strategy<Value = GpProblem> {
+    let cons = proptest::collection::vec(
+        (0usize..DIM, 0usize..DIM, 0.1f64..4.0, 0.1f64..4.0),
+        1..6,
+    );
+    cons.prop_map(|rows| {
+        let mut pool = VarPool::new();
+        let vars: Vec<VarId> = (0..DIM).map(|i| pool.var(&format!("w{i}"))).collect();
+        let mut gp = GpProblem::new(pool);
+        let mut obj = Posynomial::zero();
+        for &v in &vars {
+            obj += Monomial::var(v);
+        }
+        gp.set_objective(obj);
+        for (idx, (i, j, c, k)) in rows.into_iter().enumerate() {
+            let body = Posynomial::from(
+                Monomial::new(c).pow(vars[j], 1.0).pow(vars[i], -1.0),
+            ) + Monomial::new(k).pow(vars[i], -1.0);
+            // Feasible budget: evaluate at all-16 and give 2x headroom.
+            let at = body.eval(&[16.0; DIM]);
+            gp.add_le(format!("c{idx}"), body, Monomial::new(at * 2.0))
+                .unwrap();
+        }
+        for &v in &vars {
+            gp.add_lower_bound(v, 0.05);
+            gp.add_upper_bound(v, 64.0);
+        }
+        gp
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solutions_are_feasible(gp in arb_problem()) {
+        let sol = gp.solve(&SolverOptions::default()).unwrap();
+        for (label, body) in sol.constraint_activity(&gp) {
+            prop_assert!(body <= 1.0 + 1e-6, "constraint {} violated: {}", label, body);
+        }
+        for &xi in &sol.x {
+            prop_assert!(xi > 0.0 && xi.is_finite());
+        }
+    }
+
+    #[test]
+    fn kkt_certificate_holds(gp in arb_problem()) {
+        let sol = gp.solve(&SolverOptions::default()).unwrap();
+        prop_assert!(sol.kkt.primal_infeasibility < 1e-9);
+        prop_assert!(sol.kkt.stationarity < 1e-3,
+            "stationarity {}", sol.kkt.stationarity);
+        for &l in &sol.kkt.multipliers {
+            prop_assert!(l >= 0.0);
+        }
+    }
+
+    #[test]
+    fn no_feasible_uniform_shrink_improves(gp in arb_problem()) {
+        // If shrinking all sizes by 2% keeps every constraint feasible, the
+        // solver left area on the table (objective is Σ w, monotone).
+        let sol = gp.solve(&SolverOptions::default()).unwrap();
+        let shrunk: Vec<f64> = sol.x.iter().map(|&x| x * 0.98).collect();
+        let still_feasible = gp
+            .constraints()
+            .iter()
+            .all(|c| c.body.eval(&shrunk) <= 1.0);
+        if still_feasible {
+            // Then some lower bound must be pinning a variable.
+            let near_lb = sol.x.iter().any(|&x| x < 0.05 * 1.05);
+            prop_assert!(near_lb,
+                "shrink feasible but no variable at its lower bound: {:?}", sol.x);
+        }
+    }
+
+    #[test]
+    fn objective_not_beaten_by_random_feasible_points(
+        gp in arb_problem(),
+        probe in proptest::collection::vec(0.06f64..60.0, DIM)
+    ) {
+        let sol = gp.solve(&SolverOptions::default()).unwrap();
+        let feasible = gp.constraints().iter().all(|c| c.body.eval(&probe) <= 1.0);
+        if feasible {
+            let probe_obj = gp.objective().eval(&probe);
+            prop_assert!(sol.objective <= probe_obj * (1.0 + 1e-6),
+                "solver {} beaten by probe {}", sol.objective, probe_obj);
+        }
+    }
+}

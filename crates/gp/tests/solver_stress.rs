@@ -1,0 +1,154 @@
+//! Stress and edge-case tests for the GP solver: warm starts, degenerate
+//! dimensions, constraint floods, and option validation.
+
+use smart_gp::{GpError, GpProblem, SolverOptions};
+use smart_posy::{Monomial, Posynomial, VarPool};
+
+#[test]
+fn warm_start_is_respected_and_matches_cold_start() {
+    let mut pool = VarPool::new();
+    let x = pool.var("x");
+    let y = pool.var("y");
+    let mut gp = GpProblem::new(pool);
+    gp.set_objective(Posynomial::var(x) + Monomial::var(y));
+    gp.add_le(
+        "xy>=4",
+        Posynomial::from(Monomial::new(4.0).pow(x, -1.0).pow(y, -1.0)),
+        Monomial::one(),
+    )
+    .unwrap();
+    let cold = gp.solve(&SolverOptions::default()).unwrap();
+    let warm = gp
+        .solve(&SolverOptions {
+            initial_x: Some(vec![7.0, 0.3]),
+            ..Default::default()
+        })
+        .unwrap();
+    assert!((cold.x[0] - warm.x[0]).abs() < 1e-4);
+    assert!((cold.x[1] - warm.x[1]).abs() < 1e-4);
+    assert!((cold.objective - 4.0).abs() < 1e-4, "x=y=2 by AM-GM");
+}
+
+#[test]
+#[should_panic(expected = "initial point must be > 0")]
+fn nonpositive_warm_start_panics() {
+    let mut pool = VarPool::new();
+    let x = pool.var("x");
+    let mut gp = GpProblem::new(pool);
+    gp.set_objective(Posynomial::var(x));
+    gp.add_lower_bound(x, 1.0);
+    let _ = gp.solve(&SolverOptions {
+        initial_x: Some(vec![0.0]),
+        ..Default::default()
+    });
+}
+
+#[test]
+fn feasible_warm_start_skips_phase_one() {
+    let mut pool = VarPool::new();
+    let x = pool.var("x");
+    let mut gp = GpProblem::new(pool);
+    gp.set_objective(Posynomial::var(x));
+    gp.add_lower_bound(x, 2.0);
+    gp.add_upper_bound(x, 10.0);
+    let sol = gp
+        .solve(&SolverOptions {
+            initial_x: Some(vec![5.0]), // strictly feasible
+            ..Default::default()
+        })
+        .unwrap();
+    assert_eq!(sol.phase1_newton_steps, 0, "phase I must exit immediately");
+    assert!((sol.x[0] - 2.0).abs() < 1e-5);
+}
+
+#[test]
+fn many_redundant_constraints_still_solve() {
+    // 400 copies of the same constraint with slightly different budgets:
+    // stresses the barrier's constraint handling and the t0 = m start.
+    let mut pool = VarPool::new();
+    let x = pool.var("x");
+    let mut gp = GpProblem::new(pool);
+    gp.set_objective(Posynomial::var(x));
+    for i in 0..400 {
+        let budget = 1.0 + (i % 7) as f64 * 0.25;
+        gp.add_le(
+            format!("c{i}"),
+            Posynomial::from(Monomial::new(3.0).pow(x, -1.0)),
+            Monomial::new(budget),
+        )
+        .unwrap();
+    }
+    let sol = gp.solve(&SolverOptions::default()).unwrap();
+    // Tightest budget is 1.0 -> x >= 3.
+    assert!((sol.x[0] - 3.0).abs() < 1e-4, "got {}", sol.x[0]);
+}
+
+#[test]
+fn zero_variable_problem_errors_cleanly() {
+    let gp = GpProblem::new(VarPool::new());
+    match gp.solve(&SolverOptions::default()) {
+        Err(GpError::Numerical { stage, .. }) => assert_eq!(stage, "setup"),
+        other => panic!("expected setup error, got {other:?}"),
+    }
+}
+
+#[test]
+fn wide_coefficient_range_is_handled() {
+    // Coefficients spanning 9 orders of magnitude in one problem.
+    let mut pool = VarPool::new();
+    let a = pool.var("a");
+    let b = pool.var("b");
+    let mut gp = GpProblem::new(pool);
+    gp.set_objective(
+        Posynomial::from(Monomial::new(1e-4).pow(a, 1.0)) + Monomial::new(1e4).pow(b, 1.0),
+    );
+    gp.add_le(
+        "c1",
+        Posynomial::from(Monomial::new(1e5).pow(a, -1.0)),
+        Monomial::one(),
+    )
+    .unwrap();
+    gp.add_le(
+        "c2",
+        Posynomial::from(Monomial::new(1e-3).pow(b, -1.0)),
+        Monomial::one(),
+    )
+    .unwrap();
+    let sol = gp.solve(&SolverOptions::default()).unwrap();
+    assert!((sol.x[0] - 1e5).abs() / 1e5 < 1e-4);
+    assert!((sol.x[1] - 1e-3).abs() / 1e-3 < 1e-4);
+}
+
+#[test]
+fn barely_feasible_problem_solves() {
+    // Feasible set is an interval of relative width 1e-5.
+    let mut pool = VarPool::new();
+    let x = pool.var("x");
+    let mut gp = GpProblem::new(pool);
+    gp.set_objective(Posynomial::var(x));
+    gp.add_lower_bound(x, 5.0);
+    gp.add_upper_bound(x, 5.0 * (1.0 + 1e-5));
+    let sol = gp.solve(&SolverOptions::default()).unwrap();
+    assert!((sol.x[0] - 5.0).abs() < 1e-3, "got {}", sol.x[0]);
+}
+
+#[test]
+fn kkt_multiplier_signs_and_gap() {
+    let mut pool = VarPool::new();
+    let x = pool.var("x");
+    let mut gp = GpProblem::new(pool);
+    gp.set_objective(Posynomial::var(x));
+    gp.add_le(
+        "active",
+        Posynomial::from(Monomial::new(2.0).pow(x, -1.0)),
+        Monomial::one(),
+    )
+    .unwrap();
+    gp.add_upper_bound(x, 50.0); // inactive
+    let sol = gp.solve(&SolverOptions::default()).unwrap();
+    assert_eq!(sol.kkt.multipliers.len(), 2);
+    // Active constraint carries the weight; inactive one is ~0.
+    assert!(sol.kkt.multipliers[0] > 0.5);
+    assert!(sol.kkt.multipliers[1] < 1e-3);
+    assert!(sol.kkt.duality_gap <= 1e-8 * 1.01);
+}

@@ -1,0 +1,245 @@
+//! Shared construction helpers for macro generators.
+
+use smart_netlist::{Circuit, CompId, ComponentKind, DeviceRole, LabelId, NetId, Skew};
+
+/// Adds an inverter with the given pull-up/pull-down labels.
+///
+/// # Panics
+///
+/// Panics on netlist construction errors — generators build from scratch,
+/// so any failure is a generator bug, not a user error.
+pub fn inverter(
+    c: &mut Circuit,
+    path: impl Into<String>,
+    a: NetId,
+    y: NetId,
+    p: LabelId,
+    n: LabelId,
+    skew: Skew,
+) -> CompId {
+    c.add(
+        path,
+        ComponentKind::Inverter { skew },
+        &[a, y],
+        &[(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)],
+    )
+    .expect("generator netlist must be valid")
+}
+
+/// Adds an n-input NAND.
+///
+/// # Panics
+///
+/// Panics on netlist construction errors (generator bug).
+pub fn nand(
+    c: &mut Circuit,
+    path: impl Into<String>,
+    ins: &[NetId],
+    y: NetId,
+    p: LabelId,
+    n: LabelId,
+) -> CompId {
+    let mut conns = ins.to_vec();
+    conns.push(y);
+    c.add(
+        path,
+        ComponentKind::Nand {
+            inputs: ins.len() as u8,
+        },
+        &conns,
+        &[(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)],
+    )
+    .expect("generator netlist must be valid")
+}
+
+/// Adds an n-input NOR.
+///
+/// # Panics
+///
+/// Panics on netlist construction errors (generator bug).
+pub fn nor(
+    c: &mut Circuit,
+    path: impl Into<String>,
+    ins: &[NetId],
+    y: NetId,
+    p: LabelId,
+    n: LabelId,
+) -> CompId {
+    let mut conns = ins.to_vec();
+    conns.push(y);
+    c.add(
+        path,
+        ComponentKind::Nor {
+            inputs: ins.len() as u8,
+        },
+        &conns,
+        &[(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)],
+    )
+    .expect("generator netlist must be valid")
+}
+
+/// Adds a 2-input XOR.
+///
+/// # Panics
+///
+/// Panics on netlist construction errors (generator bug).
+pub fn xor2(
+    c: &mut Circuit,
+    path: impl Into<String>,
+    a: NetId,
+    b: NetId,
+    y: NetId,
+    p: LabelId,
+    n: LabelId,
+) -> CompId {
+    c.add(
+        path,
+        ComponentKind::Xor2,
+        &[a, b, y],
+        &[(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)],
+    )
+    .expect("generator netlist must be valid")
+}
+
+/// Adds a transmission gate (pass gate); all pass devices and the local
+/// complement inverter share one label, matching the paper's `N2` labeling
+/// of Fig. 2(a).
+///
+/// # Panics
+///
+/// Panics on netlist construction errors (generator bug).
+pub fn pass_gate(
+    c: &mut Circuit,
+    path: impl Into<String>,
+    d: NetId,
+    s: NetId,
+    y: NetId,
+    label: LabelId,
+) -> CompId {
+    c.add(
+        path,
+        ComponentKind::PassGate,
+        &[d, s, y],
+        &[
+            (DeviceRole::PassN, label),
+            (DeviceRole::PassP, label),
+            (DeviceRole::PassInv, label),
+        ],
+    )
+    .expect("generator netlist must be valid")
+}
+
+/// Adds a tri-state driver; the local enable inverter shares the N label.
+///
+/// # Panics
+///
+/// Panics on netlist construction errors (generator bug).
+pub fn tristate(
+    c: &mut Circuit,
+    path: impl Into<String>,
+    d: NetId,
+    en: NetId,
+    y: NetId,
+    p: LabelId,
+    n: LabelId,
+) -> CompId {
+    c.add(
+        path,
+        ComponentKind::Tristate,
+        &[d, en, y],
+        &[
+            (DeviceRole::TriP, p),
+            (DeviceRole::TriN, n),
+            (DeviceRole::TriInv, n),
+        ],
+    )
+    .expect("generator netlist must be valid")
+}
+
+/// Adds a bus of input nets `"{prefix}{i}"` exposed as input ports.
+pub fn input_bus(c: &mut Circuit, prefix: &str, width: usize) -> Vec<NetId> {
+    (0..width)
+        .map(|i| {
+            let name = format!("{prefix}{i}");
+            let net = c.add_net(&name).expect("bus net name collision");
+            c.expose_input(name, net);
+            net
+        })
+        .collect()
+}
+
+/// Adds a bus of output nets `"{prefix}{i}"` exposed as output ports.
+pub fn output_bus(c: &mut Circuit, prefix: &str, width: usize) -> Vec<NetId> {
+    (0..width)
+        .map(|i| {
+            let name = format!("{prefix}{i}");
+            let net = c.add_net(&name).expect("bus net name collision");
+            c.expose_output(name, net);
+            net
+        })
+        .collect()
+}
+
+/// Builds `OR(signals)` as an alternating NOR/NAND tree (fan-in ≤ 4),
+/// the canonical wide-OR structure of datapath zero-detects. A final
+/// inverter fixes polarity when the tree ends on an inverted level.
+///
+/// Gate labels alternate `"{lp}{level}"`/`"{ln}{level}"` so each level
+/// shares one label pair — the regularity the sizer exploits.
+///
+/// # Panics
+///
+/// Panics if `signals` is empty.
+pub fn or_tree(
+    c: &mut Circuit,
+    prefix: &str,
+    signals: &[NetId],
+    lp: &str,
+    ln: &str,
+) -> NetId {
+    assert!(!signals.is_empty(), "or_tree needs at least one signal");
+    // `inverted == false` means the working signals carry OR-so-far;
+    // `true` means they carry NOR-so-far.
+    let mut level = 0usize;
+    let mut inverted = false;
+    let mut work: Vec<NetId> = signals.to_vec();
+    while work.len() > 1 || level == 0 {
+        let p = c.label(&format!("{lp}{level}"));
+        let n = c.label(&format!("{ln}{level}"));
+        let mut next = Vec::new();
+        for (g, chunk) in work.chunks(4).enumerate() {
+            let out = c
+                .add_net(format!("{prefix}_l{level}g{g}"))
+                .expect("tree net collision");
+            if chunk.len() == 1 {
+                // Parity-preserving buffer stage implemented as inverter.
+                inverter(c, format!("{prefix}_i{level}g{g}"), chunk[0], out, p, n, Skew::Balanced);
+            } else if inverted {
+                // NAND of NOR-so-far signals = OR-so-far.
+                nand(c, format!("{prefix}_a{level}g{g}"), chunk, out, p, n);
+            } else {
+                // NOR of OR-so-far signals = NOR-so-far.
+                nor(c, format!("{prefix}_o{level}g{g}"), chunk, out, p, n);
+            }
+            next.push(out);
+        }
+        inverted = !inverted;
+        work = next;
+        level += 1;
+        if work.len() == 1 && !inverted {
+            break;
+        }
+        if work.len() == 1 && inverted {
+            // One more inverter level fixes polarity.
+            let p = c.label(&format!("{lp}{level}"));
+            let n = c.label(&format!("{ln}{level}"));
+            let out = c
+                .add_net(format!("{prefix}_l{level}fix"))
+                .expect("tree net collision");
+            inverter(c, format!("{prefix}_fix{level}"), work[0], out, p, n, Skew::Balanced);
+            work = vec![out];
+            break;
+        }
+    }
+    work[0]
+}

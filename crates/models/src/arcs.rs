@@ -1,0 +1,276 @@
+//! Timing-arc templates per component kind: which input pins time the
+//! output, with which polarity, and which device groups provide the drive.
+//!
+//! These templates are the "library of models" box of the paper's Fig. 4:
+//! one entry per component class and logic family, consumed identically by
+//! the numeric timing analyzer (`smart-sta`) and the posynomial constraint
+//! generator (`smart-core`), so the two views can never diverge.
+
+use smart_netlist::{ComponentKind, DeviceRole};
+
+/// Signal polarity relationship of a timing arc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unate {
+    /// Output edge is the inverse of the input edge (static inverting
+    /// gates, domino data → dynamic node).
+    Inverting,
+    /// Output edge follows the input edge (pass-gate data port).
+    NonInverting,
+    /// Either input edge can cause either output edge (XOR, pass/tri-state
+    /// control ports — the paper's "two paths, four constraints" case,
+    /// §5.3).
+    Both,
+}
+
+/// Output edge of an arc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// Output rising.
+    Rise,
+    /// Output falling.
+    Fall,
+}
+
+impl Edge {
+    /// The opposite edge.
+    #[must_use]
+    pub fn flip(self) -> Edge {
+        match self {
+            Edge::Rise => Edge::Fall,
+            Edge::Fall => Edge::Rise,
+        }
+    }
+}
+
+/// Phase classification of an arc in a clocked (domino) component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArcPhase {
+    /// Ordinary combinational data arc.
+    Data,
+    /// Clock → dynamic-node rise (precharge path).
+    Precharge,
+    /// Clock → dynamic-node fall (clocked evaluate, D1 only).
+    ClockedEvaluate,
+}
+
+/// One input-to-output timing arc template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArcSpec {
+    /// Input pin index.
+    pub from_pin: usize,
+    /// Polarity relation.
+    pub unate: Unate,
+    /// Phase classification.
+    pub phase: ArcPhase,
+}
+
+/// One resistive term of an output drive: `R = factor · τ / W(role)`.
+///
+/// A drive is a *sum* of such terms (series stack of independently sized
+/// groups, e.g. domino data stack + evaluate foot).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriveTerm {
+    /// Device group supplying the drive.
+    pub role: DeviceRole,
+    /// Resistance factor (stack depth × mobility derating).
+    pub factor: f64,
+}
+
+/// Timing arcs of a component kind.
+pub fn arcs(kind: &ComponentKind) -> Vec<ArcSpec> {
+    let arc = |from_pin, unate, phase| ArcSpec {
+        from_pin,
+        unate,
+        phase,
+    };
+    match kind {
+        ComponentKind::Inverter { .. } => {
+            vec![arc(0, Unate::Inverting, ArcPhase::Data)]
+        }
+        ComponentKind::Nand { inputs } | ComponentKind::Nor { inputs } => (0..*inputs
+            as usize)
+            .map(|i| arc(i, Unate::Inverting, ArcPhase::Data))
+            .collect(),
+        ComponentKind::Xor2 | ComponentKind::Xnor2 => vec![
+            arc(0, Unate::Both, ArcPhase::Data),
+            arc(1, Unate::Both, ArcPhase::Data),
+        ],
+        ComponentKind::Aoi21 => (0..3)
+            .map(|i| arc(i, Unate::Inverting, ArcPhase::Data))
+            .collect(),
+        ComponentKind::PassGate => vec![
+            // Data flows through; control gates it (both output edges).
+            arc(0, Unate::NonInverting, ArcPhase::Data),
+            arc(1, Unate::Both, ArcPhase::Data),
+        ],
+        ComponentKind::Tristate => vec![
+            arc(0, Unate::Inverting, ArcPhase::Data),
+            arc(1, Unate::Both, ArcPhase::Data),
+        ],
+        ComponentKind::Domino {
+            network,
+            clocked_eval,
+        } => {
+            let mut v = vec![arc(0, Unate::Inverting, ArcPhase::Precharge)];
+            if *clocked_eval {
+                v.push(arc(0, Unate::NonInverting, ArcPhase::ClockedEvaluate));
+            }
+            // Each data pin rising can discharge the node (inverting arcs).
+            let mut seen = vec![false; network.pin_span()];
+            for p in network.pins() {
+                if !seen[p] {
+                    seen[p] = true;
+                    v.push(arc(p + 1, Unate::Inverting, ArcPhase::Data));
+                }
+            }
+            v
+        }
+    }
+}
+
+/// Drive terms for the given output edge of a component kind.
+///
+/// `p_mobility` and `pass_drive` come from the process; stack depths come
+/// from the kind's structure.
+pub fn drive(
+    kind: &ComponentKind,
+    edge: Edge,
+    p_mobility: f64,
+    pass_drive: f64,
+) -> Vec<DriveTerm> {
+    use DeviceRole::*;
+    let t = |role, factor| DriveTerm { role, factor };
+    let pu = 1.0 / p_mobility; // PMOS resistance derating
+    match (kind, edge) {
+        (ComponentKind::Inverter { .. }, Edge::Rise) => vec![t(PullUp, pu)],
+        (ComponentKind::Inverter { .. }, Edge::Fall) => vec![t(PullDown, 1.0)],
+        (ComponentKind::Nand { .. }, Edge::Rise) => vec![t(PullUp, pu)],
+        (ComponentKind::Nand { inputs }, Edge::Fall) => {
+            vec![t(PullDown, *inputs as f64)]
+        }
+        (ComponentKind::Nor { inputs }, Edge::Rise) => {
+            vec![t(PullUp, pu * *inputs as f64)]
+        }
+        (ComponentKind::Nor { .. }, Edge::Fall) => vec![t(PullDown, 1.0)],
+        (ComponentKind::Xor2 | ComponentKind::Xnor2, Edge::Rise) => {
+            vec![t(PullUp, pu * 2.0)]
+        }
+        (ComponentKind::Xor2 | ComponentKind::Xnor2, Edge::Fall) => {
+            vec![t(PullDown, 2.0)]
+        }
+        (ComponentKind::Aoi21, Edge::Rise) => vec![t(PullUp, pu * 2.0)],
+        (ComponentKind::Aoi21, Edge::Fall) => vec![t(PullDown, 2.0)],
+        (ComponentKind::PassGate, _) => vec![t(PassN, 1.0 / pass_drive)],
+        (ComponentKind::Tristate, Edge::Rise) => vec![t(TriP, pu * 2.0)],
+        (ComponentKind::Tristate, Edge::Fall) => vec![t(TriN, 2.0)],
+        (ComponentKind::Domino { .. }, Edge::Rise) => vec![t(Precharge, pu)],
+        (
+            ComponentKind::Domino {
+                network,
+                clocked_eval,
+            },
+            Edge::Fall,
+        ) => {
+            let mut v = vec![t(DataN, network.worst_case_stack() as f64)];
+            if *clocked_eval {
+                v.push(t(Evaluate, 1.0));
+            }
+            v
+        }
+    }
+}
+
+/// Per-kind intrinsic delay multiplier (relative to the process intrinsic):
+/// complex gates have more internal parasitics.
+pub fn intrinsic_factor(kind: &ComponentKind) -> f64 {
+    match kind {
+        ComponentKind::Inverter { .. } => 1.0,
+        ComponentKind::Nand { inputs } | ComponentKind::Nor { inputs } => {
+            1.0 + 0.25 * (*inputs as f64 - 1.0)
+        }
+        ComponentKind::Xor2 | ComponentKind::Xnor2 => 1.8,
+        ComponentKind::Aoi21 => 1.5,
+        ComponentKind::PassGate => 0.6,
+        ComponentKind::Tristate => 1.3,
+        ComponentKind::Domino { network, .. } => {
+            1.0 + 0.15 * (network.worst_case_stack() as f64 - 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_netlist::Network;
+
+    #[test]
+    fn static_gate_arcs() {
+        let nand3 = ComponentKind::Nand { inputs: 3 };
+        let a = arcs(&nand3);
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|s| s.unate == Unate::Inverting));
+        assert!(a.iter().all(|s| s.phase == ArcPhase::Data));
+    }
+
+    #[test]
+    fn pass_gate_has_data_and_control_arcs() {
+        let a = arcs(&ComponentKind::PassGate);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].unate, Unate::NonInverting);
+        assert_eq!(a[1].unate, Unate::Both);
+    }
+
+    #[test]
+    fn domino_d1_has_precharge_evaluate_and_data_arcs() {
+        let kind = ComponentKind::Domino {
+            network: Network::Parallel(vec![
+                Network::series_of([0, 1]),
+                Network::series_of([2, 1]), // pin 1 shared
+            ]),
+            clocked_eval: true,
+        };
+        let a = arcs(&kind);
+        // precharge + clocked-evaluate + 3 distinct data pins.
+        assert_eq!(a.len(), 5);
+        assert_eq!(a[0].phase, ArcPhase::Precharge);
+        assert_eq!(a[1].phase, ArcPhase::ClockedEvaluate);
+        let data_pins: Vec<usize> = a[2..].iter().map(|s| s.from_pin).collect();
+        assert_eq!(data_pins, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn domino_d2_has_no_clocked_evaluate_arc() {
+        let kind = ComponentKind::Domino {
+            network: Network::Input(0),
+            clocked_eval: false,
+        };
+        let a = arcs(&kind);
+        assert!(a.iter().all(|s| s.phase != ArcPhase::ClockedEvaluate));
+    }
+
+    #[test]
+    fn drive_reflects_stacks_and_mobility() {
+        let nand2 = ComponentKind::Nand { inputs: 2 };
+        let rise = drive(&nand2, Edge::Rise, 0.5, 0.7);
+        assert_eq!(rise.len(), 1);
+        assert_eq!(rise[0].factor, 2.0); // 1/p_mobility
+        let fall = drive(&nand2, Edge::Fall, 0.5, 0.7);
+        assert_eq!(fall[0].factor, 2.0); // 2-stack NMOS
+
+        let dom = ComponentKind::Domino {
+            network: Network::series_of([0, 1, 2]),
+            clocked_eval: true,
+        };
+        let fall = drive(&dom, Edge::Fall, 0.5, 0.7);
+        assert_eq!(fall.len(), 2);
+        assert_eq!(fall[0].factor, 3.0); // 3-deep data stack
+        assert_eq!(fall[1].factor, 1.0); // foot
+    }
+
+    #[test]
+    fn intrinsic_grows_with_fanin() {
+        let i2 = intrinsic_factor(&ComponentKind::Nand { inputs: 2 });
+        let i4 = intrinsic_factor(&ComponentKind::Nand { inputs: 4 });
+        assert!(i4 > i2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Process constants for the reference technology.
+//!
+//! All times are in picoseconds and all capacitances in *width-equivalent*
+//! units (the gate capacitance of one unit of transistor width). The paper
+//! reports normalized results, so the absolute calibration only needs to be
+//! self-consistent; the values below are logical-effort-style constants for
+//! a late-1990s high-performance process (τ ≈ 12 ps FO1 inverter delay
+//! scale, PMOS mobility ≈ ½ NMOS).
+
+/// Technology constants used by every delay/slope/power model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Process {
+    /// Time constant: delay contributed per unit of `C/W` (ps).
+    pub tau: f64,
+    /// Junction (diffusion) to gate capacitance ratio.
+    pub diff_factor: f64,
+    /// PMOS to NMOS mobility ratio (pull-up drive derating).
+    pub p_mobility: f64,
+    /// Transmission-gate effective drive derating (both devices on).
+    pub pass_drive: f64,
+    /// Fixed intrinsic delay per stage (ps).
+    pub intrinsic: f64,
+    /// Input-slope to delay coupling coefficient (dimensionless).
+    pub slope_to_delay: f64,
+    /// Output slope per unit `C/W` (ps), same form as the delay term.
+    pub slope_gain: f64,
+    /// Floor on any slope (ps) — even an unloaded gate has a finite edge.
+    pub slope_min: f64,
+    /// Supply voltage (V), used by the power model.
+    pub vdd: f64,
+    /// Default switching activity of a signal net (transitions per cycle).
+    pub default_activity: f64,
+    /// Minimum legal device width (width units).
+    pub w_min: f64,
+    /// Maximum legal device width (width units).
+    pub w_max: f64,
+}
+
+impl Default for Process {
+    fn default() -> Self {
+        Process {
+            tau: 12.0,
+            diff_factor: 0.5,
+            p_mobility: 0.5,
+            pass_drive: 0.7,
+            intrinsic: 4.0,
+            slope_to_delay: 0.25,
+            slope_gain: 8.0,
+            slope_min: 8.0,
+            vdd: 1.8,
+            default_activity: 0.15,
+            w_min: 0.5,
+            w_max: 200.0,
+        }
+    }
+}
+
+impl Process {
+    /// The reference (typical) process used across the repository.
+    pub fn reference() -> Self {
+        Self::default()
+    }
+
+    /// Slow corner: weak devices, soggy edges — what worst-case signoff
+    /// sizes against (τ and slope coefficients up ~25%).
+    pub fn slow_corner() -> Self {
+        let t = Self::reference();
+        Process {
+            tau: t.tau * 1.25,
+            intrinsic: t.intrinsic * 1.2,
+            slope_gain: t.slope_gain * 1.25,
+            slope_min: t.slope_min * 1.15,
+            vdd: t.vdd * 0.9,
+            ..t
+        }
+    }
+
+    /// Fast corner: strong devices (τ down ~20%), higher supply — the
+    /// corner that stresses noise and races rather than timing.
+    pub fn fast_corner() -> Self {
+        let t = Self::reference();
+        Process {
+            tau: t.tau * 0.8,
+            intrinsic: t.intrinsic * 0.85,
+            slope_gain: t.slope_gain * 0.8,
+            vdd: t.vdd * 1.1,
+            ..t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_constants_are_sane() {
+        let p = Process::reference();
+        assert!(p.tau > 0.0);
+        assert!(p.w_min > 0.0 && p.w_min < p.w_max);
+        assert!(p.p_mobility > 0.0 && p.p_mobility <= 1.0);
+        assert!(p.diff_factor > 0.0 && p.diff_factor <= 1.0);
+    }
+}
+
+#[cfg(test)]
+mod corner_tests {
+    use super::*;
+
+    #[test]
+    fn corners_bracket_the_reference() {
+        let (slow, typ, fast) = (
+            Process::slow_corner(),
+            Process::reference(),
+            Process::fast_corner(),
+        );
+        assert!(slow.tau > typ.tau && typ.tau > fast.tau);
+        assert!(slow.intrinsic > typ.intrinsic && typ.intrinsic > fast.intrinsic);
+        assert!(slow.vdd < typ.vdd && typ.vdd < fast.vdd);
+        // Structural parameters are corner-invariant.
+        assert_eq!(slow.w_min, typ.w_min);
+        assert_eq!(fast.w_max, typ.w_max);
+        assert_eq!(slow.p_mobility, typ.p_mobility);
+    }
+}

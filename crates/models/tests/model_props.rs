@@ -1,0 +1,155 @@
+//! Property tests: the posynomial and numeric model paths agree exactly
+//! for every component kind, at random sizings — the invariant that makes
+//! the GP's constraint view and the STA's measurement view consistent.
+
+use proptest::prelude::*;
+use smart_models::arcs::{arcs, drive, Edge};
+use smart_models::{label_vars, ModelLibrary};
+use smart_netlist::{
+    Circuit, ComponentKind, DeviceRole, Network, Sizing, Skew,
+};
+use smart_posy::Posynomial;
+
+/// Builds a one-component circuit of the given kind, fully port-wrapped.
+fn single(kind: ComponentKind) -> Circuit {
+    let mut c = Circuit::new("single");
+    let mut conns = Vec::new();
+    for i in 0..kind.pin_count() - 1 {
+        let n = c.add_net(format!("p{i}")).unwrap();
+        c.expose_input(format!("p{i}"), n);
+        conns.push(n);
+    }
+    let out = c.add_net("y").unwrap();
+    conns.push(out);
+    let bindings: Vec<(DeviceRole, _)> = kind
+        .label_roles()
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (r, c.label(&format!("L{i}"))))
+        .collect();
+    c.add("u", kind, &conns, &bindings).unwrap();
+    c.expose_output("y", out);
+    // A receiver so the output net has gate load.
+    let sink = c.add_net("sink").unwrap();
+    let p = c.label("SP");
+    let n = c.label("SN");
+    c.add(
+        "load",
+        ComponentKind::Inverter { skew: Skew::Balanced },
+        &[out, sink],
+        &[(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)],
+    )
+    .unwrap();
+    c
+}
+
+fn all_kinds() -> Vec<ComponentKind> {
+    vec![
+        ComponentKind::Inverter { skew: Skew::Balanced },
+        ComponentKind::Inverter { skew: Skew::High },
+        ComponentKind::Nand { inputs: 2 },
+        ComponentKind::Nand { inputs: 4 },
+        ComponentKind::Nor { inputs: 3 },
+        ComponentKind::Xor2,
+        ComponentKind::Xnor2,
+        ComponentKind::Aoi21,
+        ComponentKind::PassGate,
+        ComponentKind::Tristate,
+        ComponentKind::Domino {
+            network: Network::parallel_of([0, 1, 2]),
+            clocked_eval: true,
+        },
+        ComponentKind::Domino {
+            network: Network::Series(vec![
+                Network::Input(0),
+                Network::Parallel(vec![Network::Input(1), Network::Input(2)]),
+            ]),
+            clocked_eval: false,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn posynomial_equals_numeric_for_every_kind(
+        widths in proptest::collection::vec(0.6f64..40.0, 16),
+        kind_idx in 0usize..12,
+        slope_in in 5.0f64..80.0
+    ) {
+        let kind = all_kinds()[kind_idx].clone();
+        let circuit = single(kind);
+        let lib = ModelLibrary::reference();
+        let n = circuit.labels().len();
+        let sizing = Sizing::from_widths(widths[..n].to_vec());
+        let (_, vars) = label_vars(&circuit);
+        let comp_id = circuit.find_comp("u").unwrap();
+        let comp = circuit.comp(comp_id);
+        let out = comp.output_net();
+        for edge in [Edge::Rise, Edge::Fall] {
+            let cap_num = lib.net_cap(&circuit, out, &sizing);
+            let cap_posy = lib.net_cap_posy(&circuit, out, &vars);
+            prop_assert!((cap_posy.eval(sizing.as_slice()) - cap_num).abs() < 1e-9);
+
+            let numeric = lib.stage_timing(comp, edge, cap_num, slope_in, &sizing);
+            let slope_posy_in = Posynomial::constant(slope_in);
+            let delay_posy =
+                lib.stage_delay_posy(comp, edge, &cap_posy, Some(&slope_posy_in), &vars);
+            prop_assert!(
+                (delay_posy.eval(sizing.as_slice()) - numeric.delay).abs() < 1e-9,
+                "{:?} {:?}",
+                comp.kind,
+                edge
+            );
+            let slope_posy = lib.stage_slope_posy(comp, edge, &cap_posy, &vars);
+            prop_assert!(
+                (slope_posy.eval(sizing.as_slice()) - numeric.slope).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn delay_decreases_when_drive_grows(
+        kind_idx in 0usize..12,
+        scale in 1.5f64..6.0
+    ) {
+        let kind = all_kinds()[kind_idx].clone();
+        let circuit = single(kind);
+        let lib = ModelLibrary::reference();
+        let comp_id = circuit.find_comp("u").unwrap();
+        let comp = circuit.comp(comp_id);
+        // Fixed external cap: only the drive changes.
+        let cap = 30.0;
+        let small = Sizing::uniform(circuit.labels(), 2.0);
+        let big = Sizing::uniform(circuit.labels(), 2.0 * scale);
+        for edge in [Edge::Rise, Edge::Fall] {
+            let d_small = lib.stage_timing(comp, edge, cap, 10.0, &small).delay;
+            let d_big = lib.stage_timing(comp, edge, cap, 10.0, &big).delay;
+            prop_assert!(d_big < d_small, "{:?} {:?}", comp.kind, edge);
+        }
+    }
+
+    #[test]
+    fn every_kind_has_coherent_arcs_and_drives(kind_idx in 0usize..12) {
+        let kind = all_kinds()[kind_idx].clone();
+        let specs = arcs(&kind);
+        prop_assert!(!specs.is_empty());
+        for spec in &specs {
+            prop_assert!(spec.from_pin < kind.output_pin());
+        }
+        for edge in [Edge::Rise, Edge::Fall] {
+            let terms = drive(&kind, edge, 0.5, 0.7);
+            prop_assert!(!terms.is_empty(), "{kind:?} {edge:?} must have drive");
+            for t in &terms {
+                prop_assert!(t.factor > 0.0);
+                // Every drive role must be a label role of the kind.
+                prop_assert!(
+                    kind.label_roles().contains(&t.role),
+                    "{kind:?}: drive role {:?} unbound",
+                    t.role
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Component instances: a primitive kind, its net connections and its
+//! size-label bindings.
+
+use std::fmt;
+
+use crate::{ComponentKind, DeviceRole, LabelId, NetId};
+
+/// Identifier of one component within a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CompId(pub(crate) u32);
+
+impl CompId {
+    /// Dense index of this component (0-based, contiguous per circuit).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `CompId` from a dense index previously issued by a circuit.
+    pub fn from_index(index: usize) -> Self {
+        CompId(index as u32)
+    }
+}
+
+impl fmt::Display for CompId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// One instantiated primitive.
+///
+/// `path` is the hierarchical instance name (`"bit3/sel_inv"`): SMART
+/// schematics are designed "keeping hierarchy in mind" (paper §4), and the
+/// path encodes that hierarchy for layout-oriented reporting while the
+/// connectivity stays flat for analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Hierarchical instance name, unique within the circuit.
+    pub path: String,
+    /// The primitive kind.
+    pub kind: ComponentKind,
+    /// Connected net per pin, in pin order.
+    pub conns: Vec<NetId>,
+    labels: Vec<(DeviceRole, LabelId)>,
+}
+
+impl Component {
+    pub(crate) fn new(
+        path: String,
+        kind: ComponentKind,
+        conns: Vec<NetId>,
+        labels: Vec<(DeviceRole, LabelId)>,
+    ) -> Self {
+        Component {
+            path,
+            kind,
+            conns,
+            labels,
+        }
+    }
+
+    /// The label bound to `role`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `role` is not a label role of this component's kind (the
+    /// circuit builder guarantees all label roles are bound).
+    pub fn label_of(&self, role: DeviceRole) -> LabelId {
+        self.labels
+            .iter()
+            .find(|(r, _)| *r == role)
+            .map(|&(_, l)| l)
+            .unwrap_or_else(|| panic!("role {role:?} not bound on {}", self.path))
+    }
+
+    /// All `(role, label)` bindings.
+    pub fn label_bindings(&self) -> &[(DeviceRole, LabelId)] {
+        &self.labels
+    }
+
+    /// Net on the output pin.
+    pub fn output_net(&self) -> NetId {
+        self.conns[self.kind.output_pin()]
+    }
+
+    /// Nets on the input pins (clock included for domino), with pin index.
+    pub fn input_nets(&self) -> impl Iterator<Item = (usize, NetId)> + '_ {
+        let out = self.kind.output_pin();
+        self.conns
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(move |&(i, _)| i != out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Skew;
+
+    #[test]
+    fn accessors() {
+        let kind = ComponentKind::Inverter { skew: Skew::Balanced };
+        let c = Component::new(
+            "u1".into(),
+            kind,
+            vec![NetId(0), NetId(1)],
+            vec![
+                (DeviceRole::PullUp, LabelId(0)),
+                (DeviceRole::PullDown, LabelId(1)),
+            ],
+        );
+        assert_eq!(c.output_net(), NetId(1));
+        assert_eq!(c.input_nets().collect::<Vec<_>>(), vec![(0, NetId(0))]);
+        assert_eq!(c.label_of(DeviceRole::PullUp), LabelId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not bound")]
+    fn missing_role_panics() {
+        let kind = ComponentKind::Inverter { skew: Skew::Balanced };
+        let c = Component::new(
+            "u1".into(),
+            kind,
+            vec![NetId(0), NetId(1)],
+            vec![(DeviceRole::PullUp, LabelId(0))],
+        );
+        let _ = c.label_of(DeviceRole::PullDown);
+    }
+}

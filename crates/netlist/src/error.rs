@@ -1,0 +1,95 @@
+//! Error type for circuit construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building a circuit.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A component was connected to the wrong number of nets.
+    PinCountMismatch {
+        /// Instance path.
+        path: String,
+        /// Pins the kind requires.
+        expected: usize,
+        /// Nets supplied.
+        got: usize,
+    },
+    /// A referenced net does not exist in this circuit.
+    UnknownNet {
+        /// Instance path of the component that referenced it.
+        path: String,
+        /// The dangling index.
+        index: usize,
+    },
+    /// A device-role label binding is missing.
+    UnboundRole {
+        /// Instance path.
+        path: String,
+        /// Missing role, in `Debug` form.
+        role: String,
+    },
+    /// A label binding referenced a label not in this circuit's pool.
+    UnknownLabel {
+        /// Instance path.
+        path: String,
+        /// The dangling index.
+        index: usize,
+    },
+    /// Two nets or two instances share a name.
+    DuplicateName {
+        /// The colliding name.
+        name: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::PinCountMismatch {
+                path,
+                expected,
+                got,
+            } => write!(
+                f,
+                "component '{path}' needs {expected} net connections, got {got}"
+            ),
+            NetlistError::UnknownNet { path, index } => {
+                write!(f, "component '{path}' references unknown net index {index}")
+            }
+            NetlistError::UnboundRole { path, role } => {
+                write!(f, "component '{path}' has no label bound for role {role}")
+            }
+            NetlistError::UnknownLabel { path, index } => {
+                write!(f, "component '{path}' references unknown label index {index}")
+            }
+            NetlistError::DuplicateName { name } => {
+                write!(f, "name '{name}' is already in use in this circuit")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_instance() {
+        let e = NetlistError::PinCountMismatch {
+            path: "u7".into(),
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("u7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,519 @@
+//! The component-primitive catalogue: pin interface, device expansion and
+//! pin-load model of every circuit element the macro generators use.
+//!
+//! SMART databases capture topologies from several logic families (paper
+//! §5.3): static CMOS, pass logic, tri-states and domino (D1 clocked-
+//! evaluate / D2 unfooted). Each [`ComponentKind`] here describes one such
+//! primitive *structurally* — how many transistors of which polarity it
+//! expands to, which size-label role each belongs to, and how its pins load
+//! the nets they attach to. Delay/power math lives in `smart-models`.
+
+use crate::Network;
+
+/// MOS device polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mos {
+    /// N-channel.
+    N,
+    /// P-channel.
+    P,
+}
+
+/// Drive-strength skew of a static gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Skew {
+    /// Balanced rise/fall.
+    #[default]
+    Balanced,
+    /// High-skew (strong pull-up) — typical domino output inverter, where
+    /// only the rising output edge is critical.
+    High,
+    /// Low-skew (strong pull-down).
+    Low,
+}
+
+/// Size-label *role* of a device group within a component.
+///
+/// Each role of a component instance is bound to a [`crate::LabelId`]; the
+/// paper's default labelings (e.g. pass devices all `N2`) are expressed by
+/// binding several roles of several components to one shared label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DeviceRole {
+    /// PMOS pull-up network of a static gate.
+    PullUp,
+    /// NMOS pull-down network of a static gate.
+    PullDown,
+    /// NMOS half of a transmission gate.
+    PassN,
+    /// PMOS half of a transmission gate.
+    PassP,
+    /// Local select-complement inverter inside a pass gate (fixed relation
+    /// to the pass label, paper §4 Fig. 2(a)).
+    PassInv,
+    /// PMOS/data+enable stack of a tri-state driver.
+    TriP,
+    /// NMOS/data+enable stack of a tri-state driver.
+    TriN,
+    /// Local enable-complement inverter inside a tri-state (fixed relation).
+    TriInv,
+    /// Domino precharge PMOS (paper's `P1` on dynamic gates).
+    Precharge,
+    /// Domino clocked-evaluate foot NMOS (`N2`; only for D1 stages).
+    Evaluate,
+    /// Domino data pull-down NMOS devices (`N1`).
+    DataN,
+    /// Weak keeper on a dynamic node (noise immunity).
+    Keeper,
+}
+
+/// How a pin electrically loads its net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadKind {
+    /// Gate capacitance (∝ device width).
+    Gate,
+    /// Source/drain junction capacitance (∝ device width, smaller factor).
+    Diffusion,
+}
+
+/// One contribution of a component pin to the capacitance of a net.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PinLoad {
+    /// The device group whose width scales this load.
+    pub role: DeviceRole,
+    /// Number of such devices touching the net (× any fixed width relation).
+    pub factor: f64,
+    /// Gate or junction capacitance.
+    pub kind: LoadKind,
+}
+
+/// One device group in the expansion of a component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoleSpec {
+    /// The group's role (label-binding key).
+    pub role: DeviceRole,
+    /// Polarity of the devices in the group.
+    pub mos: Mos,
+    /// Number of transistors in the group.
+    pub mult: usize,
+    /// Fixed width relation to the bound label (1.0 = the label width
+    /// itself; e.g. a pass gate's local inverter is a fixed fraction of the
+    /// pass label, so the designer sizes one variable, not three).
+    pub width_factor: f64,
+}
+
+/// Broad circuit family of a component — drives constraint generation
+/// (paper §5.3: static, pass, tri-state and dynamic need different
+/// constraint sets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicFamily {
+    /// Fully complementary static CMOS.
+    Static,
+    /// Transmission-gate (pass) logic.
+    Pass,
+    /// Tri-state drivers onto a shared node.
+    Tristate,
+    /// Precharge/evaluate dynamic logic.
+    Domino,
+}
+
+/// A circuit primitive.
+///
+/// The *last* pin of every kind is its output. Domino gates put the clock
+/// at pin 0 and expose the *dynamic node* as their output (the high-skew
+/// output inverter is a separate [`ComponentKind::Inverter`], matching the
+/// paper's separate `P3/N3` output-driver labels).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComponentKind {
+    /// Static inverter: pins `a, y`.
+    Inverter {
+        /// Rise/fall skew.
+        skew: Skew,
+    },
+    /// Static NAND: pins `in0..in{n-1}, y`.
+    Nand {
+        /// Fan-in (≥ 2).
+        inputs: u8,
+    },
+    /// Static NOR: pins `in0..in{n-1}, y`.
+    Nor {
+        /// Fan-in (≥ 2).
+        inputs: u8,
+    },
+    /// Static 2-input XOR: pins `a, b, y`.
+    Xor2,
+    /// Static 2-input XNOR: pins `a, b, y`.
+    Xnor2,
+    /// And-Or-Invert `y = !((a·b)+c)`: pins `a, b, c, y`.
+    Aoi21,
+    /// CMOS transmission gate with local select-complement inverter:
+    /// pins `d, s, y`; conducts when `s = 1`.
+    PassGate,
+    /// Inverting tri-state driver with local enable-complement inverter:
+    /// pins `d, en, y`; `y = !d` when `en = 1`, high-impedance otherwise.
+    Tristate,
+    /// Dynamic (domino) gate: pins `clk, d0..d{k-1}, y` where `y` is the
+    /// dynamic node. Precharges high while `clk = 0`; pulls down when the
+    /// NMOS [`Network`] conducts (and `clk = 1`, if `clocked_eval`).
+    Domino {
+        /// NMOS pull-down composition over data pins `d0..`.
+        network: Network,
+        /// D1 (true: clock-footed evaluate) vs D2 (false: unfooted).
+        clocked_eval: bool,
+    },
+}
+
+impl ComponentKind {
+    /// Number of pins, output included.
+    pub fn pin_count(&self) -> usize {
+        match self {
+            ComponentKind::Inverter { .. } => 2,
+            ComponentKind::Nand { inputs } | ComponentKind::Nor { inputs } => {
+                *inputs as usize + 1
+            }
+            ComponentKind::Xor2 | ComponentKind::Xnor2 | ComponentKind::PassGate
+            | ComponentKind::Tristate => 3,
+            ComponentKind::Aoi21 => 4,
+            ComponentKind::Domino { network, .. } => network.pin_span() + 2,
+        }
+    }
+
+    /// Index of the output pin (always the last).
+    pub fn output_pin(&self) -> usize {
+        self.pin_count() - 1
+    }
+
+    /// Name of pin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn pin_name(&self, i: usize) -> String {
+        let n = self.pin_count();
+        assert!(i < n, "pin {i} out of range for {self:?}");
+        if i == n - 1 {
+            return "y".to_owned();
+        }
+        match self {
+            ComponentKind::Inverter { .. } => "a".to_owned(),
+            ComponentKind::Nand { .. } | ComponentKind::Nor { .. } => format!("in{i}"),
+            ComponentKind::Xor2 | ComponentKind::Xnor2 => ["a", "b"][i].to_owned(),
+            ComponentKind::Aoi21 => ["a", "b", "c"][i].to_owned(),
+            ComponentKind::PassGate => ["d", "s"][i].to_owned(),
+            ComponentKind::Tristate => ["d", "en"][i].to_owned(),
+            ComponentKind::Domino { .. } => {
+                if i == 0 {
+                    "clk".to_owned()
+                } else {
+                    format!("d{}", i - 1)
+                }
+            }
+        }
+    }
+
+    /// Whether pin `i` is the clock pin (only domino gates have one).
+    pub fn is_clock_pin(&self, i: usize) -> bool {
+        matches!(self, ComponentKind::Domino { .. }) && i == 0
+    }
+
+    /// The component's logic family.
+    pub fn family(&self) -> LogicFamily {
+        match self {
+            ComponentKind::PassGate => LogicFamily::Pass,
+            ComponentKind::Tristate => LogicFamily::Tristate,
+            ComponentKind::Domino { .. } => LogicFamily::Domino,
+            _ => LogicFamily::Static,
+        }
+    }
+
+    /// Whether the component can release its output (high-impedance state),
+    /// i.e. several of them may legally share an output net.
+    pub fn is_shared_driver(&self) -> bool {
+        matches!(self, ComponentKind::PassGate | ComponentKind::Tristate)
+    }
+
+    /// Device groups this component expands to.
+    pub fn roles(&self) -> Vec<RoleSpec> {
+        use DeviceRole::*;
+        use Mos::*;
+        let r = |role, mos, mult, width_factor| RoleSpec {
+            role,
+            mos,
+            mult,
+            width_factor,
+        };
+        match self {
+            ComponentKind::Inverter { .. } => {
+                vec![r(PullUp, P, 1, 1.0), r(PullDown, N, 1, 1.0)]
+            }
+            ComponentKind::Nand { inputs } | ComponentKind::Nor { inputs } => {
+                let n = *inputs as usize;
+                vec![r(PullUp, P, n, 1.0), r(PullDown, N, n, 1.0)]
+            }
+            ComponentKind::Xor2 | ComponentKind::Xnor2 => {
+                vec![r(PullUp, P, 4, 1.0), r(PullDown, N, 4, 1.0)]
+            }
+            ComponentKind::Aoi21 => vec![r(PullUp, P, 3, 1.0), r(PullDown, N, 3, 1.0)],
+            ComponentKind::PassGate => vec![
+                r(PassN, N, 1, 1.0),
+                r(PassP, P, 1, 1.0),
+                // Local complement inverter: fixed relation to the pass label.
+                r(PassInv, P, 1, 0.5),
+                r(PassInv, N, 1, 0.25),
+            ],
+            ComponentKind::Tristate => vec![
+                r(TriP, P, 2, 1.0),
+                r(TriN, N, 2, 1.0),
+                r(TriInv, P, 1, 0.5),
+                r(TriInv, N, 1, 0.25),
+            ],
+            ComponentKind::Domino {
+                network,
+                clocked_eval,
+            } => {
+                let mut v = vec![
+                    r(Precharge, P, 1, 1.0),
+                    r(DataN, N, network.device_count(), 1.0),
+                ];
+                if *clocked_eval {
+                    v.push(r(Evaluate, N, 1, 1.0));
+                }
+                v
+            }
+        }
+    }
+
+    /// Distinct roles that must be bound to a size label (deduplicated,
+    /// in first-appearance order).
+    pub fn label_roles(&self) -> Vec<DeviceRole> {
+        let mut out: Vec<DeviceRole> = Vec::new();
+        for spec in self.roles() {
+            if !out.contains(&spec.role) {
+                out.push(spec.role);
+            }
+        }
+        out
+    }
+
+    /// Capacitive contributions of *input* pin `i` to its net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is the output pin or out of range.
+    pub fn input_load(&self, i: usize) -> Vec<PinLoad> {
+        use DeviceRole::*;
+        use LoadKind::*;
+        assert!(
+            i < self.output_pin(),
+            "pin {i} is not an input of {self:?}"
+        );
+        let l = |role, factor, kind| PinLoad { role, factor, kind };
+        match self {
+            ComponentKind::Inverter { .. }
+            | ComponentKind::Nand { .. }
+            | ComponentKind::Nor { .. }
+            | ComponentKind::Aoi21 => {
+                vec![l(PullUp, 1.0, Gate), l(PullDown, 1.0, Gate)]
+            }
+            ComponentKind::Xor2 | ComponentKind::Xnor2 => {
+                vec![l(PullUp, 2.0, Gate), l(PullDown, 2.0, Gate)]
+            }
+            ComponentKind::PassGate => match i {
+                // Data enters through the source diffusion of the pass pair.
+                0 => vec![l(PassN, 1.0, Diffusion), l(PassP, 1.0, Diffusion)],
+                // Select drives the N gate plus the local inverter input.
+                1 => vec![
+                    l(PassN, 1.0, Gate),
+                    l(PassInv, 0.75, Gate),
+                ],
+                _ => unreachable!(),
+            },
+            ComponentKind::Tristate => match i {
+                0 => vec![l(TriP, 1.0, Gate), l(TriN, 1.0, Gate)],
+                1 => vec![l(TriN, 1.0, Gate), l(TriInv, 0.75, Gate)],
+                _ => unreachable!(),
+            },
+            ComponentKind::Domino {
+                network,
+                clocked_eval,
+            } => {
+                if i == 0 {
+                    let mut v = vec![l(Precharge, 1.0, Gate)];
+                    if *clocked_eval {
+                        v.push(l(Evaluate, 1.0, Gate));
+                    }
+                    v
+                } else {
+                    let uses = network
+                        .pins()
+                        .into_iter()
+                        .filter(|&p| p == i - 1)
+                        .count();
+                    vec![l(DataN, uses as f64, Gate)]
+                }
+            }
+        }
+    }
+
+    /// Parasitic (self) load the component hangs on its *output* net —
+    /// drain junctions of the devices that drive it.
+    pub fn output_self_load(&self) -> Vec<PinLoad> {
+        use DeviceRole::*;
+        use LoadKind::*;
+        let l = |role, factor| PinLoad {
+            role,
+            factor,
+            kind: Diffusion,
+        };
+        match self {
+            ComponentKind::Inverter { .. } => vec![l(PullUp, 1.0), l(PullDown, 1.0)],
+            ComponentKind::Nand { inputs } => {
+                vec![l(PullUp, *inputs as f64), l(PullDown, 1.0)]
+            }
+            ComponentKind::Nor { inputs } => {
+                vec![l(PullUp, 1.0), l(PullDown, *inputs as f64)]
+            }
+            ComponentKind::Xor2 | ComponentKind::Xnor2 => {
+                vec![l(PullUp, 2.0), l(PullDown, 2.0)]
+            }
+            ComponentKind::Aoi21 => vec![l(PullUp, 1.0), l(PullDown, 2.0)],
+            ComponentKind::PassGate => vec![l(PassN, 1.0), l(PassP, 1.0)],
+            ComponentKind::Tristate => vec![l(TriP, 1.0), l(TriN, 1.0)],
+            ComponentKind::Domino { network, .. } => {
+                vec![
+                    l(Precharge, 1.0),
+                    l(DataN, network.top_branch_count() as f64),
+                ]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_interfaces() {
+        let inv = ComponentKind::Inverter { skew: Skew::High };
+        assert_eq!(inv.pin_count(), 2);
+        assert_eq!(inv.pin_name(0), "a");
+        assert_eq!(inv.pin_name(1), "y");
+        assert_eq!(inv.output_pin(), 1);
+
+        let nand3 = ComponentKind::Nand { inputs: 3 };
+        assert_eq!(nand3.pin_count(), 4);
+        assert_eq!(nand3.pin_name(2), "in2");
+
+        let dom = ComponentKind::Domino {
+            network: Network::parallel_of([0, 1, 2]),
+            clocked_eval: true,
+        };
+        assert_eq!(dom.pin_count(), 5); // clk + 3 data + y
+        assert_eq!(dom.pin_name(0), "clk");
+        assert_eq!(dom.pin_name(1), "d0");
+        assert!(dom.is_clock_pin(0));
+        assert!(!dom.is_clock_pin(1));
+    }
+
+    #[test]
+    fn families() {
+        assert_eq!(
+            ComponentKind::Inverter { skew: Skew::Balanced }.family(),
+            LogicFamily::Static
+        );
+        assert_eq!(ComponentKind::PassGate.family(), LogicFamily::Pass);
+        assert_eq!(ComponentKind::Tristate.family(), LogicFamily::Tristate);
+        assert_eq!(
+            ComponentKind::Domino {
+                network: Network::Input(0),
+                clocked_eval: false
+            }
+            .family(),
+            LogicFamily::Domino
+        );
+        assert!(ComponentKind::PassGate.is_shared_driver());
+        assert!(!ComponentKind::Xor2.is_shared_driver());
+    }
+
+    #[test]
+    fn device_expansion_counts() {
+        let nand2 = ComponentKind::Nand { inputs: 2 };
+        let total: usize = nand2.roles().iter().map(|r| r.mult).sum();
+        assert_eq!(total, 4);
+
+        // Pass gate: 2 pass devices + 2 inverter devices.
+        let pg = ComponentKind::PassGate;
+        let total: usize = pg.roles().iter().map(|r| r.mult).sum();
+        assert_eq!(total, 4);
+
+        // D1 domino 4-wide OR: 1 precharge + 4 data + 1 foot.
+        let dom = ComponentKind::Domino {
+            network: Network::parallel_of([0, 1, 2, 3]),
+            clocked_eval: true,
+        };
+        let total: usize = dom.roles().iter().map(|r| r.mult).sum();
+        assert_eq!(total, 6);
+
+        // D2 drops the foot.
+        let dom2 = ComponentKind::Domino {
+            network: Network::parallel_of([0, 1, 2, 3]),
+            clocked_eval: false,
+        };
+        let total: usize = dom2.roles().iter().map(|r| r.mult).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn label_roles_are_deduplicated() {
+        let pg = ComponentKind::PassGate;
+        let roles = pg.label_roles();
+        assert_eq!(
+            roles,
+            vec![DeviceRole::PassN, DeviceRole::PassP, DeviceRole::PassInv]
+        );
+    }
+
+    #[test]
+    fn domino_data_pin_load_counts_network_uses() {
+        // Pin 0 of the network used twice (e.g. shared select).
+        let net = Network::Parallel(vec![
+            Network::series_of([0, 1]),
+            Network::series_of([0, 2]),
+        ]);
+        let dom = ComponentKind::Domino {
+            network: net,
+            clocked_eval: true,
+        };
+        // Component data pin d0 is network pin 0 → 2 gate loads.
+        let loads = dom.input_load(1);
+        assert_eq!(loads.len(), 1);
+        assert_eq!(loads[0].factor, 2.0);
+        assert_eq!(loads[0].kind, LoadKind::Gate);
+    }
+
+    #[test]
+    fn pass_gate_data_pin_is_diffusion_loaded() {
+        let pg = ComponentKind::PassGate;
+        let loads = pg.input_load(0);
+        assert!(loads.iter().all(|l| l.kind == LoadKind::Diffusion));
+        let sel = pg.input_load(1);
+        assert!(sel.iter().all(|l| l.kind == LoadKind::Gate));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an input")]
+    fn output_pin_has_no_input_load() {
+        let inv = ComponentKind::Inverter { skew: Skew::Balanced };
+        let _ = inv.input_load(1);
+    }
+
+    #[test]
+    fn clock_pin_load_includes_foot_only_when_clocked() {
+        let mk = |clocked_eval| ComponentKind::Domino {
+            network: Network::Input(0),
+            clocked_eval,
+        };
+        assert_eq!(mk(true).input_load(0).len(), 2);
+        assert_eq!(mk(false).input_load(0).len(), 1);
+    }
+}

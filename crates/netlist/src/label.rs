@@ -1,0 +1,218 @@
+//! Size labels — the shared width variables of the SMART methodology.
+//!
+//! In the SMART design database (paper §4) schematics are *unsized*;
+//! transistors carry labels like `P1`, `N2`. Many devices share a label,
+//! which encodes layout regularity and is precisely what collapses the
+//! optimization problem (paper §5.2). A [`Sizing`] assigns a width to every
+//! label.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of one size label within a circuit's [`LabelPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelId(pub(crate) u32);
+
+impl LabelId {
+    /// Dense index of this label (0-based, contiguous per pool).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `LabelId` from a dense index previously issued by a pool.
+    pub fn from_index(index: usize) -> Self {
+        LabelId(index as u32)
+    }
+}
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Interning pool for size labels, one per circuit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LabelPool {
+    names: Vec<String>,
+    by_name: HashMap<String, LabelId>,
+}
+
+impl LabelPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `name`, creating the label on first use.
+    pub fn label(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = LabelId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an existing label without creating it.
+    pub fn lookup(&self, name: &str) -> Option<LabelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name under which `id` was registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this pool.
+    pub fn name(&self, id: LabelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of labels registered.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` in dense order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (LabelId(i as u32), n.as_str()))
+    }
+}
+
+/// A width assignment for every label of a circuit, in normalized width
+/// units (1.0 = minimum-ish inverter NMOS width; absolute units are
+/// irrelevant because the paper reports normalized totals).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sizing {
+    widths: Vec<f64>,
+}
+
+impl Sizing {
+    /// Uniform sizing: every label at `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not finite and strictly positive.
+    pub fn uniform(pool: &LabelPool, w: f64) -> Self {
+        assert!(w.is_finite() && w > 0.0, "width must be > 0, got {w}");
+        Sizing {
+            widths: vec![w; pool.len()],
+        }
+    }
+
+    /// Builds from a dense vector indexed by [`LabelId::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width is not finite and strictly positive.
+    pub fn from_widths(widths: Vec<f64>) -> Self {
+        for (i, &w) in widths.iter().enumerate() {
+            assert!(
+                w.is_finite() && w > 0.0,
+                "width for label index {i} must be > 0, got {w}"
+            );
+        }
+        Sizing { widths }
+    }
+
+    /// Width of `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range for this sizing.
+    pub fn width(&self, label: LabelId) -> f64 {
+        self.widths[label.index()]
+    }
+
+    /// Sets the width of `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range or `w` is not finite and strictly positive.
+    pub fn set_width(&mut self, label: LabelId, w: f64) {
+        assert!(w.is_finite() && w > 0.0, "width must be > 0, got {w}");
+        self.widths[label.index()] = w;
+    }
+
+    /// Number of labels covered.
+    pub fn len(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Whether no labels are covered.
+    pub fn is_empty(&self) -> bool {
+        self.widths.is_empty()
+    }
+
+    /// The dense width vector.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.widths
+    }
+
+    /// Multiplies every width by `k` (used by baseline margin models).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not finite and strictly positive.
+    #[must_use]
+    pub fn scaled(&self, k: f64) -> Self {
+        assert!(k.is_finite() && k > 0.0, "scale must be > 0, got {k}");
+        Sizing {
+            widths: self.widths.iter().map(|w| w * k).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_interns() {
+        let mut pool = LabelPool::new();
+        let a = pool.label("N1");
+        assert_eq!(pool.label("N1"), a);
+        assert_eq!(pool.name(a), "N1");
+        assert_eq!(pool.len(), 1);
+        assert!(pool.lookup("P9").is_none());
+    }
+
+    #[test]
+    fn sizing_uniform_and_set() {
+        let mut pool = LabelPool::new();
+        let a = pool.label("N1");
+        let b = pool.label("P1");
+        let mut s = Sizing::uniform(&pool, 2.0);
+        assert_eq!(s.width(a), 2.0);
+        s.set_width(b, 5.5);
+        assert_eq!(s.width(b), 5.5);
+        assert_eq!(s.as_slice(), &[2.0, 5.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be > 0")]
+    fn sizing_rejects_nonpositive() {
+        let mut pool = LabelPool::new();
+        let a = pool.label("N1");
+        let mut s = Sizing::uniform(&pool, 1.0);
+        s.set_width(a, 0.0);
+    }
+
+    #[test]
+    fn scaled_multiplies_all() {
+        let mut pool = LabelPool::new();
+        pool.label("a");
+        pool.label("b");
+        let s = Sizing::from_widths(vec![1.0, 3.0]).scaled(1.5);
+        assert_eq!(s.as_slice(), &[1.5, 4.5]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Nets (wires) and their classification.
+
+use std::fmt;
+
+/// Identifier of one net within a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Dense index of this net (0-based, contiguous per circuit).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NetId` from a dense index previously issued by a circuit.
+    pub fn from_index(index: usize) -> Self {
+        NetId(index as u32)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Classification of a net, used by power/clock-load accounting and by the
+/// domino constraint generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NetKind {
+    /// Ordinary signal wire.
+    #[default]
+    Signal,
+    /// Clock distribution — gate capacitance hung on these nets is the
+    /// "clock load" metric of the paper's Table 1/Fig. 7.
+    Clock,
+    /// A dynamic (precharged) node; simulators treat it as state-holding.
+    Dynamic,
+}
+
+/// A wire, with an optional extra fixed capacitance (models routing load,
+/// in gate-width-equivalent units).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    /// Designer-visible name (unique within the circuit).
+    pub name: String,
+    /// Net classification.
+    pub kind: NetKind,
+    /// Fixed wire capacitance in width-equivalent units (≥ 0).
+    pub wire_cap: f64,
+}
+
+/// Direction of a circuit port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    /// Driven from outside the circuit.
+    Input,
+    /// Observed from outside the circuit.
+    Output,
+}
+
+/// An external connection point of a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Port {
+    /// Port name (conventionally equals the attached net's name).
+    pub name: String,
+    /// Net the port attaches to.
+    pub net: NetId,
+    /// Direction.
+    pub dir: PortDir,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_id_roundtrip() {
+        let id = NetId::from_index(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "n3");
+    }
+
+    #[test]
+    fn default_kind_is_signal() {
+        assert_eq!(NetKind::default(), NetKind::Signal);
+    }
+}

@@ -1,0 +1,208 @@
+//! Series-parallel transistor networks for dynamic (domino) gates.
+//!
+//! A domino gate's pull-down is an arbitrary series/parallel composition of
+//! NMOS devices gated by the gate's data pins. The mux, comparator,
+//! zero-detect and adder macros all reduce to such networks: an un-split
+//! domino mux is `Parallel(Series(sᵢ, dᵢ))`, a zero-detect is
+//! `Parallel(aᵢ)`, a carry-generate gate is a mixed tree.
+
+use std::fmt;
+
+/// Index of a data pin within the owning component (0-based over the
+/// component's *data* inputs, excluding the clock).
+pub type PinIdx = usize;
+
+/// A series/parallel NMOS network over data pins.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Network {
+    /// A single NMOS gated by the given data pin.
+    Input(PinIdx),
+    /// All sub-networks in series (conducts iff all conduct).
+    Series(Vec<Network>),
+    /// All sub-networks in parallel (conducts iff any conducts).
+    Parallel(Vec<Network>),
+}
+
+impl Network {
+    /// Convenience: series chain of single inputs.
+    pub fn series_of(pins: impl IntoIterator<Item = PinIdx>) -> Self {
+        Network::Series(pins.into_iter().map(Network::Input).collect())
+    }
+
+    /// Convenience: parallel bank of single inputs.
+    pub fn parallel_of(pins: impl IntoIterator<Item = PinIdx>) -> Self {
+        Network::Parallel(pins.into_iter().map(Network::Input).collect())
+    }
+
+    /// Number of transistors (leaves) in the network.
+    pub fn device_count(&self) -> usize {
+        match self {
+            Network::Input(_) => 1,
+            Network::Series(xs) | Network::Parallel(xs) => {
+                xs.iter().map(Network::device_count).sum()
+            }
+        }
+    }
+
+    /// Longest series stack through the network — the dominant term of the
+    /// evaluate-delay model (stack of k devices is ~k× slower per unit
+    /// width).
+    pub fn max_stack_depth(&self) -> usize {
+        match self {
+            Network::Input(_) => 1,
+            Network::Series(xs) => xs.iter().map(Network::max_stack_depth).sum(),
+            Network::Parallel(xs) => xs
+                .iter()
+                .map(Network::max_stack_depth)
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Number of parallel branches meeting the dynamic node (each adds
+    /// drain junction capacitance to it).
+    pub fn top_branch_count(&self) -> usize {
+        match self {
+            Network::Input(_) => 1,
+            Network::Series(_) => 1,
+            Network::Parallel(xs) => xs.iter().map(Network::top_branch_count).sum(),
+        }
+    }
+
+    /// Highest data-pin index referenced, plus one (the number of data pins
+    /// the owning component must have).
+    pub fn pin_span(&self) -> usize {
+        match self {
+            Network::Input(p) => p + 1,
+            Network::Series(xs) | Network::Parallel(xs) => {
+                xs.iter().map(Network::pin_span).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// All pins referenced, in first-occurrence order, with duplicates.
+    pub fn pins(&self) -> Vec<PinIdx> {
+        let mut out = Vec::new();
+        self.collect_pins(&mut out);
+        out
+    }
+
+    fn collect_pins(&self, out: &mut Vec<PinIdx>) {
+        match self {
+            Network::Input(p) => out.push(*p),
+            Network::Series(xs) | Network::Parallel(xs) => {
+                for x in xs {
+                    x.collect_pins(out);
+                }
+            }
+        }
+    }
+
+    /// Whether the network conducts for the given data-pin values
+    /// (`values[i]` = logic level of data pin `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is shorter than [`Network::pin_span`].
+    pub fn conducts(&self, values: &[bool]) -> bool {
+        match self {
+            Network::Input(p) => values[*p],
+            Network::Series(xs) => xs.iter().all(|x| x.conducts(values)),
+            Network::Parallel(xs) => xs.iter().any(|x| x.conducts(values)),
+        }
+    }
+
+    /// Series stack depth seen by the worst-case conducting path through
+    /// this network (equals [`Network::max_stack_depth`]; exposed under the
+    /// modeling name used by `smart-models`).
+    pub fn worst_case_stack(&self) -> usize {
+        self.max_stack_depth()
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Network::Input(p) => write!(f, "in{p}"),
+            Network::Series(xs) => {
+                write!(f, "(")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "·")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Network::Parallel(xs) => {
+                write!(f, "(")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "+")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4:1 mux pull-down: Σ sᵢ·dᵢ over pins s=0..3, d=4..7.
+    fn mux4_network() -> Network {
+        Network::Parallel(
+            (0..4)
+                .map(|i| Network::series_of([i, i + 4]))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn counts_for_mux_network() {
+        let n = mux4_network();
+        assert_eq!(n.device_count(), 8);
+        assert_eq!(n.max_stack_depth(), 2);
+        assert_eq!(n.top_branch_count(), 4);
+        assert_eq!(n.pin_span(), 8);
+    }
+
+    #[test]
+    fn conduction_matches_mux_semantics() {
+        let n = mux4_network();
+        let mut v = vec![false; 8];
+        assert!(!n.conducts(&v));
+        v[1] = true; // select 1, data low
+        assert!(!n.conducts(&v));
+        v[5] = true; // data 1 high
+        assert!(n.conducts(&v));
+    }
+
+    #[test]
+    fn series_depth_adds() {
+        let n = Network::Series(vec![
+            Network::Input(0),
+            Network::Parallel(vec![Network::Input(1), Network::series_of([2, 3])]),
+        ]);
+        assert_eq!(n.max_stack_depth(), 3);
+        assert_eq!(n.device_count(), 4);
+        assert_eq!(n.top_branch_count(), 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let n = Network::series_of([0, 1]);
+        assert_eq!(n.to_string(), "(in0·in1)");
+        let p = Network::parallel_of([0, 1]);
+        assert_eq!(p.to_string(), "(in0+in1)");
+    }
+
+    #[test]
+    fn pins_lists_duplicates() {
+        let n = Network::Parallel(vec![Network::series_of([0, 1]), Network::series_of([0, 2])]);
+        assert_eq!(n.pins(), vec![0, 1, 0, 2]);
+    }
+}

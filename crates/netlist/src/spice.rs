@@ -1,0 +1,311 @@
+//! SPICE-deck export of a sized circuit.
+//!
+//! Emits a `.subckt` with one `M` line per transistor (the device expansion
+//! of [`crate::ComponentKind::roles`]), synthesizing internal nodes for
+//! series stacks. XOR/XNOR gates are emitted as `X` subcircuit references
+//! (library cells), the convention real decks use for compound cells.
+//!
+//! The deck is for interoperability/inspection; all analysis in this
+//! repository runs on the component netlist directly.
+
+use std::fmt::Write as _;
+
+use crate::{Circuit, ComponentKind, DeviceRole, Network, Sizing};
+
+/// Renders `circuit` under `sizing` as a SPICE subcircuit deck.
+///
+/// # Panics
+///
+/// Panics if `sizing` does not cover every label of the circuit.
+pub fn to_spice(circuit: &Circuit, sizing: &Sizing) -> String {
+    let mut out = String::new();
+    let mut aux = 0usize; // internal node counter
+    let _ = writeln!(out, "* {} — emitted by smart-netlist", circuit.name());
+    let ports: Vec<&str> = circuit.ports().iter().map(|p| p.name.as_str()).collect();
+    let _ = writeln!(out, ".subckt {} {}", circuit.name(), ports.join(" "));
+    let mut m = 0usize; // device counter
+    for (_, comp) in circuit.components() {
+        let net = |pin: usize| circuit.net(comp.conns[pin]).name.clone();
+        let w = |role: DeviceRole, factor: f64| sizing.width(comp.label_of(role)) * factor;
+        let prefix = comp.path.replace('/', "_");
+        match &comp.kind {
+            ComponentKind::Inverter { .. } => {
+                let (a, y) = (net(0), net(1));
+                emit_p(&mut out, &mut m, &y, &a, "vdd", w(DeviceRole::PullUp, 1.0));
+                emit_n(&mut out, &mut m, &y, &a, "gnd", w(DeviceRole::PullDown, 1.0));
+            }
+            ComponentKind::Nand { inputs } => {
+                let n = *inputs as usize;
+                let y = net(n);
+                for i in 0..n {
+                    emit_p(&mut out, &mut m, &y, &net(i), "vdd", w(DeviceRole::PullUp, 1.0));
+                }
+                // Series NMOS chain y -> gnd.
+                let mut top = y.clone();
+                for i in 0..n {
+                    let bot = if i == n - 1 {
+                        "gnd".to_owned()
+                    } else {
+                        next_node(&prefix, &mut aux)
+                    };
+                    emit_n(&mut out, &mut m, &top, &net(i), &bot, w(DeviceRole::PullDown, 1.0));
+                    top = bot;
+                }
+            }
+            ComponentKind::Nor { inputs } => {
+                let n = *inputs as usize;
+                let y = net(n);
+                for i in 0..n {
+                    emit_n(&mut out, &mut m, &y, &net(i), "gnd", w(DeviceRole::PullDown, 1.0));
+                }
+                let mut top = "vdd".to_owned();
+                for i in 0..n {
+                    let bot = if i == n - 1 {
+                        y.clone()
+                    } else {
+                        next_node(&prefix, &mut aux)
+                    };
+                    emit_p(&mut out, &mut m, &bot, &net(i), &top, w(DeviceRole::PullUp, 1.0));
+                    top = bot;
+                }
+            }
+            ComponentKind::Xor2 | ComponentKind::Xnor2 => {
+                let cell = if matches!(comp.kind, ComponentKind::Xor2) {
+                    "xor2"
+                } else {
+                    "xnor2"
+                };
+                let _ = writeln!(
+                    out,
+                    "X{prefix} {} {} {} {cell} wp={:.3} wn={:.3}",
+                    net(0),
+                    net(1),
+                    net(2),
+                    w(DeviceRole::PullUp, 1.0),
+                    w(DeviceRole::PullDown, 1.0),
+                );
+            }
+            ComponentKind::Aoi21 => {
+                // y = !((a·b) + c)
+                let (a, b, c, y) = (net(0), net(1), net(2), net(3));
+                let mid = next_node(&prefix, &mut aux);
+                emit_p(&mut out, &mut m, &mid, &a, "vdd", w(DeviceRole::PullUp, 1.0));
+                emit_p(&mut out, &mut m, &mid, &b, "vdd", w(DeviceRole::PullUp, 1.0));
+                emit_p(&mut out, &mut m, &y, &c, &mid, w(DeviceRole::PullUp, 1.0));
+                let mid2 = next_node(&prefix, &mut aux);
+                emit_n(&mut out, &mut m, &y, &a, &mid2, w(DeviceRole::PullDown, 1.0));
+                emit_n(&mut out, &mut m, &mid2, &b, "gnd", w(DeviceRole::PullDown, 1.0));
+                emit_n(&mut out, &mut m, &y, &c, "gnd", w(DeviceRole::PullDown, 1.0));
+            }
+            ComponentKind::PassGate => {
+                let (d, s, y) = (net(0), net(1), net(2));
+                let sb = next_node(&prefix, &mut aux);
+                emit_n(&mut out, &mut m, &y, &s, &d, w(DeviceRole::PassN, 1.0));
+                emit_p(&mut out, &mut m, &y, &sb, &d, w(DeviceRole::PassP, 1.0));
+                emit_p(&mut out, &mut m, &sb, &s, "vdd", w(DeviceRole::PassInv, 0.5));
+                emit_n(&mut out, &mut m, &sb, &s, "gnd", w(DeviceRole::PassInv, 0.25));
+            }
+            ComponentKind::Tristate => {
+                let (d, en, y) = (net(0), net(1), net(2));
+                let enb = next_node(&prefix, &mut aux);
+                let pint = next_node(&prefix, &mut aux);
+                let nint = next_node(&prefix, &mut aux);
+                emit_p(&mut out, &mut m, &pint, &d, "vdd", w(DeviceRole::TriP, 1.0));
+                emit_p(&mut out, &mut m, &y, &enb, &pint, w(DeviceRole::TriP, 1.0));
+                emit_n(&mut out, &mut m, &y, &en, &nint, w(DeviceRole::TriN, 1.0));
+                emit_n(&mut out, &mut m, &nint, &d, "gnd", w(DeviceRole::TriN, 1.0));
+                emit_p(&mut out, &mut m, &enb, &en, "vdd", w(DeviceRole::TriInv, 0.5));
+                emit_n(&mut out, &mut m, &enb, &en, "gnd", w(DeviceRole::TriInv, 0.25));
+            }
+            ComponentKind::Domino {
+                network,
+                clocked_eval,
+            } => {
+                let clk = net(0);
+                let y = net(comp.kind.output_pin());
+                emit_p(&mut out, &mut m, &y, &clk, "vdd", w(DeviceRole::Precharge, 1.0));
+                let bottom = if *clocked_eval {
+                    let foot = next_node(&prefix, &mut aux);
+                    emit_n(&mut out, &mut m, &foot, &clk, "gnd", w(DeviceRole::Evaluate, 1.0));
+                    foot
+                } else {
+                    "gnd".to_owned()
+                };
+                let data_w = w(DeviceRole::DataN, 1.0);
+                let pin_net: Vec<String> =
+                    (0..network.pin_span()).map(|i| net(i + 1)).collect();
+                emit_network(
+                    &mut out,
+                    &mut m,
+                    network,
+                    &y,
+                    &bottom,
+                    &pin_net,
+                    data_w,
+                    &prefix,
+                    &mut aux,
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, ".ends {}", circuit.name());
+    out
+}
+
+fn next_node(prefix: &str, aux: &mut usize) -> String {
+    let n = format!("{prefix}_x{aux}");
+    *aux += 1;
+    n
+}
+
+fn emit_p(out: &mut String, m: &mut usize, d: &str, g: &str, s: &str, w: f64) {
+    let _ = writeln!(out, "MP{m} {d} {g} {s} vdd pch w={w:.4}");
+    *m += 1;
+}
+
+fn emit_n(out: &mut String, m: &mut usize, d: &str, g: &str, s: &str, w: f64) {
+    let _ = writeln!(out, "MN{m} {d} {g} {s} gnd nch w={w:.4}");
+    *m += 1;
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_network(
+    out: &mut String,
+    m: &mut usize,
+    net: &Network,
+    top: &str,
+    bottom: &str,
+    pin_net: &[String],
+    w: f64,
+    prefix: &str,
+    aux: &mut usize,
+) {
+    match net {
+        Network::Input(p) => emit_n(out, m, top, &pin_net[*p], bottom, w),
+        Network::Series(xs) => {
+            let mut cur = top.to_owned();
+            for (i, x) in xs.iter().enumerate() {
+                let next = if i == xs.len() - 1 {
+                    bottom.to_owned()
+                } else {
+                    next_node(prefix, aux)
+                };
+                emit_network(out, m, x, &cur, &next, pin_net, w, prefix, aux);
+                cur = next;
+            }
+        }
+        Network::Parallel(xs) => {
+            for x in xs {
+                emit_network(out, m, x, top, bottom, pin_net, w, prefix, aux);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceRole, NetKind, Skew};
+
+    #[test]
+    fn inverter_deck_shape() {
+        let mut c = Circuit::new("inv");
+        let a = c.add_net("a").unwrap();
+        let y = c.add_net("y").unwrap();
+        let p = c.label("P1");
+        let n = c.label("N1");
+        c.add(
+            "u1",
+            ComponentKind::Inverter { skew: Skew::Balanced },
+            &[a, y],
+            &[(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)],
+        )
+        .unwrap();
+        c.expose_input("a", a);
+        c.expose_output("y", y);
+        let deck = to_spice(&c, &Sizing::from_widths(vec![2.0, 1.0]));
+        assert!(deck.contains(".subckt inv a y"));
+        assert!(deck.contains("MP0 y a vdd vdd pch w=2.0000"));
+        assert!(deck.contains("MN1 y a gnd gnd nch w=1.0000"));
+        assert!(deck.contains(".ends inv"));
+    }
+
+    #[test]
+    fn m_line_count_matches_device_count_for_transistor_kinds() {
+        let mut c = Circuit::new("mix");
+        let clk = c.add_net_kind("clk", NetKind::Clock).unwrap();
+        let nets: Vec<_> = (0..6)
+            .map(|i| c.add_net(format!("n{i}")).unwrap())
+            .collect();
+        let l: Vec<_> = ["P1", "N1", "N2", "N3", "P2"]
+            .iter()
+            .map(|n| c.label(n))
+            .collect();
+        c.add(
+            "nand",
+            ComponentKind::Nand { inputs: 3 },
+            &[nets[0], nets[1], nets[2], nets[3]],
+            &[(DeviceRole::PullUp, l[0]), (DeviceRole::PullDown, l[1])],
+        )
+        .unwrap();
+        c.add(
+            "dom",
+            ComponentKind::Domino {
+                network: Network::Parallel(vec![
+                    Network::series_of([0, 1]),
+                    Network::series_of([2, 3]),
+                ]),
+                clocked_eval: true,
+            },
+            &[clk, nets[0], nets[1], nets[2], nets[3], nets[4]],
+            &[
+                (DeviceRole::Precharge, l[4]),
+                (DeviceRole::DataN, l[2]),
+                (DeviceRole::Evaluate, l[3]),
+            ],
+        )
+        .unwrap();
+        let sizing = Sizing::uniform(c.labels(), 1.5);
+        let deck = to_spice(&c, &sizing);
+        let m_lines = deck.lines().filter(|l| l.starts_with('M')).count();
+        assert_eq!(m_lines, c.device_count());
+    }
+
+    #[test]
+    fn xor_emitted_as_subcircuit_reference() {
+        let mut c = Circuit::new("x");
+        let a = c.add_net("a").unwrap();
+        let b = c.add_net("b").unwrap();
+        let y = c.add_net("y").unwrap();
+        let p = c.label("P1");
+        let n = c.label("N1");
+        c.add(
+            "u_x",
+            ComponentKind::Xor2,
+            &[a, b, y],
+            &[(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)],
+        )
+        .unwrap();
+        let deck = to_spice(&c, &Sizing::uniform(c.labels(), 1.0));
+        assert!(deck.contains("Xu_x a b y xor2"), "{deck}");
+    }
+
+    #[test]
+    fn series_stacks_use_internal_nodes() {
+        let mut c = Circuit::new("nand2");
+        let a = c.add_net("a").unwrap();
+        let b = c.add_net("b").unwrap();
+        let y = c.add_net("y").unwrap();
+        let p = c.label("P1");
+        let n = c.label("N1");
+        c.add(
+            "u1",
+            ComponentKind::Nand { inputs: 2 },
+            &[a, b, y],
+            &[(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)],
+        )
+        .unwrap();
+        let deck = to_spice(&c, &Sizing::uniform(c.labels(), 1.0));
+        assert!(deck.contains("u1_x0"), "internal node expected:\n{deck}");
+    }
+}

@@ -1,0 +1,450 @@
+//! A line-oriented structural netlist format with a full parser —
+//! `to_text` / `from_text` round-trip every circuit this crate can
+//! represent, so designs can be stored, diffed and exchanged outside the
+//! Rust API (the role structural Verilog plays for gate-level designs).
+//!
+//! # Format
+//!
+//! ```text
+//! .circuit mux2
+//! .net d0 signal 0.0          # name kind wire_cap
+//! .net clk clock 0.0
+//! .net dyn dynamic 1.5
+//! .input d0 d0                # port_name net_name
+//! .output y y
+//! .comp u1 inv pu=P1 pd=N1 : a y
+//! .comp pg0 passgate passn=N2 passp=N2 passinv=N2 : d0 s0 node
+//! .comp dom domino footed (| (& 0 1) (& 2 3)) pre=P1 data=N1 eval=N2 : clk s0 d0 s1 d1 dyn
+//! .end
+//! ```
+//!
+//! Component kinds: `inv[_hi|_lo]`, `nand<N>`, `nor<N>`, `xor2`, `xnor2`,
+//! `aoi21`, `passgate`, `tristate`, `domino footed|unfooted <network>`.
+//! Networks are s-expressions over data-pin indices: `(& ...)` series,
+//! `(| ...)` parallel, bare integers are pins. Comments start with `#`.
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::{
+    Circuit, ComponentKind, DeviceRole, NetKind, NetId, Network, PortDir, Skew,
+};
+
+/// Parse error with 1-based line information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextError {
+    /// 1-based line of the offending input (0 for structural errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "netlist text error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for TextError {}
+
+fn role_name(role: DeviceRole) -> &'static str {
+    match role {
+        DeviceRole::PullUp => "pu",
+        DeviceRole::PullDown => "pd",
+        DeviceRole::PassN => "passn",
+        DeviceRole::PassP => "passp",
+        DeviceRole::PassInv => "passinv",
+        DeviceRole::TriP => "trip",
+        DeviceRole::TriN => "trin",
+        DeviceRole::TriInv => "triinv",
+        DeviceRole::Precharge => "pre",
+        DeviceRole::Evaluate => "eval",
+        DeviceRole::DataN => "data",
+        DeviceRole::Keeper => "keeper",
+    }
+}
+
+fn role_from_name(s: &str) -> Option<DeviceRole> {
+    Some(match s {
+        "pu" => DeviceRole::PullUp,
+        "pd" => DeviceRole::PullDown,
+        "passn" => DeviceRole::PassN,
+        "passp" => DeviceRole::PassP,
+        "passinv" => DeviceRole::PassInv,
+        "trip" => DeviceRole::TriP,
+        "trin" => DeviceRole::TriN,
+        "triinv" => DeviceRole::TriInv,
+        "pre" => DeviceRole::Precharge,
+        "eval" => DeviceRole::Evaluate,
+        "data" => DeviceRole::DataN,
+        "keeper" => DeviceRole::Keeper,
+        _ => return None,
+    })
+}
+
+fn kind_tag(kind: &ComponentKind) -> String {
+    match kind {
+        ComponentKind::Inverter { skew } => match skew {
+            Skew::Balanced => "inv".into(),
+            Skew::High => "inv_hi".into(),
+            Skew::Low => "inv_lo".into(),
+        },
+        ComponentKind::Nand { inputs } => format!("nand{inputs}"),
+        ComponentKind::Nor { inputs } => format!("nor{inputs}"),
+        ComponentKind::Xor2 => "xor2".into(),
+        ComponentKind::Xnor2 => "xnor2".into(),
+        ComponentKind::Aoi21 => "aoi21".into(),
+        ComponentKind::PassGate => "passgate".into(),
+        ComponentKind::Tristate => "tristate".into(),
+        ComponentKind::Domino { network, clocked_eval } => {
+            format!(
+                "domino {} {}",
+                if *clocked_eval { "footed" } else { "unfooted" },
+                network_to_sexpr(network)
+            )
+        }
+    }
+}
+
+fn network_to_sexpr(n: &Network) -> String {
+    match n {
+        Network::Input(p) => p.to_string(),
+        Network::Series(xs) => {
+            let inner: Vec<String> = xs.iter().map(network_to_sexpr).collect();
+            format!("(& {})", inner.join(" "))
+        }
+        Network::Parallel(xs) => {
+            let inner: Vec<String> = xs.iter().map(network_to_sexpr).collect();
+            format!("(| {})", inner.join(" "))
+        }
+    }
+}
+
+/// Renders `circuit` in the text format.
+pub fn to_text(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".circuit {}", circuit.name());
+    for (_, net) in circuit.nets() {
+        let kind = match net.kind {
+            NetKind::Signal => "signal",
+            NetKind::Clock => "clock",
+            NetKind::Dynamic => "dynamic",
+        };
+        let _ = writeln!(out, ".net {} {} {}", net.name, kind, net.wire_cap);
+    }
+    for port in circuit.ports() {
+        let dir = if port.dir == PortDir::Input { "input" } else { "output" };
+        let _ = writeln!(
+            out,
+            ".{dir} {} {}",
+            port.name,
+            circuit.net(port.net).name
+        );
+    }
+    for (_, comp) in circuit.components() {
+        let bindings: Vec<String> = comp
+            .label_bindings()
+            .iter()
+            .map(|&(role, l)| format!("{}={}", role_name(role), circuit.labels().name(l)))
+            .collect();
+        let conns: Vec<&str> = comp
+            .conns
+            .iter()
+            .map(|&n| circuit.net(n).name.as_str())
+            .collect();
+        let _ = writeln!(
+            out,
+            ".comp {} {} {} : {}",
+            comp.path,
+            kind_tag(&comp.kind),
+            bindings.join(" "),
+            conns.join(" ")
+        );
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+/// S-expression tokenizer/parser for networks.
+fn parse_network(tokens: &mut std::iter::Peekable<std::slice::Iter<'_, String>>, line: usize)
+    -> Result<Network, TextError>
+{
+    let err = |m: &str| TextError { line, message: m.into() };
+    let Some(tok) = tokens.next() else {
+        return Err(err("unexpected end of network expression"));
+    };
+    if let Ok(pin) = tok.parse::<usize>() {
+        return Ok(Network::Input(pin));
+    }
+    if tok == "(&" || tok == "(|" {
+        let series = tok == "(&";
+        let mut children = Vec::new();
+        loop {
+            match tokens.peek() {
+                Some(t) if t.as_str() == ")" => {
+                    tokens.next();
+                    break;
+                }
+                Some(_) => children.push(parse_network(tokens, line)?),
+                None => return Err(err("unterminated network expression")),
+            }
+        }
+        if children.is_empty() {
+            return Err(err("empty network group"));
+        }
+        return Ok(if series {
+            Network::Series(children)
+        } else {
+            Network::Parallel(children)
+        });
+    }
+    Err(err(&format!("bad network token '{tok}'")))
+}
+
+/// Splits a network s-expression into tokens with parens handled.
+fn network_tokens(s: &str) -> Vec<String> {
+    s.replace("(&", " (& ")
+        .replace("(|", " (| ")
+        .replace(')', " ) ")
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Parses the text format back into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`TextError`] with the offending line on any syntax or
+/// reference error; netlist-level validation errors (pin counts, unbound
+/// roles) are surfaced the same way.
+pub fn from_text(input: &str) -> Result<Circuit, TextError> {
+    let mut circuit: Option<Circuit> = None;
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = lineno + 1;
+        let err = |m: String| TextError { line, message: m };
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut words = content.split_whitespace();
+        let head = words.next().expect("non-empty line");
+        match head {
+            ".circuit" => {
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(".circuit needs a name".into()))?;
+                circuit = Some(Circuit::new(name));
+            }
+            ".end" => break,
+            _ => {
+                let c = circuit
+                    .as_mut()
+                    .ok_or_else(|| err("directive before .circuit".into()))?;
+                match head {
+                    ".net" => {
+                        let name = words.next().ok_or_else(|| err(".net needs a name".into()))?;
+                        let kind = match words.next() {
+                            Some("signal") => NetKind::Signal,
+                            Some("clock") => NetKind::Clock,
+                            Some("dynamic") => NetKind::Dynamic,
+                            other => return Err(err(format!("bad net kind {other:?}"))),
+                        };
+                        let cap: f64 = words
+                            .next()
+                            .unwrap_or("0")
+                            .parse()
+                            .map_err(|e| err(format!("bad wire cap: {e}")))?;
+                        let id = c
+                            .add_net_kind(name, kind)
+                            .map_err(|e| err(e.to_string()))?;
+                        if cap > 0.0 {
+                            c.set_wire_cap(id, cap);
+                        }
+                    }
+                    ".input" | ".output" => {
+                        let pname = words
+                            .next()
+                            .ok_or_else(|| err("port needs a name".into()))?;
+                        let nname = words
+                            .next()
+                            .ok_or_else(|| err("port needs a net".into()))?;
+                        let net = c
+                            .find_net(nname)
+                            .ok_or_else(|| err(format!("unknown net '{nname}'")))?;
+                        if head == ".input" {
+                            c.expose_input(pname, net);
+                        } else {
+                            c.expose_output(pname, net);
+                        }
+                    }
+                    ".comp" => {
+                        let rest: Vec<String> = words.map(str::to_owned).collect();
+                        parse_comp(c, &rest, line)?;
+                    }
+                    other => return Err(err(format!("unknown directive '{other}'"))),
+                }
+            }
+        }
+    }
+    circuit.ok_or(TextError {
+        line: 0,
+        message: "no .circuit directive found".into(),
+    })
+}
+
+fn parse_comp(c: &mut Circuit, words: &[String], line: usize) -> Result<(), TextError> {
+    let err = |m: String| TextError { line, message: m };
+    let mut it = words.iter();
+    let path = it.next().ok_or_else(|| err(".comp needs a path".into()))?;
+    let tag = it.next().ok_or_else(|| err(".comp needs a kind".into()))?;
+    let mut rest: Vec<String> = it.cloned().collect();
+
+    let kind = if tag == "domino" {
+        if rest.is_empty() {
+            return Err(err("domino needs footed|unfooted".into()));
+        }
+        let footed = match rest.remove(0).as_str() {
+            "footed" => true,
+            "unfooted" => false,
+            other => return Err(err(format!("bad domino mode '{other}'"))),
+        };
+        // Network tokens run until the first `role=label` binding.
+        let split = rest
+            .iter()
+            .position(|w| w.contains('='))
+            .unwrap_or(rest.len());
+        let net_str = rest.drain(..split).collect::<Vec<_>>().join(" ");
+        let tokens = network_tokens(&net_str);
+        let mut peek = tokens.iter().peekable();
+        let network = parse_network(&mut peek, line)?;
+        if peek.next().is_some() {
+            return Err(err("trailing tokens after network".into()));
+        }
+        ComponentKind::Domino {
+            network,
+            clocked_eval: footed,
+        }
+    } else {
+        match tag.as_str() {
+            "inv" => ComponentKind::Inverter { skew: Skew::Balanced },
+            "inv_hi" => ComponentKind::Inverter { skew: Skew::High },
+            "inv_lo" => ComponentKind::Inverter { skew: Skew::Low },
+            "xor2" => ComponentKind::Xor2,
+            "xnor2" => ComponentKind::Xnor2,
+            "aoi21" => ComponentKind::Aoi21,
+            "passgate" => ComponentKind::PassGate,
+            "tristate" => ComponentKind::Tristate,
+            t if t.starts_with("nand") => ComponentKind::Nand {
+                inputs: t[4..]
+                    .parse()
+                    .map_err(|e| err(format!("bad nand fan-in: {e}")))?,
+            },
+            t if t.starts_with("nor") => ComponentKind::Nor {
+                inputs: t[3..]
+                    .parse()
+                    .map_err(|e| err(format!("bad nor fan-in: {e}")))?,
+            },
+            other => return Err(err(format!("unknown component kind '{other}'"))),
+        }
+    };
+
+    // Bindings up to ':', then connections.
+    let sep = rest
+        .iter()
+        .position(|w| w == ":")
+        .ok_or_else(|| err(".comp needs ':' before connections".into()))?;
+    let mut bindings = Vec::new();
+    for b in &rest[..sep] {
+        let (rname, lname) = b
+            .split_once('=')
+            .ok_or_else(|| err(format!("bad binding '{b}'")))?;
+        let role =
+            role_from_name(rname).ok_or_else(|| err(format!("unknown role '{rname}'")))?;
+        let label = c.label(lname);
+        bindings.push((role, label));
+    }
+    let conns: Vec<NetId> = rest[sep + 1..]
+        .iter()
+        .map(|n| {
+            c.find_net(n)
+                .ok_or_else(|| err(format!("unknown net '{n}'")))
+        })
+        .collect::<Result<_, _>>()?;
+    c.add(path.clone(), kind, &conns, &bindings)
+        .map_err(|e| err(e.to_string()))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_roundtrip() {
+        let src = "\
+.circuit buf
+.net a signal 0
+.net y signal 1.5
+.input a a
+.output y y
+.comp u1 inv pu=P1 pd=N1 : a y
+.end
+";
+        let c = from_text(src).unwrap();
+        assert_eq!(c.name(), "buf");
+        assert_eq!(c.component_count(), 1);
+        assert_eq!(c.net(c.find_net("y").unwrap()).wire_cap, 1.5);
+        let rendered = to_text(&c);
+        let c2 = from_text(&rendered).unwrap();
+        assert_eq!(c2.component_count(), 1);
+        assert_eq!(to_text(&c2), rendered, "idempotent rendering");
+    }
+
+    #[test]
+    fn domino_network_roundtrip() {
+        let src = "\
+.circuit d
+.net clk clock 0
+.net a signal 0
+.net b signal 0
+.net c signal 0
+.net dyn dynamic 0
+.input clk clk
+.input a a
+.input b b
+.input c c
+.output dyn dyn
+.comp dom domino footed (| (& 0 1) 2) pre=P1 data=N1 eval=N2 : clk a b c dyn
+.end
+";
+        let c = from_text(src).unwrap();
+        let (_, comp) = c.components().next().unwrap();
+        match &comp.kind {
+            ComponentKind::Domino { network, clocked_eval } => {
+                assert!(*clocked_eval);
+                assert_eq!(network.device_count(), 3);
+                assert_eq!(network.max_stack_depth(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        let c2 = from_text(&to_text(&c)).unwrap();
+        assert_eq!(to_text(&c2), to_text(&c));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let src = ".circuit x\n.net a signal 0\n.comp u bogus : a\n.end\n";
+        let e = from_text(src).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("bogus"));
+
+        let e = from_text(".net a signal 0\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("before .circuit"));
+
+        let e = from_text("").unwrap_err();
+        assert!(e.message.contains("no .circuit"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Property tests on the circuit IR: accounting linearity, capacitance
+//! monotonicity, SPICE consistency, lint stability on random macros-like
+//! compositions.
+
+use proptest::prelude::*;
+use smart_netlist::{
+    spice::to_spice, Circuit, ComponentKind, DeviceRole, NetId, NetKind, Network, Sizing, Skew,
+};
+
+/// Random chain-with-taps circuit: inverters/NANDs/domino stages wired
+/// front-to-back, labels partially shared.
+fn arb_chain() -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec((0u8..4, any::<bool>()), 2..10).prop_map(|stages| {
+        let mut c = Circuit::new("chain");
+        let clk = c.add_net_kind("clk", NetKind::Clock).unwrap();
+        c.expose_input("clk", clk);
+        let mut prev = c.add_net("in").unwrap();
+        c.expose_input("in", prev);
+        let mut aux = c.add_net("aux").unwrap();
+        c.expose_input("aux", aux);
+        for (i, (kind, share)) in stages.into_iter().enumerate() {
+            let out = c.add_net(format!("n{i}")).unwrap();
+            // Labels: shared pair when `share`, unique otherwise.
+            let (p, n) = if share {
+                (c.label("PS"), c.label("NS"))
+            } else {
+                (c.label(&format!("P{i}")), c.label(&format!("N{i}")))
+            };
+            match kind {
+                0 => {
+                    c.add(
+                        format!("u{i}"),
+                        ComponentKind::Inverter { skew: Skew::Balanced },
+                        &[prev, out],
+                        &[(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)],
+                    )
+                    .unwrap();
+                }
+                1 => {
+                    c.add(
+                        format!("u{i}"),
+                        ComponentKind::Nand { inputs: 2 },
+                        &[prev, aux, out],
+                        &[(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)],
+                    )
+                    .unwrap();
+                }
+                2 => {
+                    c.add(
+                        format!("u{i}"),
+                        ComponentKind::Nor { inputs: 2 },
+                        &[prev, aux, out],
+                        &[(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)],
+                    )
+                    .unwrap();
+                }
+                _ => {
+                    let dyn_out = out;
+                    let f = c.label(&format!("F{i}"));
+                    c.add(
+                        format!("u{i}"),
+                        ComponentKind::Domino {
+                            network: Network::parallel_of([0, 1]),
+                            clocked_eval: true,
+                        },
+                        &[clk, prev, aux, dyn_out],
+                        &[
+                            (DeviceRole::Precharge, p),
+                            (DeviceRole::DataN, n),
+                            (DeviceRole::Evaluate, f),
+                        ],
+                    )
+                    .unwrap();
+                }
+            }
+            aux = prev;
+            prev = out;
+        }
+        c.expose_output("out", prev);
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn total_width_is_linear_in_scaling(c in arb_chain(), k in 1.1f64..5.0) {
+        let s = Sizing::uniform(c.labels(), 2.0);
+        let w1 = c.total_width(&s);
+        let w2 = c.total_width(&s.scaled(k));
+        prop_assert!((w2 - k * w1).abs() < 1e-9 * w2.max(1.0));
+    }
+
+    #[test]
+    fn clock_load_bounded_by_total_width(c in arb_chain()) {
+        let s = Sizing::uniform(c.labels(), 3.0);
+        prop_assert!(c.clock_load(&s) <= c.total_width(&s) + 1e-9);
+        prop_assert!(c.clock_load(&s) >= 0.0);
+    }
+
+    #[test]
+    fn net_cap_monotone_in_widths(c in arb_chain()) {
+        let small = Sizing::uniform(c.labels(), 1.0);
+        let big = Sizing::uniform(c.labels(), 4.0);
+        for (id, _) in c.nets() {
+            prop_assert!(
+                c.net_cap(id, &big, 0.5) >= c.net_cap(id, &small, 0.5) - 1e-12,
+                "net {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn spice_m_lines_match_device_count(c in arb_chain()) {
+        // (No XOR kinds in this generator, so every device is an M line.)
+        let s = Sizing::uniform(c.labels(), 2.0);
+        let deck = to_spice(&c, &s);
+        let m = deck.lines().filter(|l| l.starts_with('M')).count();
+        prop_assert_eq!(m, c.device_count());
+        // Deck structure.
+        prop_assert!(deck.starts_with("* "));
+        prop_assert!(deck.contains(".subckt"));
+        prop_assert!(deck.trim_end().ends_with(".ends chain"));
+    }
+
+    #[test]
+    fn random_chains_are_lint_clean(c in arb_chain()) {
+        prop_assert!(c.lint().is_empty(), "{:?}", c.lint());
+    }
+
+    #[test]
+    fn parasitics_only_increase_caps(c in arb_chain(), sizing_seed in 0u8..1) {
+        let _ = sizing_seed;
+        let s = Sizing::uniform(c.labels(), 2.0);
+        let before: Vec<f64> = c.nets().map(|(id, _)| c.net_cap(id, &s, 0.5)).collect();
+        let mut routed = c.clone();
+        routed.add_route_parasitics(0.5, 0.8);
+        for (i, (id, _)) in routed.nets().enumerate() {
+            prop_assert!(routed.net_cap(id, &s, 0.5) >= before[i]);
+        }
+        // Width accounting is untouched by parasitics.
+        prop_assert_eq!(routed.total_width(&s), c.total_width(&s));
+    }
+
+    #[test]
+    fn per_width_cap_scales(c in arb_chain()) {
+        // Without wire cap, net capacitance is exactly linear in a global
+        // width scale.
+        let s1 = Sizing::uniform(c.labels(), 2.0);
+        let s2 = s1.scaled(3.0);
+        for (id, _) in c.nets() {
+            let c1 = c.net_cap(id, &s1, 0.5);
+            let c2 = c.net_cap(id, &s2, 0.5);
+            prop_assert!((c2 - 3.0 * c1).abs() < 1e-9 * c2.max(1.0), "net {id}");
+        }
+    }
+}
+
+/// Deterministic regression: sizing vectors index labels stably.
+#[test]
+fn sizing_vector_matches_label_iteration_order() {
+    let mut c = Circuit::new("t");
+    let a = c.add_net("a").unwrap();
+    let y = c.add_net("y").unwrap();
+    let p = c.label("P");
+    let n = c.label("N");
+    c.add(
+        "u",
+        ComponentKind::Inverter { skew: Skew::Balanced },
+        &[a, y],
+        &[(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)],
+    )
+    .unwrap();
+    let s = Sizing::from_widths(vec![7.0, 9.0]);
+    assert_eq!(s.width(p), 7.0);
+    assert_eq!(s.width(n), 9.0);
+    let _unused: Option<NetId> = c.find_net("zzz");
+}
+
+mod text_props {
+    use super::arb_chain;
+    use proptest::prelude::*;
+    use smart_netlist::text::{from_text, to_text};
+    use smart_netlist::Sizing;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn text_roundtrip_preserves_structure(c in arb_chain()) {
+            let rendered = to_text(&c);
+            let parsed = from_text(&rendered).unwrap();
+            prop_assert_eq!(parsed.net_count(), c.net_count());
+            prop_assert_eq!(parsed.component_count(), c.component_count());
+            prop_assert_eq!(parsed.device_count(), c.device_count());
+            prop_assert_eq!(parsed.labels().len(), c.labels().len());
+            let s1 = Sizing::uniform(c.labels(), 1.7);
+            let s2 = Sizing::uniform(parsed.labels(), 1.7);
+            prop_assert!((parsed.total_width(&s2) - c.total_width(&s1)).abs() < 1e-9);
+            // Idempotent rendering.
+            prop_assert_eq!(to_text(&parsed), rendered);
+        }
+    }
+}

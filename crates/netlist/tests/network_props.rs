@@ -1,0 +1,71 @@
+//! Property tests on series-parallel networks: structural counts and
+//! conduction semantics against brute-force evaluation.
+
+use proptest::prelude::*;
+use smart_netlist::Network;
+
+/// Random series-parallel network over up to 6 pins, depth-bounded.
+fn arb_network(depth: u32) -> BoxedStrategy<Network> {
+    if depth == 0 {
+        (0usize..6).prop_map(Network::Input).boxed()
+    } else {
+        prop_oneof![
+            (0usize..6).prop_map(Network::Input),
+            proptest::collection::vec(arb_network(depth - 1), 1..4)
+                .prop_map(Network::Series),
+            proptest::collection::vec(arb_network(depth - 1), 1..4)
+                .prop_map(Network::Parallel),
+        ]
+        .boxed()
+    }
+}
+
+/// Reference conduction semantics.
+fn conducts_ref(n: &Network, v: &[bool]) -> bool {
+    match n {
+        Network::Input(p) => v[*p],
+        Network::Series(xs) => xs.iter().all(|x| conducts_ref(x, v)),
+        Network::Parallel(xs) => xs.iter().any(|x| conducts_ref(x, v)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn conduction_matches_reference(n in arb_network(3), bits in 0u64..64) {
+        let v: Vec<bool> = (0..6).map(|i| (bits >> i) & 1 == 1).collect();
+        prop_assert_eq!(n.conducts(&v), conducts_ref(&n, &v));
+    }
+
+    #[test]
+    fn all_on_conducts_all_off_does_not(n in arb_network(3)) {
+        prop_assert!(n.conducts(&[true; 6]));
+        prop_assert!(!n.conducts(&[false; 6]));
+    }
+
+    #[test]
+    fn structural_counts_are_consistent(n in arb_network(3)) {
+        let devices = n.device_count();
+        let depth = n.max_stack_depth();
+        let branches = n.top_branch_count();
+        prop_assert!(devices >= 1);
+        prop_assert!((1..=devices).contains(&depth));
+        prop_assert!((1..=devices).contains(&branches));
+        // A conducting path exists with at most `depth` devices on: turn
+        // everything on — the worst series chain is `depth` long, so depth
+        // bounds the series resistance factor the models use.
+        prop_assert!(n.pin_span() <= 6);
+        prop_assert_eq!(n.pins().len(), devices, "one pin reference per leaf");
+    }
+
+    #[test]
+    fn conduction_is_monotone(n in arb_network(3), bits in 0u64..64, extra in 0usize..6) {
+        // Turning one more pin ON can never stop conduction.
+        let mut v: Vec<bool> = (0..6).map(|i| (bits >> i) & 1 == 1).collect();
+        let before = n.conducts(&v);
+        v[extra] = true;
+        let after = n.conducts(&v);
+        prop_assert!(!before || after, "conduction must be monotone in inputs");
+    }
+}

@@ -1,0 +1,300 @@
+//! Log-space form of a posynomial: the convex `log-sum-exp` view.
+//!
+//! Under `y = log x`, a posynomial `f(x) = Σₖ cₖ ∏ xᵢ^aᵢₖ` becomes
+//! `F(y) = log Σₖ exp(aₖ·y + bₖ)` with `bₖ = log cₖ`, which is convex.
+//! The GP solver works exclusively on this form; this module provides the
+//! conversion plus value/gradient/Hessian evaluation.
+
+use crate::Posynomial;
+
+/// One exponentiated affine term `exp(a·y + b)` of a log-form posynomial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogTerm {
+    /// Sparse exponent row `a` as `(dense variable index, exponent)` pairs.
+    pub exps: Vec<(usize, f64)>,
+    /// Offset `b = log c`.
+    pub offset: f64,
+}
+
+/// A posynomial converted to log-space, ready for convex optimization.
+///
+/// Evaluation computes `F(y) = log Σ exp(aₖ·y + bₖ)` with the usual
+/// max-shift for numerical stability, and optionally its gradient and
+/// Hessian with respect to `y`.
+///
+/// ```
+/// use smart_posy::{Monomial, Posynomial, VarPool, LogPosynomial};
+/// let mut pool = VarPool::new();
+/// let w = pool.var("W");
+/// let p = Posynomial::from(Monomial::new(2.0).pow(w, 1.0)) + Monomial::new(3.0);
+/// let lp = LogPosynomial::from_posynomial(&p, pool.len());
+/// let y = [0.0]; // x = 1
+/// assert!((lp.value(&y) - 5f64.ln()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogPosynomial {
+    terms: Vec<LogTerm>,
+    dim: usize,
+}
+
+impl LogPosynomial {
+    /// Converts `p` for a problem with `dim` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is the zero posynomial (log of zero is undefined) or if
+    /// `p` references a variable with index `>= dim`.
+    pub fn from_posynomial(p: &Posynomial, dim: usize) -> Self {
+        assert!(!p.is_zero(), "cannot take the log-form of the zero posynomial");
+        assert!(
+            p.dimension() <= dim,
+            "posynomial uses variable index {} but problem has {} variables",
+            p.dimension() - 1,
+            dim
+        );
+        let terms = p
+            .terms()
+            .iter()
+            .map(|m| LogTerm {
+                exps: m.exponents().map(|(v, e)| (v.index(), e)).collect(),
+                offset: m.coeff().ln(),
+            })
+            .collect();
+        LogPosynomial { terms, dim }
+    }
+
+    /// Builds directly from raw log-terms (used for synthetic constraints
+    /// such as phase-I slack rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terms` is empty or references an index `>= dim`.
+    pub fn from_terms(terms: Vec<LogTerm>, dim: usize) -> Self {
+        assert!(!terms.is_empty(), "log-form posynomial needs at least one term");
+        for t in &terms {
+            for &(i, _) in &t.exps {
+                assert!(i < dim, "term references variable {i} out of {dim}");
+            }
+        }
+        LogPosynomial { terms, dim }
+    }
+
+    /// Number of optimization variables of the ambient problem.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The exponentiated-affine terms.
+    pub fn terms(&self) -> &[LogTerm] {
+        &self.terms
+    }
+
+    /// Dense variable indices referenced by this posynomial.
+    pub fn support(&self) -> Vec<usize> {
+        let mut s: Vec<usize> = self
+            .terms
+            .iter()
+            .flat_map(|t| t.exps.iter().map(|&(i, _)| i))
+            .collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    /// The affine exponents of each term as dense rows (one row per term).
+    pub fn dense_rows(&self) -> Vec<Vec<f64>> {
+        self.terms
+            .iter()
+            .map(|t| {
+                let mut row = vec![0.0; self.dim];
+                for &(i, e) in &t.exps {
+                    row[i] = e;
+                }
+                row
+            })
+            .collect()
+    }
+
+    fn exponent_dots(&self, y: &[f64]) -> Vec<f64> {
+        self.terms
+            .iter()
+            .map(|t| {
+                t.offset
+                    + t.exps
+                        .iter()
+                        .map(|&(i, e)| e * y[i])
+                        .sum::<f64>()
+            })
+            .collect()
+    }
+
+    /// `F(y) = log Σ exp(aₖ·y + bₖ)`, computed with a max-shift so that very
+    /// large or small exponents do not overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() < self.dim()`.
+    pub fn value(&self, y: &[f64]) -> f64 {
+        assert!(y.len() >= self.dim, "point has wrong dimension");
+        let z = self.exponent_dots(y);
+        log_sum_exp(&z)
+    }
+
+    /// Value and gradient of `F` at `y`.
+    ///
+    /// The gradient is `Σ softmaxₖ · aₖ`.
+    pub fn value_grad(&self, y: &[f64]) -> (f64, Vec<f64>) {
+        assert!(y.len() >= self.dim, "point has wrong dimension");
+        let z = self.exponent_dots(y);
+        let (val, w) = softmax(&z);
+        let mut grad = vec![0.0; self.dim];
+        for (t, &wk) in self.terms.iter().zip(&w) {
+            for &(i, e) in &t.exps {
+                grad[i] += wk * e;
+            }
+        }
+        (val, grad)
+    }
+
+    /// Value, gradient and dense Hessian of `F` at `y`.
+    ///
+    /// Hessian is `Σ wₖ aₖaₖᵀ − (Σ wₖaₖ)(Σ wₖaₖ)ᵀ`, PSD by convexity.
+    pub fn value_grad_hess(&self, y: &[f64]) -> (f64, Vec<f64>, Vec<Vec<f64>>) {
+        assert!(y.len() >= self.dim, "point has wrong dimension");
+        let z = self.exponent_dots(y);
+        let (val, w) = softmax(&z);
+        let n = self.dim;
+        let mut grad = vec![0.0; n];
+        let mut hess = vec![vec![0.0; n]; n];
+        for (t, &wk) in self.terms.iter().zip(&w) {
+            for &(i, ei) in &t.exps {
+                grad[i] += wk * ei;
+                for &(j, ej) in &t.exps {
+                    hess[i][j] += wk * ei * ej;
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                hess[i][j] -= grad[i] * grad[j];
+            }
+        }
+        (val, grad, hess)
+    }
+}
+
+/// Numerically stable `log Σ exp(zₖ)`.
+pub(crate) fn log_sum_exp(z: &[f64]) -> f64 {
+    let m = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m.is_infinite() {
+        return m;
+    }
+    m + z.iter().map(|&v| (v - m).exp()).sum::<f64>().ln()
+}
+
+/// Returns `(log_sum_exp(z), softmax(z))`.
+fn softmax(z: &[f64]) -> (f64, Vec<f64>) {
+    let m = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = z.iter().map(|&v| (v - m).exp()).collect();
+    let s: f64 = exps.iter().sum();
+    (m + s.ln(), exps.iter().map(|&e| e / s).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Monomial, VarPool};
+
+    fn sample() -> (LogPosynomial, Posynomial) {
+        let mut pool = VarPool::new();
+        let a = pool.var("a");
+        let b = pool.var("b");
+        let p = Posynomial::from(Monomial::new(0.5).pow(a, 1.0).pow(b, -2.0))
+            + Monomial::new(2.0).pow(b, 1.0)
+            + Monomial::new(1.0);
+        let lp = LogPosynomial::from_posynomial(&p, pool.len());
+        (lp, p)
+    }
+
+    #[test]
+    fn value_matches_direct_eval() {
+        let (lp, p) = sample();
+        for &(xa, xb) in &[(1.0, 1.0), (0.2, 5.0), (10.0, 0.01)] {
+            let y = [xa_f(xa), xa_f(xb)];
+            let direct = p.eval(&[xa, xb]).ln();
+            assert!((lp.value(&y) - direct).abs() < 1e-10, "at ({xa},{xb})");
+        }
+        fn xa_f(x: f64) -> f64 {
+            x.ln()
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let (lp, _) = sample();
+        let y = [0.3, -0.7];
+        let (_, grad) = lp.value_grad(&y);
+        let h = 1e-6;
+        for i in 0..2 {
+            let mut yp = y;
+            let mut ym = y;
+            yp[i] += h;
+            ym[i] -= h;
+            let fd = (lp.value(&yp) - lp.value(&ym)) / (2.0 * h);
+            assert!((grad[i] - fd).abs() < 1e-6, "grad[{i}]={} fd={fd}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn hessian_matches_finite_differences_and_is_psd() {
+        let (lp, _) = sample();
+        let y = [0.1, 0.2];
+        let (_, grad, hess) = lp.value_grad_hess(&y);
+        let h = 1e-5;
+        for i in 0..2 {
+            let mut yp = y;
+            let mut ym = y;
+            yp[i] += h;
+            ym[i] -= h;
+            let (_, gp) = lp.value_grad(&yp);
+            let (_, gm) = lp.value_grad(&ym);
+            for j in 0..2 {
+                let fd = (gp[j] - gm[j]) / (2.0 * h);
+                assert!((hess[i][j] - fd).abs() < 1e-5, "H[{i}][{j}]");
+            }
+        }
+        // PSD check on a couple of directions.
+        for d in [[1.0, 0.0], [0.0, 1.0], [1.0, -1.0], [0.5, 2.0]] {
+            let q: f64 = (0..2)
+                .map(|i| (0..2).map(|j| d[i] * hess[i][j] * d[j]).sum::<f64>())
+                .sum();
+            assert!(q >= -1e-12, "not PSD along {d:?}: {q}");
+        }
+        let _ = grad;
+    }
+
+    #[test]
+    fn log_sum_exp_is_stable_for_large_inputs() {
+        let v = log_sum_exp(&[1000.0, 1000.0]);
+        assert!((v - (1000.0 + 2f64.ln())).abs() < 1e-9);
+        let v = log_sum_exp(&[-1000.0, -1000.0]);
+        assert!((v - (-1000.0 + 2f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero posynomial")]
+    fn zero_posynomial_rejected() {
+        let _ = LogPosynomial::from_posynomial(&Posynomial::zero(), 1);
+    }
+
+    #[test]
+    fn dense_rows_roundtrip() {
+        let (lp, _) = sample();
+        let rows = lp.dense_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec![1.0, -2.0]);
+        assert_eq!(rows[1], vec![0.0, 1.0]);
+        assert_eq!(rows[2], vec![0.0, 0.0]);
+        assert_eq!(lp.support(), vec![0, 1]);
+    }
+}

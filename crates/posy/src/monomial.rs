@@ -1,0 +1,367 @@
+//! Monomials: `c · ∏ xᵢ^aᵢ` with `c > 0`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Div, Mul};
+
+use crate::{PosyError, VarId, VarPool};
+
+/// Tolerance under which exponents are treated as zero and dropped.
+const EXP_EPS: f64 = 1e-12;
+
+/// A monomial `c · x₁^a₁ · x₂^a₂ · …` with strictly positive coefficient.
+///
+/// Exponents may be any finite real number (negative exponents are how
+/// `delay ∝ C/W` terms arise). Monomials form a group under multiplication
+/// and are the only expressions that may appear on the right-hand side of a
+/// GP constraint or as a GP equality.
+///
+/// ```
+/// use smart_posy::{Monomial, VarPool};
+/// let mut pool = VarPool::new();
+/// let w = pool.var("W");
+/// let c = pool.var("C");
+/// // 0.69 · C / W
+/// let m = Monomial::new(0.69).pow(c, 1.0).pow(w, -1.0);
+/// assert!((m.eval(&[2.0, 3.0]) - 0.69 * 3.0 / 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Monomial {
+    coeff: f64,
+    exps: BTreeMap<VarId, f64>,
+}
+
+impl Monomial {
+    /// Creates the constant monomial `coeff`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeff` is not finite and strictly positive — use
+    /// [`Monomial::try_new`] for a fallible variant.
+    pub fn new(coeff: f64) -> Self {
+        Self::try_new(coeff).expect("monomial coefficient must be finite and > 0")
+    }
+
+    /// Fallible constructor; see [`Monomial::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PosyError::BadCoefficient`] if `coeff` is not finite and
+    /// strictly positive.
+    pub fn try_new(coeff: f64) -> Result<Self, PosyError> {
+        if !(coeff.is_finite() && coeff > 0.0) {
+            return Err(PosyError::BadCoefficient { value: coeff });
+        }
+        Ok(Monomial {
+            coeff,
+            exps: BTreeMap::new(),
+        })
+    }
+
+    /// The constant monomial `1`.
+    pub fn one() -> Self {
+        Monomial::new(1.0)
+    }
+
+    /// A bare variable `x` (coefficient 1, exponent 1).
+    pub fn var(v: VarId) -> Self {
+        Monomial::one().pow(v, 1.0)
+    }
+
+    /// Multiplies in a factor `v^e`, merging with an existing exponent on `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not finite.
+    #[must_use]
+    pub fn pow(mut self, v: VarId, e: f64) -> Self {
+        assert!(e.is_finite(), "monomial exponent must be finite, got {e}");
+        let entry = self.exps.entry(v).or_insert(0.0);
+        *entry += e;
+        if entry.abs() < EXP_EPS {
+            self.exps.remove(&v);
+        }
+        self
+    }
+
+    /// Scales the coefficient by `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting coefficient is not finite and strictly
+    /// positive.
+    #[must_use]
+    pub fn scale(mut self, k: f64) -> Self {
+        let c = self.coeff * k;
+        assert!(
+            c.is_finite() && c > 0.0,
+            "scaled coefficient must stay finite and > 0, got {c}"
+        );
+        self.coeff = c;
+        self
+    }
+
+    /// The positive coefficient `c`.
+    pub fn coeff(&self) -> f64 {
+        self.coeff
+    }
+
+    /// Exponent of variable `v` (zero if absent).
+    pub fn exponent(&self, v: VarId) -> f64 {
+        self.exps.get(&v).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over `(variable, exponent)` pairs with non-zero exponents, in
+    /// variable order.
+    pub fn exponents(&self) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        self.exps.iter().map(|(&v, &e)| (v, e))
+    }
+
+    /// Whether the monomial is a pure constant (no variables).
+    pub fn is_constant(&self) -> bool {
+        self.exps.is_empty()
+    }
+
+    /// Largest dense variable index used, plus one (0 for constants).
+    pub fn dimension(&self) -> usize {
+        self.exps
+            .keys()
+            .next_back()
+            .map_or(0, |v| v.index() + 1)
+    }
+
+    /// Evaluates at the strictly positive point `x` (indexed by
+    /// [`VarId::index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is too short or contains a non-positive coordinate; use
+    /// [`Monomial::try_eval`] for a fallible variant.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        self.try_eval(x).expect("invalid evaluation point")
+    }
+
+    /// Fallible evaluation; see [`Monomial::eval`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PosyError::PointTooShort`] or [`PosyError::NonPositivePoint`]
+    /// for invalid points.
+    pub fn try_eval(&self, x: &[f64]) -> Result<f64, PosyError> {
+        let needed = self.dimension();
+        if x.len() < needed {
+            return Err(PosyError::PointTooShort {
+                needed,
+                got: x.len(),
+            });
+        }
+        let mut acc = self.coeff;
+        for (&v, &e) in &self.exps {
+            let xi = x[v.index()];
+            if !(xi.is_finite() && xi > 0.0) {
+                return Err(PosyError::NonPositivePoint {
+                    index: v.index(),
+                    value: xi,
+                });
+            }
+            acc *= xi.powf(e);
+        }
+        Ok(acc)
+    }
+
+    /// Multiplicative inverse `1 / m` (negate every exponent, invert the
+    /// coefficient).
+    #[must_use]
+    pub fn recip(&self) -> Self {
+        Monomial {
+            coeff: 1.0 / self.coeff,
+            exps: self.exps.iter().map(|(&v, &e)| (v, -e)).collect(),
+        }
+    }
+
+    /// Raises the whole monomial to the real power `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not finite.
+    #[must_use]
+    pub fn powf(&self, p: f64) -> Self {
+        assert!(p.is_finite(), "power must be finite, got {p}");
+        let mut exps = BTreeMap::new();
+        for (&v, &e) in &self.exps {
+            let ne = e * p;
+            if ne.abs() >= EXP_EPS {
+                exps.insert(v, ne);
+            }
+        }
+        Monomial {
+            coeff: self.coeff.powf(p),
+            exps,
+        }
+    }
+
+    /// Renders with names from `pool`, e.g. `0.69·C·W^-1`.
+    pub fn display_with<'a>(&'a self, pool: &'a VarPool) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Monomial, &'a VarPool);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.4}", self.0.coeff)?;
+                for (v, e) in self.0.exponents() {
+                    if (e - 1.0).abs() < EXP_EPS {
+                        write!(f, "·{}", self.1.name(v))?;
+                    } else {
+                        write!(f, "·{}^{}", self.1.name(v), e)?;
+                    }
+                }
+                Ok(())
+            }
+        }
+        D(self, pool)
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.coeff)?;
+        for (v, e) in self.exponents() {
+            if (e - 1.0).abs() < EXP_EPS {
+                write!(f, "·{v}")?;
+            } else {
+                write!(f, "·{v}^{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Mul for Monomial {
+    type Output = Monomial;
+    fn mul(mut self, rhs: Monomial) -> Monomial {
+        self.coeff *= rhs.coeff;
+        for (v, e) in rhs.exps {
+            let entry = self.exps.entry(v).or_insert(0.0);
+            *entry += e;
+            if entry.abs() < EXP_EPS {
+                self.exps.remove(&v);
+            }
+        }
+        self
+    }
+}
+
+impl Mul<&Monomial> for &Monomial {
+    type Output = Monomial;
+    fn mul(self, rhs: &Monomial) -> Monomial {
+        self.clone() * rhs.clone()
+    }
+}
+
+impl Div for Monomial {
+    type Output = Monomial;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division IS mul-by-reciprocal here
+    fn div(self, rhs: Monomial) -> Monomial {
+        self * rhs.recip()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars() -> (VarPool, VarId, VarId) {
+        let mut pool = VarPool::new();
+        let a = pool.var("a");
+        let b = pool.var("b");
+        (pool, a, b)
+    }
+
+    #[test]
+    fn constant_eval() {
+        let m = Monomial::new(2.5);
+        assert_eq!(m.eval(&[]), 2.5);
+        assert!(m.is_constant());
+        assert_eq!(m.dimension(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_coefficients() {
+        assert!(Monomial::try_new(0.0).is_err());
+        assert!(Monomial::try_new(-3.0).is_err());
+        assert!(Monomial::try_new(f64::NAN).is_err());
+        assert!(Monomial::try_new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn pow_merges_and_cancels() {
+        let (_, a, _) = vars();
+        let m = Monomial::new(1.0).pow(a, 2.0).pow(a, -2.0);
+        assert!(m.is_constant());
+        let m = Monomial::new(1.0).pow(a, 1.5).pow(a, 0.5);
+        assert_eq!(m.exponent(a), 2.0);
+    }
+
+    #[test]
+    fn eval_with_negative_exponents() {
+        let (_, a, b) = vars();
+        let m = Monomial::new(3.0).pow(a, -1.0).pow(b, 2.0);
+        let got = m.eval(&[2.0, 4.0]);
+        assert!((got - 3.0 / 2.0 * 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_rejects_nonpositive_points() {
+        let (_, a, _) = vars();
+        let m = Monomial::var(a);
+        assert!(matches!(
+            m.try_eval(&[0.0]),
+            Err(PosyError::NonPositivePoint { index: 0, .. })
+        ));
+        assert!(matches!(
+            m.try_eval(&[-1.0, 2.0]),
+            Err(PosyError::NonPositivePoint { index: 0, .. })
+        ));
+        assert!(matches!(
+            m.try_eval(&[]),
+            Err(PosyError::PointTooShort { needed: 1, got: 0 })
+        ));
+    }
+
+    #[test]
+    fn mul_div_roundtrip() {
+        let (_, a, b) = vars();
+        let m = Monomial::new(2.0).pow(a, 1.0).pow(b, -0.5);
+        let n = Monomial::new(4.0).pow(b, 0.5);
+        let p = m.clone() * n.clone();
+        assert!((p.coeff() - 8.0).abs() < 1e-12);
+        assert_eq!(p.exponent(b), 0.0);
+        let q = p / n;
+        assert!((q.coeff() - m.coeff()).abs() < 1e-12);
+        assert_eq!(q.exponent(a), 1.0);
+        assert_eq!(q.exponent(b), -0.5);
+    }
+
+    #[test]
+    fn recip_inverts_eval() {
+        let (_, a, b) = vars();
+        let m = Monomial::new(5.0).pow(a, 2.0).pow(b, -1.0);
+        let x = [1.7, 0.3];
+        assert!((m.eval(&x) * m.recip().eval(&x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn powf_matches_eval() {
+        let (_, a, _) = vars();
+        let m = Monomial::new(2.0).pow(a, 3.0);
+        let x = [1.3];
+        assert!((m.powf(0.5).eval(&x) - m.eval(&x).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_names_variables() {
+        let (pool, a, b) = vars();
+        let m = Monomial::new(0.5).pow(a, 1.0).pow(b, -2.0);
+        let s = m.display_with(&pool).to_string();
+        assert!(s.contains("a"), "{s}");
+        assert!(s.contains("b^-2"), "{s}");
+    }
+}

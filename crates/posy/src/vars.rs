@@ -1,0 +1,155 @@
+//! Optimization-variable identities and the pool that names them.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of one optimization variable (one transistor *size label* in the
+/// SMART flow — many devices share a label, which is how circuit regularity
+/// enters the formulation, cf. paper §4/§5.2).
+///
+/// Internally an index into a [`VarPool`]; cheap to copy and hash.
+///
+/// ```
+/// use smart_posy::VarPool;
+/// let mut pool = VarPool::new();
+/// let n1 = pool.var("N1");
+/// assert_eq!(pool.name(n1), "N1");
+/// assert_eq!(n1.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Dense index of this variable inside its pool (0-based, contiguous).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `VarId` from a dense index.
+    ///
+    /// Only meaningful for indices previously handed out by a [`VarPool`];
+    /// mixing ids across pools is a logic error (but not unsafety).
+    pub fn from_index(index: usize) -> Self {
+        VarId(index as u32)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Registry of named optimization variables.
+///
+/// Interns names so that asking for the same name twice returns the same
+/// [`VarId`]. Evaluation APIs ([`crate::Posynomial::eval`]) take a slice
+/// indexed by [`VarId::index`], so the pool also defines the dense layout of
+/// assignment vectors.
+///
+/// ```
+/// use smart_posy::VarPool;
+/// let mut pool = VarPool::new();
+/// let a = pool.var("P1");
+/// let b = pool.var("P1");
+/// assert_eq!(a, b);
+/// assert_eq!(pool.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VarPool {
+    names: Vec<String>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl VarPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `name`, creating the variable on first use.
+    pub fn var(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = VarId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an existing variable by name without creating it.
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name under which `id` was registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this pool.
+    pub fn name(&self, id: VarId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of variables registered so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no variable has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in dense-index order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (VarId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut pool = VarPool::new();
+        let a = pool.var("N2");
+        let b = pool.var("N2");
+        let c = pool.var("P3");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn lookup_does_not_create() {
+        let mut pool = VarPool::new();
+        assert!(pool.lookup("W").is_none());
+        let id = pool.var("W");
+        assert_eq!(pool.lookup("W"), Some(id));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn dense_indices_are_contiguous() {
+        let mut pool = VarPool::new();
+        for i in 0..100 {
+            let id = pool.var(&format!("v{i}"));
+            assert_eq!(id.index(), i);
+        }
+        let collected: Vec<_> = pool.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(collected, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn display_and_roundtrip() {
+        let id = VarId::from_index(7);
+        assert_eq!(id.to_string(), "x7");
+        assert_eq!(id.index(), 7);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests: posynomial algebra laws hold on random inputs.
+
+use proptest::prelude::*;
+use smart_posy::{LogPosynomial, Monomial, Posynomial, VarId};
+
+const DIM: usize = 4;
+
+fn arb_monomial() -> impl Strategy<Value = Monomial> {
+    (
+        0.01f64..100.0,
+        proptest::collection::vec(-3.0f64..3.0, DIM),
+    )
+        .prop_map(|(c, exps)| {
+            let mut m = Monomial::new(c);
+            for (i, e) in exps.into_iter().enumerate() {
+                m = m.pow(VarId::from_index(i), e);
+            }
+            m
+        })
+}
+
+fn arb_posynomial() -> impl Strategy<Value = Posynomial> {
+    proptest::collection::vec(arb_monomial(), 1..6).prop_map(|ms| {
+        let mut p = Posynomial::zero();
+        for m in ms {
+            p.push(m);
+        }
+        p
+    })
+}
+
+fn arb_point() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.05f64..20.0, DIM)
+}
+
+fn close(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= 1e-8 * scale
+}
+
+proptest! {
+    #[test]
+    fn addition_is_pointwise(p in arb_posynomial(), q in arb_posynomial(), x in arb_point()) {
+        let sum = p.clone() + q.clone();
+        prop_assert!(close(sum.eval(&x), p.eval(&x) + q.eval(&x)));
+    }
+
+    #[test]
+    fn multiplication_is_pointwise(p in arb_posynomial(), q in arb_posynomial(), x in arb_point()) {
+        let prod = p.clone() * q.clone();
+        prop_assert!(close(prod.eval(&x), p.eval(&x) * q.eval(&x)));
+    }
+
+    #[test]
+    fn addition_commutes(p in arb_posynomial(), q in arb_posynomial(), x in arb_point()) {
+        let a = p.clone() + q.clone();
+        let b = q + p;
+        prop_assert!(close(a.eval(&x), b.eval(&x)));
+    }
+
+    #[test]
+    fn monomial_division_inverts_multiplication(
+        p in arb_posynomial(), m in arb_monomial(), x in arb_point()
+    ) {
+        let roundtrip = (p.clone() * m.clone()).div_monomial(&m);
+        prop_assert!(close(roundtrip.eval(&x), p.eval(&x)));
+    }
+
+    #[test]
+    fn eval_is_strictly_positive(p in arb_posynomial(), x in arb_point()) {
+        prop_assert!(p.eval(&x) > 0.0);
+    }
+
+    #[test]
+    fn logform_value_matches_log_of_eval(p in arb_posynomial(), x in arb_point()) {
+        let lp = LogPosynomial::from_posynomial(&p, DIM);
+        let y: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+        prop_assert!(close(lp.value(&y), p.eval(&x).ln()));
+    }
+
+    #[test]
+    fn logform_gradient_matches_finite_difference(p in arb_posynomial(), x in arb_point()) {
+        let lp = LogPosynomial::from_posynomial(&p, DIM);
+        let y: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+        let (_, grad) = lp.value_grad(&y);
+        let h = 1e-6;
+        for i in 0..DIM {
+            let mut yp = y.clone();
+            let mut ym = y.clone();
+            yp[i] += h;
+            ym[i] -= h;
+            let fd = (lp.value(&yp) - lp.value(&ym)) / (2.0 * h);
+            prop_assert!((grad[i] - fd).abs() < 1e-4, "grad[{}]={} fd={}", i, grad[i], fd);
+        }
+    }
+
+    #[test]
+    fn hessian_is_psd_on_random_directions(
+        p in arb_posynomial(),
+        x in arb_point(),
+        d in proptest::collection::vec(-1.0f64..1.0, DIM)
+    ) {
+        let lp = LogPosynomial::from_posynomial(&p, DIM);
+        let y: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+        let (_, _, hess) = lp.value_grad_hess(&y);
+        let q: f64 = (0..DIM)
+            .map(|i| (0..DIM).map(|j| d[i] * hess[i][j] * d[j]).sum::<f64>())
+            .sum();
+        prop_assert!(q >= -1e-9, "Hessian not PSD: {}", q);
+    }
+
+    #[test]
+    fn monomial_powf_matches_eval(m in arb_monomial(), x in arb_point(), pwr in -2.0f64..2.0) {
+        let lhs = m.powf(pwr).eval(&x);
+        let rhs = m.eval(&x).powf(pwr);
+        prop_assert!(close(lhs, rhs));
+    }
+
+    #[test]
+    fn push_normalization_preserves_value(ms in proptest::collection::vec(arb_monomial(), 1..8), x in arb_point()) {
+        let mut p = Posynomial::zero();
+        let mut direct = 0.0;
+        for m in &ms {
+            direct += m.eval(&x);
+        }
+        for m in ms {
+            p.push(m);
+        }
+        prop_assert!(close(p.eval(&x), direct));
+    }
+}

@@ -1,0 +1,50 @@
+//! Event-driven four-value functional simulator for SMART macro netlists.
+//!
+//! Plays the functional-verification role in this reproduction: every
+//! generated macro (mux, adder, comparator, ...) is simulated against its
+//! golden function before it is admitted to the design database. The
+//! simulator understands the switch-level behaviours the SMART circuit
+//! families need — pass gates and tri-states releasing a shared net,
+//! dynamic nodes holding charge, domino precharge/evaluate with contention
+//! detection on unfooted (D2) stages.
+//!
+//! * [`Logic`] — 0 / 1 / X / Z with wired-net resolution.
+//! * [`Simulator`] — event-driven fixpoint evaluation over a
+//!   [`smart_netlist::Circuit`].
+//! * [`harness`] — bus helpers and the two-phase domino protocol for
+//!   vector-level tests.
+//!
+//! # Example
+//!
+//! ```
+//! use smart_netlist::{Circuit, ComponentKind, DeviceRole, Skew};
+//! use smart_sim::{Logic, Simulator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut c = Circuit::new("inv");
+//! let a = c.add_net("a")?;
+//! let y = c.add_net("y")?;
+//! let p = c.label("P");
+//! let n = c.label("N");
+//! c.add("u", ComponentKind::Inverter { skew: Skew::Balanced }, &[a, y],
+//!       &[(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)])?;
+//! c.expose_input("a", a);
+//! c.expose_output("y", y);
+//! let mut sim = Simulator::new(&c);
+//! sim.set("a", Logic::Zero)?;
+//! sim.settle()?;
+//! assert_eq!(sim.get("y")?, Logic::One);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+mod logic;
+#[allow(clippy::module_inception)]
+mod sim;
+
+pub use logic::Logic;
+pub use sim::{SimError, Simulator};

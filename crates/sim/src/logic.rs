@@ -1,0 +1,163 @@
+//! Four-valued logic for switch-aware simulation.
+
+use std::fmt;
+
+/// A net value: strong 0/1, unknown, or high-impedance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Strong logic low.
+    Zero,
+    /// Strong logic high.
+    One,
+    /// Unknown / conflict.
+    #[default]
+    X,
+    /// Undriven (high impedance).
+    Z,
+}
+
+impl Logic {
+    /// Converts from a plain bool.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// The strong value as a bool, or `None` for `X`/`Z`.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X | Logic::Z => None,
+        }
+    }
+
+    /// Whether this is a driven, known value.
+    pub fn is_strong(self) -> bool {
+        matches!(self, Logic::Zero | Logic::One)
+    }
+
+    /// Logical inversion (X/Z-preserving; `Z` inverts to `X` because a
+    /// floating gate input yields an unknown output).
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // `std::ops::Not` is also implemented below
+    pub fn not(self) -> Self {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X | Logic::Z => Logic::X,
+        }
+    }
+
+    /// Three-valued AND over driven interpretations (`Z` reads as `X`).
+    #[must_use]
+    pub fn and(self, rhs: Self) -> Self {
+        match (self.normalize(), rhs.normalize()) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Three-valued OR over driven interpretations (`Z` reads as `X`).
+    #[must_use]
+    pub fn or(self, rhs: Self) -> Self {
+        match (self.normalize(), rhs.normalize()) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Three-valued XOR over driven interpretations.
+    #[must_use]
+    pub fn xor(self, rhs: Self) -> Self {
+        match (self.normalize(), rhs.normalize()) {
+            (Logic::Zero, Logic::Zero) | (Logic::One, Logic::One) => Logic::Zero,
+            (Logic::Zero, Logic::One) | (Logic::One, Logic::Zero) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Reads a floating input as unknown.
+    fn normalize(self) -> Self {
+        if self == Logic::Z {
+            Logic::X
+        } else {
+            self
+        }
+    }
+
+    /// Wired resolution of two *driver contributions* on a shared net:
+    /// `Z` yields to the other driver; agreeing strong values keep it;
+    /// conflicting strong values or any `X` produce `X`.
+    #[must_use]
+    pub fn resolve(self, rhs: Self) -> Self {
+        match (self, rhs) {
+            (Logic::Z, v) | (v, Logic::Z) => v,
+            (a, b) if a == b => a,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl std::ops::Not for Logic {
+    type Output = Logic;
+    fn not(self) -> Logic {
+        Logic::not(self)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'X',
+            Logic::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::*;
+
+    #[test]
+    fn bool_roundtrip() {
+        assert_eq!(Logic::from_bool(true), One);
+        assert_eq!(Logic::from_bool(false), Zero);
+        assert_eq!(One.to_bool(), Some(true));
+        assert_eq!(X.to_bool(), None);
+        assert_eq!(Z.to_bool(), None);
+    }
+
+    #[test]
+    fn gates_handle_dominant_values() {
+        // AND is zero-dominant even with X.
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(X.and(One), X);
+        // OR is one-dominant even with X.
+        assert_eq!(One.or(X), One);
+        assert_eq!(X.or(Zero), X);
+        assert_eq!(One.xor(Zero), One);
+        assert_eq!(One.xor(X), X);
+        assert_eq!(Z.not(), X);
+        assert_eq!(Zero.not(), One);
+    }
+
+    #[test]
+    fn resolution_rules() {
+        assert_eq!(Z.resolve(One), One);
+        assert_eq!(Zero.resolve(Z), Zero);
+        assert_eq!(One.resolve(One), One);
+        assert_eq!(One.resolve(Zero), X, "bus fight");
+        assert_eq!(X.resolve(One), X);
+        assert_eq!(Z.resolve(Z), Z);
+    }
+}

@@ -1,0 +1,124 @@
+//! Multi-cycle domino protocol tests: repeated precharge/evaluate cycles
+//! on real database macros, X-propagation discipline, and select-mutex
+//! violations.
+
+use std::collections::BTreeMap;
+
+use smart_macros::{MacroSpec, MuxTopology};
+use smart_sim::harness::{read_bus, set_bus};
+use smart_sim::{Logic, Simulator};
+
+/// Drives several full precharge/evaluate cycles through the 8-bit CLA
+/// and checks every cycle's sum independently (state from one cycle must
+/// not leak into the next).
+#[test]
+fn adder_runs_many_cycles_without_state_leakage() {
+    let circuit = MacroSpec::ClaAdder { width: 8 }.generate();
+    let mut sim = Simulator::new(&circuit);
+    let vectors = [
+        (0x00u64, 0x00u64, false),
+        (0xFF, 0x01, false),
+        (0x55, 0xAA, true),
+        (0x80, 0x80, false),
+        (0x13, 0x37, true),
+        (0xFF, 0xFF, true),
+        (0x01, 0x00, false),
+    ];
+    for (cycle, &(a, b, cin)) in vectors.iter().enumerate() {
+        // Precharge phase: inputs low per domino discipline.
+        sim.set("clk", Logic::Zero).unwrap();
+        set_bus(&mut sim, "a", 8, 0).unwrap();
+        set_bus(&mut sim, "b", 8, 0).unwrap();
+        sim.set("cin0", Logic::Zero).unwrap();
+        sim.settle().unwrap();
+        // Apply operands, then evaluate.
+        set_bus(&mut sim, "a", 8, a).unwrap();
+        set_bus(&mut sim, "b", 8, b).unwrap();
+        sim.set("cin0", Logic::from_bool(cin)).unwrap();
+        sim.settle().unwrap();
+        sim.set("clk", Logic::One).unwrap();
+        sim.settle().unwrap();
+        let total = a + b + cin as u64;
+        assert_eq!(
+            read_bus(&sim, "s", 8).unwrap(),
+            Some(total & 0xFF),
+            "cycle {cycle}: {a:#x}+{b:#x}+{cin}"
+        );
+        assert_eq!(
+            sim.get("cout").unwrap(),
+            Logic::from_bool(total > 0xFF),
+            "cycle {cycle} carry"
+        );
+    }
+}
+
+/// During precharge, the domino mux output must be forced low regardless
+/// of data, and an evaluate with no select asserted must keep it low.
+#[test]
+fn domino_mux_phases_and_empty_select() {
+    let circuit = MacroSpec::Mux {
+        topology: MuxTopology::UnsplitDomino,
+        width: 4,
+    }
+    .generate();
+    let mut sim = Simulator::new(&circuit);
+    sim.set("clk", Logic::Zero).unwrap();
+    set_bus(&mut sim, "d", 4, 0).unwrap();
+    set_bus(&mut sim, "s", 4, 0).unwrap();
+    sim.settle().unwrap();
+    assert_eq!(sim.get("y").unwrap(), Logic::Zero, "precharged output low");
+
+    // Evaluate with nothing selected: stays low.
+    set_bus(&mut sim, "d", 4, 0b1111).unwrap();
+    sim.settle().unwrap();
+    sim.set("clk", Logic::One).unwrap();
+    sim.settle().unwrap();
+    assert_eq!(sim.get("y").unwrap(), Logic::Zero, "no select -> no output");
+
+    // Next cycle: select input 2 (data high).
+    sim.set("clk", Logic::Zero).unwrap();
+    set_bus(&mut sim, "d", 4, 0).unwrap();
+    set_bus(&mut sim, "s", 4, 0).unwrap();
+    sim.settle().unwrap();
+    set_bus(&mut sim, "d", 4, 0b0100).unwrap();
+    set_bus(&mut sim, "s", 4, 0b0100).unwrap();
+    sim.settle().unwrap();
+    sim.set("clk", Logic::One).unwrap();
+    sim.settle().unwrap();
+    assert_eq!(sim.get("y").unwrap(), Logic::One);
+}
+
+/// A strongly-mutexed pass mux with two selects asserted and conflicting
+/// data produces X — the violation the topology's precondition forbids.
+#[test]
+fn mutex_violation_is_detected_as_x() {
+    let circuit = MacroSpec::Mux {
+        topology: MuxTopology::StronglyMutexedPass,
+        width: 4,
+    }
+    .generate();
+    let mut sim = Simulator::new(&circuit);
+    set_bus(&mut sim, "d", 4, 0b0001).unwrap(); // d0=1, d1=0
+    set_bus(&mut sim, "s", 4, 0b0011).unwrap(); // s0 AND s1 both on
+    sim.settle().unwrap();
+    assert_eq!(sim.get("y").unwrap(), Logic::X, "bus fight must surface");
+}
+
+/// An X on the clock poisons the dynamic node (never silently reads as a
+/// valid value).
+#[test]
+fn unknown_clock_poisons_dynamic_state() {
+    let circuit = MacroSpec::Mux {
+        topology: MuxTopology::UnsplitDomino,
+        width: 4,
+    }
+    .generate();
+    let mut sim = Simulator::new(&circuit);
+    let inputs: BTreeMap<String, bool> = BTreeMap::new();
+    let _ = inputs;
+    set_bus(&mut sim, "d", 4, 0b0010).unwrap();
+    set_bus(&mut sim, "s", 4, 0b0010).unwrap();
+    sim.set("clk", Logic::X).unwrap();
+    sim.settle().unwrap();
+    assert_eq!(sim.get("y").unwrap(), Logic::X);
+}

@@ -1,0 +1,169 @@
+//! Property test: on randomly generated static gate DAGs, the event-driven
+//! simulator agrees with a direct recursive boolean evaluation.
+
+use proptest::prelude::*;
+use smart_netlist::{Circuit, ComponentKind, DeviceRole, NetId, Skew};
+use smart_sim::{Logic, Simulator};
+
+/// A recipe for one random static circuit: gate kinds + input wiring.
+#[derive(Debug, Clone)]
+struct GateRecipe {
+    kind: u8,
+    srcs: Vec<usize>,
+}
+
+fn arb_circuit(inputs: usize, gates: usize) -> impl Strategy<Value = Vec<GateRecipe>> {
+    proptest::collection::vec(
+        (0u8..5, proptest::collection::vec(0usize..1000, 3)),
+        gates..=gates,
+    )
+    .prop_map(move |raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (kind, srcs))| GateRecipe {
+                kind,
+                // Each gate may read primary inputs or earlier gates only
+                // (indices taken modulo the nets available so far).
+                srcs: srcs.into_iter().map(|s| s % (inputs + i)).collect(),
+            })
+            .collect()
+    })
+}
+
+/// Builds the circuit; returns it plus the recipe's net list (inputs then
+/// gate outputs).
+fn build(inputs: usize, recipe: &[GateRecipe]) -> (Circuit, Vec<NetId>) {
+    let mut c = Circuit::new("random");
+    let p = c.label("P");
+    let n = c.label("N");
+    let bind = [(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)];
+    let mut nets: Vec<NetId> = (0..inputs)
+        .map(|i| {
+            let net = c.add_net(format!("in{i}")).unwrap();
+            c.expose_input(format!("in{i}"), net);
+            net
+        })
+        .collect();
+    for (g, r) in recipe.iter().enumerate() {
+        let out = c.add_net(format!("g{g}")).unwrap();
+        let (kind, used) = match r.kind {
+            0 => (ComponentKind::Inverter { skew: Skew::Balanced }, 1),
+            1 => (ComponentKind::Nand { inputs: 2 }, 2),
+            2 => (ComponentKind::Nor { inputs: 2 }, 2),
+            3 => (ComponentKind::Xor2, 2),
+            _ => (ComponentKind::Aoi21, 3),
+        };
+        let mut conns: Vec<NetId> = r.srcs[..used].iter().map(|&s| nets[s]).collect();
+        conns.push(out);
+        c.add(format!("u{g}"), kind, &conns, &bind).unwrap();
+        nets.push(out);
+    }
+    // Expose the last gate as output (plus everything is observable via
+    // net names anyway).
+    if let Some(&last) = nets.last() {
+        c.expose_output("out", last);
+    }
+    (c, nets)
+}
+
+/// Direct reference evaluation of the recipe.
+fn reference(inputs: &[bool], recipe: &[GateRecipe]) -> Vec<bool> {
+    let mut vals: Vec<bool> = inputs.to_vec();
+    for r in recipe {
+        let v = |k: usize| vals[r.srcs[k]];
+        let out = match r.kind {
+            0 => !v(0),
+            1 => !(v(0) && v(1)),
+            2 => !(v(0) || v(1)),
+            3 => v(0) ^ v(1),
+            _ => !((v(0) && v(1)) || v(2)),
+        };
+        vals.push(out);
+    }
+    vals
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simulator_matches_reference_on_random_dags(
+        recipe in arb_circuit(4, 12),
+        stimulus in proptest::collection::vec(any::<bool>(), 4)
+    ) {
+        let (circuit, nets) = build(4, &recipe);
+        let mut sim = Simulator::new(&circuit);
+        for (i, &b) in stimulus.iter().enumerate() {
+            sim.set(&format!("in{i}"), Logic::from_bool(b)).unwrap();
+        }
+        sim.settle().unwrap();
+        let expect = reference(&stimulus, &recipe);
+        for (idx, &net) in nets.iter().enumerate() {
+            prop_assert_eq!(
+                sim.net_value(net),
+                Logic::from_bool(expect[idx]),
+                "net {} of {:?}",
+                idx,
+                recipe
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_updates_match_fresh_evaluation(
+        recipe in arb_circuit(4, 10),
+        first in proptest::collection::vec(any::<bool>(), 4),
+        second in proptest::collection::vec(any::<bool>(), 4)
+    ) {
+        let (circuit, nets) = build(4, &recipe);
+        // Incremental: settle on `first`, then change to `second`.
+        let mut sim = Simulator::new(&circuit);
+        for (i, &b) in first.iter().enumerate() {
+            sim.set(&format!("in{i}"), Logic::from_bool(b)).unwrap();
+        }
+        sim.settle().unwrap();
+        for (i, &b) in second.iter().enumerate() {
+            sim.set(&format!("in{i}"), Logic::from_bool(b)).unwrap();
+        }
+        sim.settle().unwrap();
+        // Fresh: evaluate `second` from scratch.
+        let mut fresh = Simulator::new(&circuit);
+        for (i, &b) in second.iter().enumerate() {
+            fresh.set(&format!("in{i}"), Logic::from_bool(b)).unwrap();
+        }
+        fresh.settle().unwrap();
+        for &net in &nets {
+            prop_assert_eq!(sim.net_value(net), fresh.net_value(net));
+        }
+    }
+
+    #[test]
+    fn unknown_inputs_never_produce_strong_garbage(
+        recipe in arb_circuit(3, 8),
+        known in proptest::collection::vec(any::<bool>(), 3),
+        hide in 0usize..3
+    ) {
+        // With one input left at X, any net that *does* resolve strongly
+        // must match the reference for BOTH values of the hidden input.
+        let (circuit, nets) = build(3, &recipe);
+        let mut sim = Simulator::new(&circuit);
+        for (i, &b) in known.iter().enumerate() {
+            if i != hide {
+                sim.set(&format!("in{i}"), Logic::from_bool(b)).unwrap();
+            }
+        }
+        sim.settle().unwrap();
+        let mut lo = known.clone();
+        lo[hide] = false;
+        let mut hi = known.clone();
+        hi[hide] = true;
+        let ref_lo = reference(&lo, &recipe);
+        let ref_hi = reference(&hi, &recipe);
+        for (idx, &net) in nets.iter().enumerate() {
+            if let Some(b) = sim.net_value(net).to_bool() {
+                prop_assert_eq!(b, ref_lo[idx], "net {} under hidden=0", idx);
+                prop_assert_eq!(b, ref_hi[idx], "net {} under hidden=1", idx);
+            }
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Arrival-time / slope propagation and critical-path extraction.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use smart_models::arcs::{ArcPhase, Edge};
+use smart_models::ModelLibrary;
+use smart_netlist::{Circuit, NetId, Sizing};
+
+use crate::graph::{TArc, TNode, TimingGraph};
+
+/// Errors raised by timing analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StaError {
+    /// The arc graph has a cycle; static analysis needs a DAG.
+    CombinationalLoop,
+    /// A boundary condition referenced a missing port.
+    UnknownPort {
+        /// The missing name.
+        name: String,
+    },
+}
+
+impl fmt::Display for StaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaError::CombinationalLoop => {
+                write!(f, "circuit contains a combinational loop")
+            }
+            StaError::UnknownPort { name } => write!(f, "no port named '{name}'"),
+        }
+    }
+}
+
+impl Error for StaError {}
+
+/// Boundary conditions: input arrival/slope overrides and extra output
+/// loads (the "delays, slopes and loads" of a SMART macro instance,
+/// paper §3).
+#[derive(Debug, Clone, Default)]
+pub struct Boundary {
+    /// `(arrival ps, slope ps)` per input port name; unlisted inputs start
+    /// at `(0, default_slope)`.
+    pub input_times: HashMap<String, (f64, f64)>,
+    /// Extra capacitive load per output port name (width units).
+    pub output_loads: HashMap<String, f64>,
+    /// Default input slope (ps); `None` uses the process slope floor.
+    pub default_slope: Option<f64>,
+}
+
+/// A computed arrival at a timing node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Arrival time (ps).
+    pub time: f64,
+    /// Transition time at this node (ps).
+    pub slope: f64,
+    /// Index of the arc that set this arrival (for path walkback).
+    pub from_arc: Option<usize>,
+}
+
+/// One step of an extracted critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStep {
+    /// Instance path of the component traversed.
+    pub comp_path: String,
+    /// Node entered by this step.
+    pub node: TNode,
+    /// Arrival at the node.
+    pub time: f64,
+}
+
+/// Result of one timing run.
+#[derive(Debug, Clone)]
+pub struct StaReport {
+    arrivals: Vec<Option<Arrival>>,
+    /// Delay of each arc as propagated (None if the source was unreached).
+    arc_delays: Vec<Option<f64>>,
+    graph: TimingGraph,
+}
+
+impl StaReport {
+    /// Arrival at `(net, edge)`, if reachable from any input.
+    pub fn arrival(&self, net: NetId, edge: Edge) -> Option<Arrival> {
+        self.arrivals[TNode { net, edge }.index()]
+    }
+
+    /// The timing graph the report was computed on.
+    pub fn graph(&self) -> &TimingGraph {
+        &self.graph
+    }
+
+    /// Worst arrival over the given nets (both edges).
+    pub fn worst_over(&self, nets: impl IntoIterator<Item = NetId>) -> Option<(TNode, Arrival)> {
+        let mut best: Option<(TNode, Arrival)> = None;
+        for net in nets {
+            for edge in [Edge::Rise, Edge::Fall] {
+                let node = TNode { net, edge };
+                if let Some(a) = self.arrivals[node.index()] {
+                    if best.is_none_or(|(_, b)| a.time > b.time) {
+                        best = Some((node, a));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Slack of every timing node against a common required time `t` at
+    /// all endpoints (nodes with no fanout): `slack = required − arrival`.
+    /// Unreached nodes get `None`.
+    ///
+    /// Uses the per-arc delays recorded during propagation, so the slack
+    /// view is exactly consistent with the arrival view.
+    pub fn slacks(&self, t: f64) -> Vec<Option<f64>> {
+        let n = self.graph.node_count();
+        let mut required: Vec<Option<f64>> = vec![None; n];
+        let order = self
+            .graph
+            .topo_order()
+            .expect("report graph was acyclic at analysis time");
+        for node in order.iter().rev() {
+            let i = node.index();
+            if self.arrivals[i].is_none() {
+                continue;
+            }
+            if self.graph.fanout[i].is_empty() {
+                required[i] = Some(t);
+                continue;
+            }
+            let mut req = f64::INFINITY;
+            for &ai in &self.graph.fanout[i] {
+                let j = self.graph.arcs[ai].to.index();
+                if let (Some(rj), Some(d)) = (required[j], self.arc_delays[ai]) {
+                    req = req.min(rj - d);
+                }
+            }
+            if req.is_finite() {
+                required[i] = Some(req);
+            } else {
+                // All fanout unreached (e.g. the other edge of this net);
+                // treat this node as an endpoint.
+                required[i] = Some(t);
+            }
+        }
+        (0..n)
+            .map(|i| match (required[i], self.arrivals[i]) {
+                (Some(r), Some(a)) => Some(r - a.time),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Walks the worst path into `node` back to a primary input.
+    pub fn path_to(&self, circuit: &Circuit, node: TNode) -> Vec<PathStep> {
+        let mut steps = Vec::new();
+        let mut cur = node;
+        while let Some(a) = self.arrivals[cur.index()] {
+            match a.from_arc {
+                Some(ai) => {
+                    let arc: &TArc = &self.graph.arcs[ai];
+                    steps.push(PathStep {
+                        comp_path: circuit.comp(arc.comp).path.clone(),
+                        node: cur,
+                        time: a.time,
+                    });
+                    cur = arc.from;
+                }
+                None => break,
+            }
+        }
+        steps.reverse();
+        steps
+    }
+}
+
+/// Runs static timing analysis on `circuit` under `sizing`.
+///
+/// Clock inputs launch at `t = 0` like data inputs; precharge and evaluate
+/// arcs are timed on their own (net, edge) nodes, so domino phase delays
+/// (`Pre`, `Eval`) are separately queryable — the quantities Fig. 7 of the
+/// paper reports.
+///
+/// # Errors
+///
+/// * [`StaError::CombinationalLoop`] — the arc graph is cyclic.
+/// * [`StaError::UnknownPort`] — a boundary override names a missing port.
+pub fn analyze(
+    circuit: &Circuit,
+    lib: &ModelLibrary,
+    sizing: &Sizing,
+    boundary: &Boundary,
+) -> Result<StaReport, StaError> {
+    for name in boundary
+        .input_times
+        .keys()
+        .chain(boundary.output_loads.keys())
+    {
+        if !circuit.ports().iter().any(|p| &p.name == name) {
+            return Err(StaError::UnknownPort { name: name.clone() });
+        }
+    }
+    let graph = TimingGraph::extract(circuit);
+    let order = graph.topo_order().ok_or(StaError::CombinationalLoop)?;
+    let mut arrivals: Vec<Option<Arrival>> = vec![None; graph.node_count()];
+    let mut arc_delays: Vec<Option<f64>> = vec![None; graph.arcs.len()];
+
+    let default_slope = boundary
+        .default_slope
+        .unwrap_or(lib.process().slope_min);
+    for port in circuit.input_ports() {
+        let (t, s) = boundary
+            .input_times
+            .get(&port.name)
+            .copied()
+            .unwrap_or((0.0, default_slope));
+        for edge in [Edge::Rise, Edge::Fall] {
+            arrivals[TNode {
+                net: port.net,
+                edge,
+            }
+            .index()] = Some(Arrival {
+                time: t,
+                slope: s,
+                from_arc: None,
+            });
+        }
+    }
+
+    // Extra load per net from output-port boundary.
+    let mut extra_load: HashMap<NetId, f64> = HashMap::new();
+    for port in circuit.output_ports() {
+        if let Some(&l) = boundary.output_loads.get(&port.name) {
+            *extra_load.entry(port.net).or_insert(0.0) += l;
+        }
+    }
+
+    for node in order {
+        for &ai in &graph.fanin[node.index()] {
+            let arc = &graph.arcs[ai];
+            let Some(src) = arrivals[arc.from.index()] else {
+                continue;
+            };
+            let comp = circuit.comp(arc.comp);
+            let cap = lib.net_cap(circuit, node.net, sizing)
+                + extra_load.get(&node.net).copied().unwrap_or(0.0);
+            let t = lib.stage_timing(comp, node.edge, cap, src.slope, sizing);
+            arc_delays[ai] = Some(t.delay);
+            let cand = Arrival {
+                time: src.time + t.delay,
+                slope: t.slope,
+                from_arc: Some(ai),
+            };
+            let slot = &mut arrivals[node.index()];
+            if slot.is_none_or(|cur| cand.time > cur.time) {
+                *slot = Some(cand);
+            }
+        }
+    }
+
+    Ok(StaReport {
+        arrivals,
+        arc_delays,
+        graph,
+    })
+}
+
+/// Convenience: worst data arrival over all output ports (the macro's
+/// propagation delay).
+pub fn max_delay(
+    circuit: &Circuit,
+    lib: &ModelLibrary,
+    sizing: &Sizing,
+    boundary: &Boundary,
+) -> Result<f64, StaError> {
+    let report = analyze(circuit, lib, sizing, boundary)?;
+    Ok(report
+        .worst_over(circuit.output_ports().map(|p| p.net))
+        .map(|(_, a)| a.time)
+        .unwrap_or(0.0))
+}
+
+/// Domino phase delays of a clocked macro: worst precharge (output rise at
+/// dynamic nodes) and worst evaluate (data arrival at outputs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseDelays {
+    /// Worst clock-to-precharged arrival over dynamic nets (ps).
+    pub precharge: f64,
+    /// Worst evaluate arrival over output ports (ps).
+    pub evaluate: f64,
+}
+
+/// Measures [`PhaseDelays`] for a domino macro.
+///
+/// # Errors
+///
+/// Propagates [`analyze`] errors.
+pub fn phase_delays(
+    circuit: &Circuit,
+    lib: &ModelLibrary,
+    sizing: &Sizing,
+    boundary: &Boundary,
+) -> Result<PhaseDelays, StaError> {
+    let report = analyze(circuit, lib, sizing, boundary)?;
+    let mut precharge = 0.0f64;
+    for arc in &report.graph.arcs {
+        if arc.phase == ArcPhase::Precharge {
+            if let Some(a) = report.arrival(arc.to.net, arc.to.edge) {
+                precharge = precharge.max(a.time);
+            }
+        }
+    }
+    let evaluate = report
+        .worst_over(circuit.output_ports().map(|p| p.net))
+        .map(|(_, a)| a.time)
+        .unwrap_or(0.0);
+    Ok(PhaseDelays {
+        precharge,
+        evaluate,
+    })
+}

@@ -1,0 +1,229 @@
+//! Timing-graph extraction: (net, edge) nodes connected by component arcs.
+
+use smart_models::arcs::{arcs, ArcPhase, Edge, Unate};
+use smart_netlist::ComponentKind;
+use smart_netlist::{Circuit, CompId, NetId};
+
+/// A timing node: one signal edge on one net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TNode {
+    /// The net.
+    pub net: NetId,
+    /// Rising or falling.
+    pub edge: Edge,
+}
+
+impl TNode {
+    /// Dense index for array storage (2 nodes per net).
+    pub fn index(self) -> usize {
+        self.net.index() * 2 + matches!(self.edge, Edge::Fall) as usize
+    }
+
+    /// Inverse of [`TNode::index`].
+    pub fn from_index(i: usize) -> Self {
+        TNode {
+            net: NetId::from_index(i / 2),
+            edge: if i.is_multiple_of(2) { Edge::Rise } else { Edge::Fall },
+        }
+    }
+}
+
+/// One timing arc instance: input edge of a component to output edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TArc {
+    /// Source node.
+    pub from: TNode,
+    /// Destination node.
+    pub to: TNode,
+    /// The component traversed.
+    pub comp: CompId,
+    /// Phase classification (data / precharge / clocked-evaluate).
+    pub phase: ArcPhase,
+}
+
+/// The extracted timing graph of a circuit.
+#[derive(Debug, Clone)]
+pub struct TimingGraph {
+    /// All arcs.
+    pub arcs: Vec<TArc>,
+    /// Outgoing arc indices per node (dense, `2 × net_count` entries).
+    pub fanout: Vec<Vec<usize>>,
+    /// Incoming arc indices per node.
+    pub fanin: Vec<Vec<usize>>,
+    node_count: usize,
+}
+
+impl TimingGraph {
+    /// Extracts the timing graph from `circuit` using the shared arc
+    /// templates of `smart-models`.
+    pub fn extract(circuit: &Circuit) -> Self {
+        let node_count = circuit.net_count() * 2;
+        let mut all = Vec::new();
+        for (comp_id, comp) in circuit.components() {
+            let out = comp.output_net();
+            for spec in arcs(&comp.kind) {
+                let from_net = comp.conns[spec.from_pin];
+                let pairs: &[(Edge, Edge)] = match spec.phase {
+                    // Clock arcs are edge-specific: the falling clock
+                    // precharges (dynamic node rises), the rising clock
+                    // opens the evaluate foot (node may fall).
+                    ArcPhase::Precharge => &[(Edge::Fall, Edge::Rise)],
+                    ArcPhase::ClockedEvaluate => &[(Edge::Rise, Edge::Fall)],
+                    // A domino data input can only discharge the node:
+                    // rising data → falling dynamic node (monotonicity).
+                    ArcPhase::Data
+                        if matches!(comp.kind, ComponentKind::Domino { .. }) =>
+                    {
+                        &[(Edge::Rise, Edge::Fall)]
+                    }
+                    ArcPhase::Data => match spec.unate {
+                        Unate::Inverting => {
+                            &[(Edge::Rise, Edge::Fall), (Edge::Fall, Edge::Rise)]
+                        }
+                        Unate::NonInverting => {
+                            &[(Edge::Rise, Edge::Rise), (Edge::Fall, Edge::Fall)]
+                        }
+                        Unate::Both => &[
+                            (Edge::Rise, Edge::Rise),
+                            (Edge::Rise, Edge::Fall),
+                            (Edge::Fall, Edge::Rise),
+                            (Edge::Fall, Edge::Fall),
+                        ],
+                    },
+                };
+                for &(ein, eout) in pairs {
+                    all.push(TArc {
+                        from: TNode {
+                            net: from_net,
+                            edge: ein,
+                        },
+                        to: TNode { net: out, edge: eout },
+                        comp: comp_id,
+                        phase: spec.phase,
+                    });
+                }
+            }
+        }
+        let mut fanout = vec![Vec::new(); node_count];
+        let mut fanin = vec![Vec::new(); node_count];
+        for (i, a) in all.iter().enumerate() {
+            fanout[a.from.index()].push(i);
+            fanin[a.to.index()].push(i);
+        }
+        TimingGraph {
+            arcs: all,
+            fanout,
+            fanin,
+            node_count,
+        }
+    }
+
+    /// Number of (net, edge) nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Topological order of the nodes, or `None` if the arc graph has a
+    /// cycle (combinational loop).
+    pub fn topo_order(&self) -> Option<Vec<TNode>> {
+        let mut indeg: Vec<usize> = (0..self.node_count)
+            .map(|i| self.fanin[i].len())
+            .collect();
+        let mut queue: Vec<usize> = (0..self.node_count).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(self.node_count);
+        while let Some(i) = queue.pop() {
+            order.push(TNode::from_index(i));
+            for &ai in &self.fanout[i] {
+                let j = self.arcs[ai].to.index();
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+        if order.len() == self.node_count {
+            Some(order)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_netlist::{ComponentKind, DeviceRole, Skew};
+
+    fn inverter_circuit() -> Circuit {
+        let mut c = Circuit::new("inv");
+        let a = c.add_net("a").unwrap();
+        let y = c.add_net("y").unwrap();
+        let p = c.label("P");
+        let n = c.label("N");
+        c.add(
+            "u",
+            ComponentKind::Inverter { skew: Skew::Balanced },
+            &[a, y],
+            &[(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)],
+        )
+        .unwrap();
+        c.expose_input("a", a);
+        c.expose_output("y", y);
+        c
+    }
+
+    #[test]
+    fn inverter_extracts_two_arcs() {
+        let c = inverter_circuit();
+        let g = TimingGraph::extract(&c);
+        assert_eq!(g.arcs.len(), 2);
+        // Rise in -> fall out and vice versa.
+        let a = c.find_net("a").unwrap();
+        let y = c.find_net("y").unwrap();
+        assert!(g.arcs.iter().any(|arc| arc.from
+            == TNode {
+                net: a,
+                edge: Edge::Rise
+            }
+            && arc.to
+                == TNode {
+                    net: y,
+                    edge: Edge::Fall
+                }));
+        assert!(g.topo_order().is_some());
+    }
+
+    #[test]
+    fn node_index_roundtrip() {
+        for i in 0..10 {
+            assert_eq!(TNode::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        // Two inverters in a ring.
+        let mut c = Circuit::new("ring");
+        let a = c.add_net("a").unwrap();
+        let b = c.add_net("b").unwrap();
+        let p = c.label("P");
+        let n = c.label("N");
+        let bind = [(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)];
+        c.add(
+            "u1",
+            ComponentKind::Inverter { skew: Skew::Balanced },
+            &[a, b],
+            &bind,
+        )
+        .unwrap();
+        c.add(
+            "u2",
+            ComponentKind::Inverter { skew: Skew::Balanced },
+            &[b, a],
+            &bind,
+        )
+        .unwrap();
+        let g = TimingGraph::extract(&c);
+        assert!(g.topo_order().is_none());
+    }
+}

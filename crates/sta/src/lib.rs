@@ -1,0 +1,28 @@
+//! Static timing analysis for SMART macro netlists — the role PathMill
+//! plays in the paper's flow (§6.1: "The delay through it was measured
+//! using PathMill ... We re-ran PathMill to verify the performance of the
+//! SMART solution").
+//!
+//! * [`TimingGraph`] — (net, edge) nodes connected by the per-kind arc
+//!   templates of `smart-models` (same templates the constraint generator
+//!   uses, so sizer and verifier agree by construction).
+//! * [`analyze`] — arrival/slope propagation with rise/fall separation and
+//!   domino precharge/evaluate phases; critical-path walkback.
+//! * [`paths`] — exhaustive path counting/enumeration, the "over 32,000
+//!   paths on a 64-bit dynamic adder" measurement of §5.2.
+//!
+//! The sizing loop (`smart-core`) runs [`analyze`] after every GP solve and
+//! retargets constraints on mismatch, exactly as in the paper's Fig. 4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyze;
+mod graph;
+pub mod paths;
+
+pub use analyze::{
+    analyze, max_delay, phase_delays, Arrival, Boundary, PathStep, PhaseDelays, StaError,
+    StaReport,
+};
+pub use graph::{TArc, TNode, TimingGraph};

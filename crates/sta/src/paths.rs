@@ -1,0 +1,201 @@
+//! Exhaustive path counting and enumeration over the timing graph.
+//!
+//! Supports the paper's §5.2 experiment: "on a 64 bit dynamic adder, an
+//! exhaustive timing analysis revealed over 32,000 paths" — this module
+//! does that exhaustive count; the compaction that reduces it to ~120
+//! optimization paths lives in `smart-core`.
+
+use smart_netlist::Circuit;
+
+use crate::graph::{TNode, TimingGraph};
+
+/// Counts all input-to-endpoint paths through the arc graph with dynamic
+/// programming (saturating at `u128::MAX`).
+///
+/// A path starts at any node with no fanin (primary-input edge) and ends at
+/// any node with no fanout (endpoint edge).
+pub fn count_paths(graph: &TimingGraph) -> u128 {
+    let order = match graph.topo_order() {
+        Some(o) => o,
+        None => return 0,
+    };
+    let mut from_start: Vec<u128> = vec![0; graph.node_count()];
+    for (i, count) in from_start.iter_mut().enumerate() {
+        if graph.fanin[i].is_empty() {
+            *count = 1;
+        }
+    }
+    for node in order {
+        let i = node.index();
+        let here = from_start[i];
+        if here == 0 {
+            continue;
+        }
+        for &ai in &graph.fanout[i] {
+            let j = graph.arcs[ai].to.index();
+            from_start[j] = from_start[j].saturating_add(here);
+        }
+    }
+    (0..graph.node_count())
+        // A sink that is also a source (an isolated node, e.g. an unused
+        // edge polarity) carries no real path.
+        .filter(|&i| graph.fanout[i].is_empty() && !graph.fanin[i].is_empty())
+        .map(|i| from_start[i])
+        .fold(0u128, u128::saturating_add)
+}
+
+/// One enumerated path: the sequence of nodes from input edge to endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumeratedPath {
+    /// Nodes along the path, input first.
+    pub nodes: Vec<TNode>,
+    /// Arc indices traversed (one fewer than nodes).
+    pub arcs: Vec<usize>,
+}
+
+/// Enumerates up to `limit` complete paths by depth-first search.
+///
+/// Returns the paths found and whether the enumeration was truncated.
+pub fn enumerate_paths(graph: &TimingGraph, limit: usize) -> (Vec<EnumeratedPath>, bool) {
+    let starts: Vec<usize> = (0..graph.node_count())
+        .filter(|&i| graph.fanin[i].is_empty() && !graph.fanout[i].is_empty())
+        .collect();
+    let mut out = Vec::new();
+    let mut truncated = false;
+    let mut stack_nodes: Vec<TNode> = Vec::new();
+    let mut stack_arcs: Vec<usize> = Vec::new();
+    for &s in &starts {
+        if truncated {
+            break;
+        }
+        stack_nodes.push(TNode::from_index(s));
+        dfs(
+            graph,
+            s,
+            &mut stack_nodes,
+            &mut stack_arcs,
+            &mut out,
+            limit,
+            &mut truncated,
+        );
+        stack_nodes.pop();
+    }
+    (out, truncated)
+}
+
+fn dfs(
+    graph: &TimingGraph,
+    node: usize,
+    nodes: &mut Vec<TNode>,
+    arcs: &mut Vec<usize>,
+    out: &mut Vec<EnumeratedPath>,
+    limit: usize,
+    truncated: &mut bool,
+) {
+    if *truncated {
+        return;
+    }
+    if graph.fanout[node].is_empty() {
+        if out.len() >= limit {
+            *truncated = true;
+            return;
+        }
+        out.push(EnumeratedPath {
+            nodes: nodes.clone(),
+            arcs: arcs.clone(),
+        });
+        return;
+    }
+    for &ai in &graph.fanout[node] {
+        let next = graph.arcs[ai].to.index();
+        nodes.push(TNode::from_index(next));
+        arcs.push(ai);
+        dfs(graph, next, nodes, arcs, out, limit, truncated);
+        nodes.pop();
+        arcs.pop();
+    }
+}
+
+/// Counts paths of a circuit directly.
+pub fn circuit_path_count(circuit: &Circuit) -> u128 {
+    count_paths(&TimingGraph::extract(circuit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_netlist::{ComponentKind, DeviceRole, Skew};
+
+    /// Chain of `n` inverters.
+    fn chain(n: usize) -> Circuit {
+        let mut c = Circuit::new("chain");
+        let mut prev = c.add_net("in").unwrap();
+        c.expose_input("in", prev);
+        let p = c.label("P");
+        let nl = c.label("N");
+        for i in 0..n {
+            let next = c.add_net(format!("n{i}")).unwrap();
+            c.add(
+                format!("u{i}"),
+                ComponentKind::Inverter { skew: Skew::Balanced },
+                &[prev, next],
+                &[(DeviceRole::PullUp, p), (DeviceRole::PullDown, nl)],
+            )
+            .unwrap();
+            prev = next;
+        }
+        c.expose_output("out", prev);
+        c
+    }
+
+    #[test]
+    fn chain_has_two_paths() {
+        // Rise and fall through the chain.
+        let c = chain(4);
+        assert_eq!(circuit_path_count(&c), 2);
+        let (paths, truncated) = enumerate_paths(&TimingGraph::extract(&c), 10);
+        assert!(!truncated);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].nodes.len(), 5);
+    }
+
+    #[test]
+    fn reconvergence_multiplies_paths() {
+        // in -> two parallel inverters -> NAND: 2 edges × 2 branches = 4 paths.
+        let mut c = Circuit::new("reconv");
+        let a = c.add_net("a").unwrap();
+        let x = c.add_net("x").unwrap();
+        let y = c.add_net("y").unwrap();
+        let z = c.add_net("z").unwrap();
+        let p = c.label("P");
+        let n = c.label("N");
+        let bind = [(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)];
+        c.add(
+            "u1",
+            ComponentKind::Inverter { skew: Skew::Balanced },
+            &[a, x],
+            &bind,
+        )
+        .unwrap();
+        c.add(
+            "u2",
+            ComponentKind::Inverter { skew: Skew::Balanced },
+            &[a, y],
+            &bind,
+        )
+        .unwrap();
+        c.add("u3", ComponentKind::Nand { inputs: 2 }, &[x, y, z], &bind)
+            .unwrap();
+        c.expose_input("a", a);
+        c.expose_output("z", z);
+        assert_eq!(circuit_path_count(&c), 4);
+    }
+
+    #[test]
+    fn enumeration_truncates_at_limit() {
+        let c = chain(3);
+        let (paths, truncated) = enumerate_paths(&TimingGraph::extract(&c), 1);
+        assert!(truncated);
+        assert_eq!(paths.len(), 1);
+    }
+}

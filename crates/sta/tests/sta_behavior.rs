@@ -1,0 +1,218 @@
+//! Behavioral tests for the timing engine: additivity, load sensitivity,
+//! monotonicity under sizing, domino phase separation, boundary handling.
+
+use std::collections::HashMap;
+
+use smart_models::arcs::Edge;
+use smart_models::ModelLibrary;
+use smart_netlist::{
+    Circuit, ComponentKind, DeviceRole, NetKind, Network, Sizing, Skew,
+};
+use smart_sta::{analyze, max_delay, phase_delays, Boundary, TimingGraph};
+
+fn inv_chain(n: usize, shared_labels: bool) -> Circuit {
+    let mut c = Circuit::new("chain");
+    let mut prev = c.add_net("in").unwrap();
+    c.expose_input("in", prev);
+    for i in 0..n {
+        let next = c.add_net(format!("n{i}")).unwrap();
+        let (p, nn) = if shared_labels {
+            (c.label("P"), c.label("N"))
+        } else {
+            (c.label(&format!("P{i}")), c.label(&format!("N{i}")))
+        };
+        c.add(
+            format!("u{i}"),
+            ComponentKind::Inverter { skew: Skew::Balanced },
+            &[prev, next],
+            &[(DeviceRole::PullUp, p), (DeviceRole::PullDown, nn)],
+        )
+        .unwrap();
+        prev = next;
+    }
+    c.expose_output("out", prev);
+    c
+}
+
+#[test]
+fn longer_chain_is_proportionally_slower() {
+    let lib = ModelLibrary::reference();
+    let b = Boundary::default();
+    let d2 = {
+        let c = inv_chain(2, true);
+        max_delay(&c, &lib, &Sizing::uniform(c.labels(), 2.0), &b).unwrap()
+    };
+    let d6 = {
+        let c = inv_chain(6, true);
+        max_delay(&c, &lib, &Sizing::uniform(c.labels(), 2.0), &b).unwrap()
+    };
+    assert!(d6 > 2.5 * d2, "6-stage {d6} vs 2-stage {d2}");
+    assert!(d6 < 4.0 * d2, "stages should be comparable");
+}
+
+#[test]
+fn output_load_increases_delay() {
+    let lib = ModelLibrary::reference();
+    let c = inv_chain(3, true);
+    let sizing = Sizing::uniform(c.labels(), 2.0);
+    let unloaded = max_delay(&c, &lib, &sizing, &Boundary::default()).unwrap();
+    let mut b = Boundary::default();
+    b.output_loads.insert("out".into(), 30.0);
+    let loaded = max_delay(&c, &lib, &sizing, &b).unwrap();
+    assert!(loaded > unloaded + 5.0, "{loaded} vs {unloaded}");
+}
+
+#[test]
+fn upsizing_the_driver_reduces_delay_under_fixed_load() {
+    let lib = ModelLibrary::reference();
+    let c = inv_chain(1, true);
+    let mut b = Boundary::default();
+    b.output_loads.insert("out".into(), 40.0);
+    let small = max_delay(&c, &lib, &Sizing::uniform(c.labels(), 1.0), &b).unwrap();
+    let big = max_delay(&c, &lib, &Sizing::uniform(c.labels(), 8.0), &b).unwrap();
+    assert!(big < small, "{big} vs {small}");
+}
+
+#[test]
+fn input_arrival_offsets_propagate() {
+    let lib = ModelLibrary::reference();
+    let c = inv_chain(2, true);
+    let sizing = Sizing::uniform(c.labels(), 2.0);
+    let base = max_delay(&c, &lib, &sizing, &Boundary::default()).unwrap();
+    let mut b = Boundary::default();
+    b.input_times
+        .insert("in".into(), (25.0, lib.process().slope_min));
+    let shifted = max_delay(&c, &lib, &sizing, &b).unwrap();
+    assert!((shifted - base - 25.0).abs() < 1e-9);
+}
+
+#[test]
+fn slow_input_slope_increases_delay() {
+    let lib = ModelLibrary::reference();
+    let c = inv_chain(1, true);
+    let sizing = Sizing::uniform(c.labels(), 2.0);
+    let mut fast = Boundary::default();
+    fast.input_times.insert("in".into(), (0.0, 5.0));
+    let mut slow = Boundary::default();
+    slow.input_times.insert("in".into(), (0.0, 80.0));
+    let df = max_delay(&c, &lib, &sizing, &fast).unwrap();
+    let ds = max_delay(&c, &lib, &sizing, &slow).unwrap();
+    assert!(ds > df, "{ds} vs {df}");
+}
+
+#[test]
+fn unknown_boundary_port_is_an_error() {
+    let lib = ModelLibrary::reference();
+    let c = inv_chain(1, true);
+    let sizing = Sizing::uniform(c.labels(), 1.0);
+    let mut b = Boundary::default();
+    b.output_loads.insert("nonexistent".into(), 1.0);
+    assert!(max_delay(&c, &lib, &sizing, &b).is_err());
+}
+
+/// Domino OR-2 with an output inverter.
+fn domino_or2() -> Circuit {
+    let mut c = Circuit::new("dom");
+    let clk = c.add_net_kind("clk", NetKind::Clock).unwrap();
+    let a = c.add_net("a").unwrap();
+    let b = c.add_net("b").unwrap();
+    let dyn_n = c.add_net_kind("dyn", NetKind::Dynamic).unwrap();
+    let y = c.add_net("y").unwrap();
+    let bind = vec![
+        (DeviceRole::Precharge, c.label("P1")),
+        (DeviceRole::DataN, c.label("N1")),
+        (DeviceRole::Evaluate, c.label("N2")),
+    ];
+    c.add(
+        "dom",
+        ComponentKind::Domino {
+            network: Network::parallel_of([0, 1]),
+            clocked_eval: true,
+        },
+        &[clk, a, b, dyn_n],
+        &bind,
+    )
+    .unwrap();
+    let bind2 = vec![
+        (DeviceRole::PullUp, c.label("P3")),
+        (DeviceRole::PullDown, c.label("N3")),
+    ];
+    c.add(
+        "outinv",
+        ComponentKind::Inverter { skew: Skew::High },
+        &[dyn_n, y],
+        &bind2,
+    )
+    .unwrap();
+    c.expose_input("clk", clk);
+    c.expose_input("a", a);
+    c.expose_input("b", b);
+    c.expose_output("y", y);
+    c
+}
+
+#[test]
+fn domino_phases_are_separately_measured() {
+    let lib = ModelLibrary::reference();
+    let c = domino_or2();
+    let sizing = Sizing::uniform(c.labels(), 2.0);
+    let ph = phase_delays(&c, &lib, &sizing, &Boundary::default()).unwrap();
+    assert!(ph.precharge > 0.0);
+    assert!(ph.evaluate > ph.precharge, "evaluate path adds the inverter");
+
+    // Upsizing only the precharge device speeds precharge, not evaluate.
+    let mut s2 = sizing.clone();
+    s2.set_width(c.labels().lookup("P1").unwrap(), 8.0);
+    let ph2 = phase_delays(&c, &lib, &s2, &Boundary::default()).unwrap();
+    assert!(ph2.precharge < ph.precharge);
+}
+
+#[test]
+fn critical_path_walkback_lists_every_stage() {
+    let lib = ModelLibrary::reference();
+    let c = inv_chain(4, false);
+    let sizing = Sizing::uniform(c.labels(), 2.0);
+    let report = analyze(&c, &lib, &sizing, &Boundary::default()).unwrap();
+    let (node, _) = report
+        .worst_over(c.output_ports().map(|p| p.net))
+        .expect("output reachable");
+    let path = report.path_to(&c, node);
+    assert_eq!(path.len(), 4, "one step per inverter");
+    let names: Vec<&str> = path.iter().map(|s| s.comp_path.as_str()).collect();
+    assert_eq!(names, vec!["u0", "u1", "u2", "u3"]);
+    // Arrival times along the path strictly increase.
+    for w in path.windows(2) {
+        assert!(w[1].time > w[0].time);
+    }
+}
+
+#[test]
+fn rise_and_fall_arrivals_differ_by_mobility() {
+    let lib = ModelLibrary::reference();
+    let c = inv_chain(1, true);
+    let sizing = Sizing::uniform(c.labels(), 2.0);
+    let report = analyze(&c, &lib, &sizing, &Boundary::default()).unwrap();
+    let out = c.find_net("n0").unwrap();
+    let rise = report.arrival(out, Edge::Rise).unwrap();
+    let fall = report.arrival(out, Edge::Fall).unwrap();
+    assert!(rise.time > fall.time, "P pull-up is weaker at equal width");
+}
+
+#[test]
+fn arrival_map_covers_reachable_nodes_only() {
+    let lib = ModelLibrary::reference();
+    let mut c = inv_chain(1, true);
+    // A dangling net with no driver and no port: unreachable.
+    let orphan = c.add_net("orphan").unwrap();
+    let sizing = Sizing::uniform(c.labels(), 1.0);
+    let report = analyze(&c, &lib, &sizing, &Boundary::default()).unwrap();
+    assert!(report.arrival(orphan, Edge::Rise).is_none());
+}
+
+#[test]
+fn graph_statistics_scale_with_circuit() {
+    let c = inv_chain(10, true);
+    let g = TimingGraph::extract(&c);
+    assert_eq!(g.arcs.len(), 20, "2 arcs per inverter");
+    let _unused: HashMap<(), ()> = HashMap::new();
+}

@@ -1,0 +1,71 @@
+//! Area-delay exploration of the dynamic carry-lookahead adder — the
+//! paper's §6.2 experiment, generalized: sweep the delay constraint and
+//! watch the minimum-width solution trade area for speed (Fig. 6), with
+//! path-compaction statistics on the side (§5.2).
+//!
+//! ```sh
+//! cargo run --release --example adder_tradeoff [bits] [points]
+//! ```
+//! (release strongly recommended for 64 bits)
+
+use smart_datapath::core::{
+    compaction_stats, minimize_delay, size_circuit, DelaySpec, SizingOptions,
+};
+use smart_datapath::macros::MacroSpec;
+use smart_datapath::models::ModelLibrary;
+use smart_datapath::sta::Boundary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let bits: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let points: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(6);
+
+    let circuit = MacroSpec::ClaAdder { width: bits }.generate();
+    let lib = ModelLibrary::reference();
+    let mut boundary = Boundary::default();
+    for port in circuit
+        .output_ports()
+        .map(|p| p.name.clone())
+        .collect::<Vec<_>>()
+    {
+        boundary.output_loads.insert(port, 12.0);
+    }
+    let opts = SizingOptions::default();
+
+    // §5.2: how many paths does the sizer actually have to constrain?
+    let stats = compaction_stats(&circuit, &lib, &boundary, &opts)?;
+    println!(
+        "# {bits}-bit dynamic CLA adder: {} raw paths -> {} constraint paths ({:.0}x)",
+        stats.raw_paths,
+        stats.classes.len(),
+        stats.ratio()
+    );
+
+    // Fastest achievable point.
+    let (t_star, fastest) = minimize_delay(&circuit, &lib, &boundary, &opts)?;
+    println!(
+        "# fastest achievable: {t_star:.1} ps at width {:.0}\n",
+        fastest.total_width
+    );
+
+    println!("{:>12} {:>12} {:>14}", "delay (ps)", "width", "width/fastest");
+    for i in 0..points {
+        let target = t_star * (1.1 + 0.12 * i as f64);
+        match size_circuit(
+            &circuit,
+            &lib,
+            &boundary,
+            &DelaySpec::uniform(target),
+            &opts,
+        ) {
+            Ok(out) => println!(
+                "{:>12.1} {:>12.1} {:>14.3}",
+                target,
+                out.total_width,
+                out.total_width / fastest.total_width
+            ),
+            Err(e) => println!("{target:>12.1}  infeasible: {e}"),
+        }
+    }
+    Ok(())
+}

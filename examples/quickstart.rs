@@ -1,0 +1,73 @@
+//! Quickstart: size one datapath macro instance with SMART.
+//!
+//! The canonical flow of the paper's Fig. 1: pick a macro from the design
+//! database, state the instance's local constraints (delay budget, output
+//! load), run the sizer, inspect the solution.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use smart_datapath::core::{size_circuit, DelaySpec, SizingOptions};
+use smart_datapath::macros::{MacroSpec, MuxTopology};
+use smart_datapath::models::ModelLibrary;
+use smart_datapath::netlist::spice;
+use smart_datapath::sta::Boundary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pull an 8:1 strongly-mutexed pass-gate mux from the database.
+    let spec = MacroSpec::Mux {
+        topology: MuxTopology::StronglyMutexedPass,
+        width: 8,
+    };
+    let circuit = spec.generate();
+    println!(
+        "macro: {} — {} components, {} transistors, labels: {:?}",
+        circuit.name(),
+        circuit.component_count(),
+        circuit.device_count(),
+        circuit.labels().iter().map(|(_, n)| n).collect::<Vec<_>>()
+    );
+
+    // 2. Instance constraints: 260 ps budget into a 25-width-unit load.
+    let mut boundary = Boundary::default();
+    boundary.output_loads.insert("y".into(), 25.0);
+    let delay_spec = DelaySpec::uniform(260.0);
+
+    // 3. Size (GP solve -> STA verify -> retarget loop of Fig. 4).
+    let lib = ModelLibrary::reference();
+    let outcome = size_circuit(
+        &circuit,
+        &lib,
+        &boundary,
+        &delay_spec,
+        &SizingOptions::default(),
+    )?;
+
+    // 4. Inspect.
+    println!(
+        "sized in {} outer iteration(s): measured delay {:.1} ps (spec {:.0} ps)",
+        outcome.iterations, outcome.measured_delay, delay_spec.data
+    );
+    println!(
+        "paths: {} raw -> {} constraints ({}x compaction)",
+        outcome.raw_paths,
+        outcome.constraint_paths,
+        outcome.raw_paths / outcome.constraint_paths as u128
+    );
+    println!("total transistor width: {:.1}", outcome.total_width);
+    for (label, name) in circuit.labels().iter() {
+        println!("  {name:>4} = {:>7.2}", outcome.sizing.width(label));
+    }
+
+    // 5. Export the sized design as a SPICE deck.
+    let deck = spice::to_spice(&circuit, &outcome.sizing);
+    println!(
+        "\nSPICE deck: {} lines (first 3 shown)",
+        deck.lines().count()
+    );
+    for line in deck.lines().take(3) {
+        println!("  {line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! SMART — Smart Macro Design Advisor: a full reproduction of
+//! *"Macro-Driven Circuit Design Methodology for High-Performance
+//! Datapaths"* (Nemani & Tiwari, DAC 2000).
+//!
+//! This facade crate re-exports the workspace so examples and downstream
+//! users need a single dependency:
+//!
+//! * [`netlist`] — labeled transistor/component circuit IR.
+//! * [`posy`] / [`gp`] — posynomial algebra and the geometric-program
+//!   solver behind the sizer.
+//! * [`models`] — posynomial delay/slope/capacitance model library.
+//! * [`sta`] — static timing (the flow's PathMill role).
+//! * [`sim`] — four-value functional simulator (design-database signoff).
+//! * [`power`] — switching power estimation (the PowerMill role).
+//! * [`macros`] — the design database: mux/incrementor/zero-detect/
+//!   decoder/encoder/comparator/adder/register-file generators.
+//! * [`core`] — the SMART flow: path compaction, constraint generation,
+//!   GP sizing loop, topology exploration, hand-design baseline.
+//! * [`blocks`] — synthetic functional blocks for the §6.4/Table 2
+//!   experiments.
+//! * [`mod@bench`] — one function per paper table/figure.
+//!
+//! See `examples/quickstart.rs` for the canonical five-line flow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use smart_bench as bench;
+pub use smart_blocks as blocks;
+pub use smart_core as core;
+pub use smart_gp as gp;
+pub use smart_macros as macros;
+pub use smart_models as models;
+pub use smart_netlist as netlist;
+pub use smart_posy as posy;
+pub use smart_power as power;
+pub use smart_sim as sim;
+pub use smart_sta as sta;

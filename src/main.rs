@@ -1,0 +1,288 @@
+//! `smart` — command-line front end to the SMART design advisor.
+//!
+//! ```text
+//! smart list                                  # the design database
+//! smart size <macro> [--load L] [--delay T]   # size one instance
+//! smart explore <macro> [--load L] [--delay T]# Fig.-1 topology table
+//! smart spice <macro> [--load L] [--delay T]  # sized SPICE deck to stdout
+//! smart tune-split <width> [--load L] [--delay T]  # partition tuner
+//! smart export <macro>                        # structural netlist text
+//! smart analyze <file>                        # parse + lint + path stats
+//! ```
+//!
+//! Macro names: `mux<N>[:<topology>]`, `inc<N>`, `dec<N>`, `zd<N>[:domino]`,
+//! `decoder<N>`, `penc<N>`, `cmp<N>`, `cla<N>`, `rf<W>x<B>`,
+//! `shift<N>[:sll|srl|rol]`.
+
+use std::process::ExitCode;
+
+use smart_datapath::core::{
+    explore, size_circuit, tune_partition_point, DelaySpec, SizingOptions,
+};
+use smart_datapath::macros::{
+    ComparatorVariant, MacroSpec, MuxTopology, ShiftKind, ZeroDetectStyle,
+};
+use smart_datapath::models::ModelLibrary;
+use smart_datapath::netlist::spice::to_spice;
+use smart_datapath::netlist::text;
+use smart_datapath::sta::Boundary;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: smart <list|size|explore|spice|export|analyze|tune-split> [macro|file] [--load L] [--delay T]\n\
+         macros: mux<N>[:pass|weak|enc|tri|dom|split]  inc<N>  dec<N>  zd<N>[:domino]\n\
+         \x20       decoder<N>  penc<N>  cmp<N>  cla<N>  rf<W>x<B>  shift<N>[:sll|srl|rol]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_macro(name: &str) -> Option<MacroSpec> {
+    let (base, variant) = match name.split_once(':') {
+        Some((b, v)) => (b, Some(v)),
+        None => (name, None),
+    };
+    let num = |prefix: &str| -> Option<usize> { base.strip_prefix(prefix)?.parse().ok() };
+    if let Some(w) = num("mux") {
+        let topology = match variant.unwrap_or("pass") {
+            "pass" => MuxTopology::StronglyMutexedPass,
+            "weak" => MuxTopology::WeaklyMutexedPass,
+            "enc" => MuxTopology::EncodedSelectPass,
+            "tri" => MuxTopology::Tristate,
+            "dom" => MuxTopology::UnsplitDomino,
+            "split" => MuxTopology::PartitionedDomino,
+            _ => return None,
+        };
+        return Some(MacroSpec::Mux { topology, width: w });
+    }
+    if let Some(w) = num("inc") {
+        return Some(MacroSpec::Incrementor { width: w });
+    }
+    if let Some(w) = num("decoder") {
+        return Some(MacroSpec::Decoder { in_bits: w });
+    }
+    if let Some(w) = num("dec") {
+        return Some(MacroSpec::Decrementor { width: w });
+    }
+    if let Some(w) = num("zd") {
+        let style = match variant {
+            Some("domino") => ZeroDetectStyle::Domino,
+            _ => ZeroDetectStyle::Static,
+        };
+        return Some(MacroSpec::ZeroDetect { width: w, style });
+    }
+    if let Some(w) = num("penc") {
+        return Some(MacroSpec::PriorityEncoder { out_bits: w });
+    }
+    if let Some(w) = num("cmp") {
+        return Some(MacroSpec::Comparator {
+            width: w,
+            variant: ComparatorVariant::merced(),
+        });
+    }
+    if let Some(w) = num("cla") {
+        return Some(MacroSpec::ClaAdder { width: w });
+    }
+    if let Some(w) = num("shift") {
+        let kind = match variant.unwrap_or("rol") {
+            "sll" => ShiftKind::LogicalLeft,
+            "srl" => ShiftKind::LogicalRight,
+            "rol" => ShiftKind::RotateLeft,
+            _ => return None,
+        };
+        return Some(MacroSpec::BarrelShifter { width: w, kind });
+    }
+    if let Some(rest) = base.strip_prefix("rf") {
+        let (w, b) = rest.split_once('x')?;
+        return Some(MacroSpec::RegFileRead {
+            words: w.parse().ok()?,
+            bits: b.parse().ok()?,
+        });
+    }
+    None
+}
+
+fn flag(args: &[String], name: &str, default: f64) -> f64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn boundary_for(circuit: &smart_datapath::netlist::Circuit, load: f64) -> Boundary {
+    let mut b = Boundary::default();
+    for p in circuit.output_ports() {
+        b.output_loads.insert(p.name.clone(), load);
+    }
+    b
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    let lib = ModelLibrary::reference();
+    let opts = SizingOptions::default();
+
+    match cmd {
+        "list" => {
+            println!("built-in macro families (see `smart size <macro>`): ");
+            for (name, example) in [
+                ("mux<N>[:pass|weak|enc|tri|dom|split]", "mux8:dom"),
+                ("inc<N> / dec<N>", "inc13"),
+                ("zd<N>[:domino]", "zd22:domino"),
+                ("decoder<N>  (N address bits)", "decoder4"),
+                ("penc<N>     (N index bits)", "penc3"),
+                ("cmp<N>      (D1-D2 comparator)", "cmp32"),
+                ("cla<N>      (dynamic CLA adder)", "cla64"),
+                ("rf<W>x<B>   (register file read)", "rf8x4"),
+                ("shift<N>[:sll|srl|rol]", "shift16:rol"),
+            ] {
+                println!("  {name:<40} e.g. {example}");
+            }
+            ExitCode::SUCCESS
+        }
+        "export" => {
+            let Some(spec) = args.get(1).and_then(|n| parse_macro(n)) else {
+                return usage();
+            };
+            print!("{}", text::to_text(&spec.generate()));
+            ExitCode::SUCCESS
+        }
+        "analyze" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let circuit = match text::from_text(&src) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "{}: {} nets, {} components, {} transistors, {} labels",
+                circuit.name(),
+                circuit.net_count(),
+                circuit.component_count(),
+                circuit.device_count(),
+                circuit.labels().len()
+            );
+            for issue in circuit.lint() {
+                println!("lint: {issue:?}");
+            }
+            for issue in smart_datapath::netlist::methodology_check(&circuit) {
+                println!("drc:  {issue:?}");
+            }
+            let boundary = Boundary::default();
+            match smart_datapath::core::compaction_stats(&circuit, &lib, &boundary, &opts) {
+                Ok(stats) => println!(
+                    "paths: {} raw -> {} constraint classes ({:.1}x)",
+                    stats.raw_paths,
+                    stats.classes.len(),
+                    stats.ratio()
+                ),
+                Err(e) => println!("path analysis failed: {e}"),
+            }
+            ExitCode::SUCCESS
+        }
+        "size" | "spice" | "explore" => {
+            let Some(spec) = args.get(1).and_then(|n| parse_macro(n)) else {
+                return usage();
+            };
+            let load = flag(&args, "--load", 15.0);
+            let delay = flag(&args, "--delay", 300.0);
+            let circuit = spec.generate();
+            let boundary = boundary_for(&circuit, load);
+            match cmd {
+                "explore" => {
+                    let table =
+                        explore(&spec, &lib, &boundary, &DelaySpec::uniform(delay), &opts);
+                    println!(
+                        "{:<30} {:>10} {:>10} {:>10} {:>10}",
+                        "topology", "width", "power", "clock", "delay"
+                    );
+                    for cand in &table.candidates {
+                        match &cand.result {
+                            Ok(m) => println!(
+                                "{:<30} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                                cand.spec.to_string(),
+                                m.outcome.total_width,
+                                m.power.total(),
+                                m.clock_load,
+                                m.outcome.measured_delay
+                            ),
+                            Err(e) => {
+                                println!("{:<30} infeasible: {e}", cand.spec.to_string())
+                            }
+                        }
+                    }
+                    ExitCode::SUCCESS
+                }
+                _ => match size_circuit(
+                    &circuit,
+                    &lib,
+                    &boundary,
+                    &DelaySpec::uniform(delay),
+                    &opts,
+                ) {
+                    Ok(out) => {
+                        if cmd == "spice" {
+                            print!("{}", to_spice(&circuit, &out.sizing));
+                        } else {
+                            match smart_datapath::core::sizing_report(
+                                &circuit, &lib, &boundary, &out,
+                            ) {
+                                Ok(report) => print!("{report}"),
+                                Err(e) => eprintln!("report failed: {e}"),
+                            }
+                        }
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("{spec}: {e}");
+                        ExitCode::FAILURE
+                    }
+                },
+            }
+        }
+        "tune-split" => {
+            let Some(width) = args.get(1).and_then(|v| v.parse().ok()) else {
+                return usage();
+            };
+            let load = flag(&args, "--load", 15.0);
+            let delay = flag(&args, "--delay", 350.0);
+            let probe = smart_datapath::macros::mux::partitioned_domino(width, width / 2);
+            let boundary = boundary_for(&probe, load);
+            let sweep = tune_partition_point(
+                width,
+                &lib,
+                &boundary,
+                &DelaySpec::uniform(delay),
+                &opts,
+            );
+            for c in &sweep.candidates {
+                match &c.result {
+                    Ok(m) => println!(
+                        "{:<14} width {:>9.1}  clock {:>7.1}",
+                        c.setting, m.outcome.total_width, m.clock_load
+                    ),
+                    Err(e) => println!("{:<14} infeasible: {e}", c.setting),
+                }
+            }
+            if let Some(best) = sweep.best_by_width() {
+                println!("best split: {}", best.setting);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

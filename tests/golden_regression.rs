@@ -1,0 +1,98 @@
+//! Golden regressions: exact values recorded from a known-good build, so
+//! unintentional behavioral drift in the models/solver/compaction shows
+//! up as a diff here rather than as silently shifted experiment tables.
+//! (Tolerances are tight but leave room for benign solver jitter.)
+
+use smart_datapath::core::{compaction_stats, size_circuit, DelaySpec, SizingOptions};
+use smart_datapath::macros::{MacroSpec, MuxTopology};
+use smart_datapath::models::ModelLibrary;
+use smart_datapath::sta::Boundary;
+
+fn close(got: f64, want: f64, rel: f64) -> bool {
+    (got - want).abs() <= want.abs() * rel
+}
+
+#[test]
+fn golden_mux4_domino_sizing() {
+    // Recorded from the calibrated build: 4:1 un-split domino mux, 15-unit
+    // load, 300 ps budget.
+    let circuit = MacroSpec::Mux {
+        topology: MuxTopology::UnsplitDomino,
+        width: 4,
+    }
+    .generate();
+    let lib = ModelLibrary::reference();
+    let mut boundary = Boundary::default();
+    boundary.output_loads.insert("y".into(), 15.0);
+    let out = size_circuit(
+        &circuit,
+        &lib,
+        &boundary,
+        &DelaySpec::uniform(300.0),
+        &SizingOptions::default(),
+    )
+    .unwrap();
+    assert!(close(out.total_width, 39.0, 0.02), "width {}", out.total_width);
+    assert!(
+        close(circuit.clock_load(&out.sizing), 9.0, 0.03),
+        "clock {}",
+        circuit.clock_load(&out.sizing)
+    );
+    assert!(close(out.measured_delay, 300.0, 0.01), "delay {}", out.measured_delay);
+    assert_eq!(out.constraint_paths, 3);
+    assert_eq!(out.raw_paths, 10);
+}
+
+#[test]
+fn golden_adder_path_counts() {
+    // The §5.2 numbers this repository reports (EXPERIMENTS.md) for the
+    // 8- and 16-bit adders: exact by construction.
+    let lib = ModelLibrary::reference();
+    let opts = SizingOptions::default();
+    let b = Boundary::default();
+    let s8 = compaction_stats(
+        &MacroSpec::ClaAdder { width: 8 }.generate(),
+        &lib,
+        &b,
+        &opts,
+    )
+    .unwrap();
+    assert_eq!(s8.raw_paths, 819);
+    assert_eq!(s8.classes.len(), 117);
+    let s16 = compaction_stats(
+        &MacroSpec::ClaAdder { width: 16 }.generate(),
+        &lib,
+        &b,
+        &opts,
+    )
+    .unwrap();
+    assert_eq!(s16.raw_paths, 3174);
+    assert_eq!(s16.classes.len(), 211);
+}
+
+#[test]
+fn golden_macro_device_counts() {
+    // Structural fingerprints of the database (device counts are a cheap
+    // whole-structure checksum).
+    let count = |spec: MacroSpec| spec.generate().device_count();
+    assert_eq!(
+        count(MacroSpec::Mux {
+            topology: MuxTopology::UnsplitDomino,
+            width: 8
+        }),
+        20
+    );
+    assert_eq!(count(MacroSpec::Incrementor { width: 13 }), 174);
+    assert_eq!(count(MacroSpec::Decoder { in_bits: 4 }), 168);
+    assert_eq!(
+        count(MacroSpec::Comparator {
+            width: 32,
+            variant: smart_datapath::macros::ComparatorVariant::merced()
+        }),
+        350
+    );
+    // The 64-bit adder's exact count is asserted loosely here (its n·log n
+    // structure is covered by smart-macros' own tests).
+    let cla = count(MacroSpec::ClaAdder { width: 64 });
+    assert!((4000..6000).contains(&cla), "cla64 devices: {cla}");
+}
