@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, and lint the fault-isolated flow crates.
+#
+# The workspace has zero external dependencies, so everything here must
+# pass with --offline on a bare toolchain. The clippy stage denies
+# unwrap/expect in the hot flow path (smart-core, smart-gp) — failures
+# there must be typed errors, not panics. clippy.toml allows both in
+# #[cfg(test)] code.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release, offline) =="
+cargo build --workspace --release --offline
+
+echo "== test (workspace) =="
+cargo test -q --offline --workspace
+
+echo "== clippy (no unwrap/expect in flow crates) =="
+cargo clippy -q --offline -p smart-core -p smart-gp -- \
+  -D clippy::unwrap_used -D clippy::expect_used
+
+echo "CI OK"

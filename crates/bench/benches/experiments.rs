@@ -1,10 +1,14 @@
-//! One Criterion bench per paper table/figure: each bench regenerates the
+//! One timing case per paper table/figure: each case regenerates the
 //! corresponding result (at a reduced scale where the full experiment is
 //! a multi-second batch job — the `fig*`/`table*` binaries print the
 //! full-scale rows).
+//!
+//! Plain timing harness (`harness = false`), no external bench framework:
+//! the workspace builds offline. Run with
+//! `cargo bench -p smart-bench --bench experiments`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use smart_bench::{block64, fig5a, fig5b, fig5c, fig6, fig7, paths52, protocol_61, table2};
 use smart_blocks::{evaluate_block, table2_blocks};
@@ -12,175 +16,98 @@ use smart_core::SizingOptions;
 use smart_macros::{MacroSpec, MuxTopology};
 use smart_models::ModelLibrary;
 
-fn bench_fig5(c: &mut Criterion) {
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    black_box(f()); // warmup
+    let budget = Duration::from_secs(1);
+    let mut times = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < budget && times.len() < 10 {
+        let t0 = Instant::now();
+        black_box(f());
+        times.push(t0.elapsed());
+    }
+    times.sort();
+    let n = times.len();
+    let mean = times.iter().sum::<Duration>() / n as u32;
+    println!(
+        "{name:<28} min {:>10.1?}  median {:>10.1?}  mean {:>10.1?}  ({n} iters)",
+        times[0],
+        times[n / 2],
+        mean
+    );
+}
+
+fn main() {
     let lib = ModelLibrary::reference();
     let opts = SizingOptions::default();
-    let mut group = c.benchmark_group("fig5");
-    group.sample_size(10);
+
     // One representative row per sub-figure; the binaries run all rows.
-    group.bench_function("fig5a_row_inc13", |b| {
-        b.iter(|| {
-            let row = protocol_61(
-                "13bitinc",
-                &MacroSpec::Incrementor { width: 13 },
-                12.0,
-                &lib,
-                &opts,
-            )
-            .unwrap();
-            black_box(row.normalized())
-        })
+    bench("fig5/fig5a_row_inc13", || {
+        protocol_61(
+            "13bitinc",
+            &MacroSpec::Incrementor { width: 13 },
+            12.0,
+            &lib,
+            &opts,
+        )
+        .unwrap()
+        .normalized()
     });
-    group.bench_function("fig5b_row_zd16", |b| {
-        b.iter(|| {
-            let row = protocol_61(
-                "16bit",
-                &MacroSpec::ZeroDetect {
-                    width: 16,
-                    style: smart_macros::ZeroDetectStyle::Static,
-                },
-                12.0,
-                &lib,
-                &opts,
-            )
-            .unwrap();
-            black_box(row.normalized())
-        })
+    bench("fig5/fig5b_row_zd16", || {
+        protocol_61(
+            "16bit",
+            &MacroSpec::ZeroDetect {
+                width: 16,
+                style: smart_macros::ZeroDetectStyle::Static,
+            },
+            12.0,
+            &lib,
+            &opts,
+        )
+        .unwrap()
+        .normalized()
     });
-    group.bench_function("fig5c_row_dec4to16", |b| {
-        b.iter(|| {
-            let row = protocol_61(
-                "4to16",
-                &MacroSpec::Decoder { in_bits: 4 },
-                8.0,
-                &lib,
-                &opts,
-            )
-            .unwrap();
-            black_box(row.normalized())
-        })
+    bench("fig5/fig5c_row_dec4to16", || {
+        protocol_61("4to16", &MacroSpec::Decoder { in_bits: 4 }, 8.0, &lib, &opts)
+            .unwrap()
+            .normalized()
     });
-    group.finish();
-}
 
-fn bench_table1(c: &mut Criterion) {
-    let lib = ModelLibrary::reference();
-    let opts = SizingOptions::default();
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10);
-    group.bench_function("row_unsplit_domino", |b| {
-        b.iter(|| {
-            let row = protocol_61(
-                "unsplit",
-                &MacroSpec::Mux {
-                    topology: MuxTopology::UnsplitDomino,
-                    width: 8,
-                },
-                14.0,
-                &lib,
-                &opts,
-            )
-            .unwrap();
-            black_box((row.width_savings(), row.clock_savings()))
-        })
+    bench("table1/row_unsplit_domino", || {
+        let row = protocol_61(
+            "unsplit",
+            &MacroSpec::Mux {
+                topology: MuxTopology::UnsplitDomino,
+                width: 8,
+            },
+            14.0,
+            &lib,
+            &opts,
+        )
+        .unwrap();
+        (row.width_savings(), row.clock_savings())
     });
-    group.finish();
-}
 
-fn bench_fig6(c: &mut Criterion) {
-    let lib = ModelLibrary::reference();
-    let opts = SizingOptions::default();
-    let mut group = c.benchmark_group("fig6");
-    group.sample_size(10);
     // 8-bit sweep for the bench; the binary runs 64 bits.
-    group.bench_function("adder_curve_8bit", |b| {
-        b.iter(|| {
-            let pts = fig6(&lib, &opts, 8);
-            black_box(pts.len())
-        })
-    });
-    group.finish();
-}
+    bench("fig6/adder_curve_8bit", || fig6(&lib, &opts, 8).len());
 
-fn bench_fig7(c: &mut Criterion) {
-    let lib = ModelLibrary::reference();
-    let opts = SizingOptions::default();
-    let mut group = c.benchmark_group("fig7");
-    group.sample_size(10);
-    group.bench_function("comparator_exploration", |b| {
-        b.iter(|| {
-            let rows = fig7(&lib, &opts);
-            black_box(rows.len())
-        })
-    });
-    group.finish();
-}
+    bench("fig7/comparator_exploration", || fig7(&lib, &opts).len());
 
-fn bench_table2_and_block64(c: &mut Criterion) {
-    let lib = ModelLibrary::reference();
-    let opts = SizingOptions::default();
-    let mut group = c.benchmark_group("blocks");
-    group.sample_size(10);
-    group.bench_function("table2_block4", |b| {
+    bench("blocks/table2_block4", || {
         let spec = &table2_blocks()[3]; // the smallest block
-        b.iter(|| {
-            let r = evaluate_block(spec, &lib, &opts).unwrap();
-            black_box(r.power_savings())
-        })
+        evaluate_block(spec, &lib, &opts).unwrap().power_savings()
     });
-    group.bench_function("block64", |b| {
-        b.iter(|| {
-            let r = block64(&lib, &opts);
-            black_box(r.power_savings())
-        })
-    });
-    group.finish();
-}
+    bench("blocks/block64", || block64(&lib, &opts).power_savings());
 
-fn bench_paths52(c: &mut Criterion) {
-    let lib = ModelLibrary::reference();
-    let opts = SizingOptions::default();
-    let mut group = c.benchmark_group("paths52");
-    group.sample_size(10);
-    group.bench_function("adder16_compaction", |b| {
-        b.iter(|| {
-            let s = paths52(&lib, &opts, 16);
-            black_box((s.raw, s.compacted))
-        })
+    bench("paths52/adder16_compaction", || {
+        let s = paths52(&lib, &opts, 16);
+        (s.raw, s.compacted)
     });
-    group.finish();
-}
 
-/// Smoke-level full-table benches (one iteration each is already a batch
-/// job; Criterion still gives stable medians at sample_size 10).
-fn bench_full_tables(c: &mut Criterion) {
-    let lib = ModelLibrary::reference();
-    let opts = SizingOptions::default();
-    let mut group = c.benchmark_group("full_tables");
-    group.sample_size(10);
-    group.bench_function("fig5a_all_rows", |b| {
-        b.iter(|| black_box(fig5a(&lib, &opts).len()))
-    });
-    group.bench_function("fig5b_all_rows", |b| {
-        b.iter(|| black_box(fig5b(&lib, &opts).len()))
-    });
-    group.bench_function("fig5c_all_rows", |b| {
-        b.iter(|| black_box(fig5c(&lib, &opts).len()))
-    });
-    group.bench_function("table2_all_blocks", |b| {
-        b.iter(|| black_box(table2(&lib, &opts).len()))
-    });
-    group.finish();
+    // Smoke-level full-table runs (one iteration each is already a batch
+    // job; min/median over up to 10 runs is still a stable signal).
+    bench("full_tables/fig5a_all_rows", || fig5a(&lib, &opts).len());
+    bench("full_tables/fig5b_all_rows", || fig5b(&lib, &opts).len());
+    bench("full_tables/fig5c_all_rows", || fig5c(&lib, &opts).len());
+    bench("full_tables/table2_all_blocks", || table2(&lib, &opts).len());
 }
-
-criterion_group!(
-    benches,
-    bench_fig5,
-    bench_table1,
-    bench_fig6,
-    bench_fig7,
-    bench_table2_and_block64,
-    bench_paths52,
-    bench_full_tables
-);
-criterion_main!(benches);

@@ -1,8 +1,13 @@
 //! Microbenchmarks of the flow's hot machinery: GP solving, path
 //! compaction, static timing, functional simulation.
+//!
+//! Plain timing harness (`harness = false`), no external bench framework:
+//! the workspace builds offline. Each case is warmed up once, then run
+//! until ~1 s or 50 iterations, and the min/median/mean wall times are
+//! printed. Run with `cargo bench -p smart-bench --bench sizing`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use smart_core::{compaction_stats, size_circuit, DelaySpec, SizingOptions};
 use smart_macros::{MacroSpec, MuxTopology};
@@ -10,6 +15,27 @@ use smart_models::ModelLibrary;
 use smart_netlist::Sizing;
 use smart_sim::{Logic, Simulator};
 use smart_sta::{analyze, Boundary};
+
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    black_box(f()); // warmup
+    let budget = Duration::from_secs(1);
+    let mut times = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < budget && times.len() < 50 {
+        let t0 = Instant::now();
+        black_box(f());
+        times.push(t0.elapsed());
+    }
+    times.sort();
+    let n = times.len();
+    let mean = times.iter().sum::<Duration>() / n as u32;
+    println!(
+        "{name:<28} min {:>10.1?}  median {:>10.1?}  mean {:>10.1?}  ({n} iters)",
+        times[0],
+        times[n / 2],
+        mean
+    );
+}
 
 fn boundary_for(circuit: &smart_netlist::Circuit, load: f64) -> Boundary {
     let mut b = Boundary::default();
@@ -19,13 +45,10 @@ fn boundary_for(circuit: &smart_netlist::Circuit, load: f64) -> Boundary {
     b
 }
 
-fn bench_gp_sizing(c: &mut Criterion) {
-    let lib = ModelLibrary::reference();
-    let opts = SizingOptions::default();
-    let mut group = c.benchmark_group("gp_sizing");
+fn bench_gp_sizing(lib: &ModelLibrary, opts: &SizingOptions) {
     for (name, spec, budget) in [
         (
-            "mux8_passgate",
+            "gp_sizing/mux8_passgate",
             MacroSpec::Mux {
                 topology: MuxTopology::StronglyMutexedPass,
                 width: 8,
@@ -33,99 +56,78 @@ fn bench_gp_sizing(c: &mut Criterion) {
             300.0,
         ),
         (
-            "mux8_domino",
+            "gp_sizing/mux8_domino",
             MacroSpec::Mux {
                 topology: MuxTopology::UnsplitDomino,
                 width: 8,
             },
             300.0,
         ),
-        ("inc13", MacroSpec::Incrementor { width: 13 }, 4000.0),
+        ("gp_sizing/inc13", MacroSpec::Incrementor { width: 13 }, 4000.0),
     ] {
         let circuit = spec.generate();
         let boundary = boundary_for(&circuit, 20.0);
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let out = size_circuit(
-                    black_box(&circuit),
-                    &lib,
-                    &boundary,
-                    &DelaySpec::uniform(budget),
-                    &opts,
-                )
-                .expect("feasible");
-                black_box(out.total_width)
-            })
+        bench(name, || {
+            let out = size_circuit(
+                black_box(&circuit),
+                lib,
+                &boundary,
+                &DelaySpec::uniform(budget),
+                opts,
+            )
+            .expect("feasible");
+            out.total_width
         });
     }
-    group.finish();
 }
 
-fn bench_compaction(c: &mut Criterion) {
-    let lib = ModelLibrary::reference();
-    let opts = SizingOptions::default();
-    let mut group = c.benchmark_group("path_compaction");
-    group.sample_size(20);
+fn bench_compaction(lib: &ModelLibrary, opts: &SizingOptions) {
     for bits in [8usize, 16, 32] {
         let circuit = MacroSpec::ClaAdder { width: bits }.generate();
         let boundary = Boundary::default();
-        group.bench_function(format!("cla{bits}"), |b| {
-            b.iter(|| {
-                let stats =
-                    compaction_stats(black_box(&circuit), &lib, &boundary, &opts).unwrap();
-                black_box(stats.classes.len())
-            })
+        bench(&format!("path_compaction/cla{bits}"), || {
+            let stats = compaction_stats(black_box(&circuit), lib, &boundary, opts).unwrap();
+            stats.classes.len()
         });
     }
-    group.finish();
 }
 
-fn bench_sta(c: &mut Criterion) {
-    let lib = ModelLibrary::reference();
+fn bench_sta(lib: &ModelLibrary) {
     let circuit = MacroSpec::ClaAdder { width: 32 }.generate();
     let sizing = Sizing::uniform(circuit.labels(), 4.0);
     let boundary = Boundary::default();
-    c.bench_function("sta_cla32", |b| {
-        b.iter(|| {
-            let report = analyze(black_box(&circuit), &lib, &sizing, &boundary).unwrap();
-            black_box(
-                report
-                    .worst_over(circuit.output_ports().map(|p| p.net))
-                    .map(|(_, a)| a.time),
-            )
-        })
+    bench("sta_cla32", || {
+        let report = analyze(black_box(&circuit), lib, &sizing, &boundary).unwrap();
+        report
+            .worst_over(circuit.output_ports().map(|p| p.net))
+            .map(|(_, a)| a.time)
     });
 }
 
-fn bench_simulation(c: &mut Criterion) {
+fn bench_simulation() {
     let circuit = MacroSpec::ClaAdder { width: 32 }.generate();
-    c.bench_function("sim_cla32_vector", |b| {
-        b.iter_batched(
-            || Simulator::new(&circuit),
-            |mut sim| {
-                sim.set("clk", Logic::Zero).unwrap();
-                for i in 0..32 {
-                    sim.set(&format!("a{i}"), Logic::from_bool(i % 3 == 0))
-                        .unwrap();
-                    sim.set(&format!("b{i}"), Logic::from_bool(i % 5 == 0))
-                        .unwrap();
-                }
-                sim.set("cin0", Logic::One).unwrap();
-                sim.settle().unwrap();
-                sim.set("clk", Logic::One).unwrap();
-                sim.settle().unwrap();
-                black_box(sim.get("cout").unwrap())
-            },
-            BatchSize::SmallInput,
-        )
+    bench("sim_cla32_vector", || {
+        let mut sim = Simulator::new(&circuit);
+        sim.set("clk", Logic::Zero).unwrap();
+        for i in 0..32 {
+            sim.set(&format!("a{i}"), Logic::from_bool(i % 3 == 0))
+                .unwrap();
+            sim.set(&format!("b{i}"), Logic::from_bool(i % 5 == 0))
+                .unwrap();
+        }
+        sim.set("cin0", Logic::One).unwrap();
+        sim.settle().unwrap();
+        sim.set("clk", Logic::One).unwrap();
+        sim.settle().unwrap();
+        sim.get("cout").unwrap()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_gp_sizing,
-    bench_compaction,
-    bench_sta,
-    bench_simulation
-);
-criterion_main!(benches);
+fn main() {
+    let lib = ModelLibrary::reference();
+    let opts = SizingOptions::default();
+    bench_gp_sizing(&lib, &opts);
+    bench_compaction(&lib, &opts);
+    bench_sta(&lib);
+    bench_simulation();
+}

@@ -1,6 +1,8 @@
 //! Experiment harness: one function per table/figure of the paper's
 //! evaluation section, shared by the `fig*`/`table*` binaries and the
-//! Criterion benches. Every function is deterministic.
+//! timing benches. Every function is deterministic: randomized inputs
+//! come from the re-exported [`Prng`], never from ambient entropy, so the
+//! whole harness builds and runs offline.
 //!
 //! | paper result | function | binary |
 //! |---|---|---|
@@ -16,6 +18,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub use smart_prng::Prng;
 
 use smart_blocks::{evaluate_block, section64_block, table2_blocks, BlockReport};
 use smart_core::{

@@ -17,9 +17,6 @@ mod alu;
 
 pub use alu::alu_slice;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use smart_core::{
     baseline_sizing, size_circuit, BaselineMargins, DelaySpec, FlowError, SizingOptions,
 };
@@ -186,8 +183,8 @@ pub fn evaluate_block(
 /// Deterministic load jitter so instances of the same macro differ (the
 /// paper sizes "multiple instances" per topology).
 fn loads(seed: u64, base: f64, n: usize) -> Vec<f64> {
-    let mut r = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| base * r.random_range(0.6..1.8)).collect()
+    let mut r = smart_prng::Prng::new(seed);
+    (0..n).map(|_| base * r.f64_in(0.6, 1.8)).collect()
 }
 
 /// The §6.4 functional block: a datapath block whose macros account for

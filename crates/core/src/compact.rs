@@ -287,7 +287,12 @@ pub fn compact(
         }
         let source = TNode::from_index(i);
         for s in &suffixes[i] {
-            let endpoint = graph.arcs[*s.arcs.last().expect("non-empty path")].to;
+            // An empty suffix is a degenerate zero-arc path; it cannot
+            // constrain anything, so drop it rather than panic.
+            let Some(&last_arc) = s.arcs.last() else {
+                continue;
+            };
+            let endpoint = graph.arcs[last_arc].to;
             classes_by_sig
                 .entry(s.sig.clone())
                 .or_insert_with(|| PathClass {
@@ -335,15 +340,14 @@ pub fn compact(
                     .map(|&ai| net_caps[graph.arcs[ai].to.net.index()].score())
                     .sum()
             };
-            let best = members
-                .iter()
-                .copied()
-                .max_by(|&a, &b| {
-                    score(a)
-                        .partial_cmp(&score(b))
-                        .expect("cap scores are finite")
-                })
-                .expect("groups are non-empty");
+            // total_cmp: a NaN cap score (degenerate load) must not panic
+            // the sweep; NaN ranks highest and the Fig.-4 STA feedback
+            // loop corrects any resulting optimism.
+            let Some(best) = members.iter().copied().max_by(|&a, &b| {
+                score(a).total_cmp(&score(b))
+            }) else {
+                continue; // groups are non-empty by construction
+            };
             for &m in members {
                 if m != best {
                     keep[m] = false;

@@ -39,6 +39,48 @@ pub enum FlowError {
         /// The missing label name.
         name: String,
     },
+    /// A candidate's generator or sizing pipeline panicked; the panic was
+    /// contained at the exploration boundary so the sweep could continue.
+    /// One pathological topology becomes one failed table row, never a
+    /// dead sweep.
+    Internal {
+        /// Display form of the candidate that panicked.
+        candidate: String,
+        /// The captured panic payload, when it was a string.
+        panic_msg: String,
+    },
+    /// A flow budget ([`crate::FlowBudget`]) expired: the wall clock ran
+    /// out, the GP burned its Newton-step allowance, or the exploration hit
+    /// its candidate cap.
+    BudgetExceeded {
+        /// Which budget fired (`"wall-clock"`, `"newton-steps"`,
+        /// `"candidates"`).
+        what: &'static str,
+        /// Human-readable detail (stage, counts).
+        detail: String,
+    },
+}
+
+impl FlowError {
+    /// Short stable failure-taxonomy tag for reports and sweep tables
+    /// (`infeasible`, `unbounded`, `numerical`, `non-finite`, `budget`,
+    /// `panic`, `sta`, `paths`, `no-convergence`, `no-endpoints`, `pin`).
+    pub fn taxonomy(&self) -> &'static str {
+        match self {
+            FlowError::Gp(GpError::Infeasible { .. }) => "infeasible",
+            FlowError::Gp(GpError::Unbounded) => "unbounded",
+            FlowError::Gp(GpError::NonFinite { .. }) => "non-finite",
+            FlowError::Gp(GpError::BudgetExceeded { .. }) => "budget",
+            FlowError::Gp(_) => "numerical",
+            FlowError::Sta(_) => "sta",
+            FlowError::TooManyPaths { .. } => "paths",
+            FlowError::NoConvergence { .. } => "no-convergence",
+            FlowError::NoEndpoints => "no-endpoints",
+            FlowError::UnknownPin { .. } => "pin",
+            FlowError::Internal { .. } => "panic",
+            FlowError::BudgetExceeded { .. } => "budget",
+        }
+    }
 }
 
 impl fmt::Display for FlowError {
@@ -57,6 +99,16 @@ impl fmt::Display for FlowError {
             FlowError::NoEndpoints => write!(f, "circuit has no reachable timing endpoints"),
             FlowError::UnknownPin { name } => {
                 write!(f, "pinned label '{name}' does not exist in this circuit")
+            }
+            FlowError::Internal {
+                candidate,
+                panic_msg,
+            } => write!(
+                f,
+                "candidate '{candidate}' panicked (contained): {panic_msg}"
+            ),
+            FlowError::BudgetExceeded { what, detail } => {
+                write!(f, "{what} budget exceeded: {detail}")
             }
         }
     }

@@ -3,6 +3,14 @@
 //! instance constraints, and compare on the cost metric, letting the tool
 //! pick the best or the designer inspect the whole table (the Fig. 7
 //! experiment is exactly one run of this).
+//!
+//! The sweep is *fault-isolated*: each candidate's elaboration and sizing
+//! run inside a panic boundary, so one pathological topology (a generator
+//! that panics, a GP that diverges) becomes one [`FlowError::Internal`]
+//! table row instead of killing the whole exploration. Candidate-count
+//! budgets ([`crate::FlowBudget::max_candidates`]) are also enforced here.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use smart_models::ModelLibrary;
 use smart_netlist::Circuit;
@@ -34,8 +42,9 @@ pub struct CandidateMetrics {
 pub struct Candidate {
     /// The macro spec of this alternative.
     pub spec: MacroSpec,
-    /// The elaborated circuit.
-    pub circuit: Circuit,
+    /// The elaborated circuit; `None` when elaboration itself failed
+    /// (panicked generator) or the candidate budget excluded it.
+    pub circuit: Option<Circuit>,
     /// Sized metrics, or why sizing failed.
     pub result: Result<CandidateMetrics, FlowError>,
 }
@@ -49,34 +58,44 @@ pub struct Exploration {
 
 impl Exploration {
     /// The feasible candidate with the lowest total width (the default
-    /// area/power proxy the paper reports).
+    /// area/power proxy the paper reports). Uses a total order, so a rogue
+    /// NaN metric cannot panic the comparison — it simply ranks last.
     pub fn best_by_width(&self) -> Option<&Candidate> {
-        self.candidates
-            .iter()
-            .filter(|c| c.result.is_ok())
-            .min_by(|a, b| {
-                let wa = a.result.as_ref().unwrap().outcome.total_width;
-                let wb = b.result.as_ref().unwrap().outcome.total_width;
-                wa.partial_cmp(&wb).expect("widths are finite")
-            })
+        best_by(&self.candidates, |m| m.outcome.total_width)
     }
 
     /// The feasible candidate with the lowest total power.
     pub fn best_by_power(&self) -> Option<&Candidate> {
-        self.candidates
-            .iter()
-            .filter(|c| c.result.is_ok())
-            .min_by(|a, b| {
-                let pa = a.result.as_ref().unwrap().power.total();
-                let pb = b.result.as_ref().unwrap().power.total();
-                pa.partial_cmp(&pb).expect("powers are finite")
-            })
+        best_by(&self.candidates, |m| m.power.total())
     }
 
     /// Number of candidates that met the constraints.
     pub fn feasible_count(&self) -> usize {
         self.candidates.iter().filter(|c| c.result.is_ok()).count()
     }
+
+    /// Failure-taxonomy histogram of the non-feasible rows:
+    /// `(tag, count)` pairs sorted by tag — the robustness report column.
+    pub fn failure_taxonomy(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: std::collections::BTreeMap<&'static str, usize> =
+            std::collections::BTreeMap::new();
+        for c in &self.candidates {
+            if let Err(e) = &c.result {
+                *counts.entry(e.taxonomy()).or_insert(0) += 1;
+            }
+        }
+        counts.into_iter().collect()
+    }
+}
+
+/// Minimum over the feasible candidates on `key`, NaN-tolerant
+/// (`f64::total_cmp` ranks NaN above every real value).
+fn best_by(candidates: &[Candidate], key: impl Fn(&CandidateMetrics) -> f64) -> Option<&Candidate> {
+    candidates
+        .iter()
+        .filter_map(|c| c.result.as_ref().ok().map(|m| (c, key(m))))
+        .min_by(|(_, a), (_, b)| a.total_cmp(b))
+        .map(|(c, _)| c)
 }
 
 /// Sizes one elaborated circuit and collects its metrics.
@@ -98,8 +117,23 @@ pub fn size_and_measure(
     })
 }
 
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// Runs the Fig.-1 exploration: every database alternative of `request`
 /// is elaborated, sized under the same instance constraints and measured.
+///
+/// Never panics on a bad candidate and never returns early: the table
+/// always has one row per alternative, failed rows carrying the typed
+/// error that disqualified them.
 pub fn explore(
     request: &MacroSpec,
     lib: &ModelLibrary,
@@ -107,18 +141,73 @@ pub fn explore(
     spec: &DelaySpec,
     opts: &SizingOptions,
 ) -> Exploration {
-    let mut candidates = Vec::new();
     // Requested topology first, then the alternatives.
     let mut alts = request.alternatives();
     if let Some(pos) = alts.iter().position(|s| s == request) {
         alts.swap(0, pos);
     }
-    for alt in alts {
-        let circuit = alt.generate();
-        let result = size_and_measure(&circuit, lib, boundary, spec, opts);
+    explore_with(alts, MacroSpec::generate, lib, boundary, spec, opts)
+}
+
+/// The exploration engine behind [`explore`], with an injectable
+/// elaborator. Designer databases with custom generators (paper §3(i))
+/// plug in here; tests use it to inject pathological candidates and prove
+/// the sweep survives them.
+pub fn explore_with<F>(
+    specs: Vec<MacroSpec>,
+    generate: F,
+    lib: &ModelLibrary,
+    boundary: &Boundary,
+    spec: &DelaySpec,
+    opts: &SizingOptions,
+) -> Exploration
+where
+    F: Fn(&MacroSpec) -> Circuit,
+{
+    let mut candidates = Vec::new();
+    for (idx, alt) in specs.into_iter().enumerate() {
+        if let Some(cap) = opts.budget.max_candidates {
+            if idx >= cap {
+                candidates.push(Candidate {
+                    spec: alt,
+                    circuit: None,
+                    result: Err(FlowError::BudgetExceeded {
+                        what: "candidates",
+                        detail: format!("candidate {} beyond cap {cap}", idx + 1),
+                    }),
+                });
+                continue;
+            }
+        }
+        // Elaboration boundary: a panicking generator yields an error row.
+        let circuit = match catch_unwind(AssertUnwindSafe(|| generate(&alt))) {
+            Ok(c) => c,
+            Err(payload) => {
+                candidates.push(Candidate {
+                    result: Err(FlowError::Internal {
+                        candidate: alt.to_string(),
+                        panic_msg: panic_message(payload),
+                    }),
+                    spec: alt,
+                    circuit: None,
+                });
+                continue;
+            }
+        };
+        // Sizing boundary: a panic anywhere in compaction / GP / STA /
+        // power for this candidate is contained the same way.
+        let result = match catch_unwind(AssertUnwindSafe(|| {
+            size_and_measure(&circuit, lib, boundary, spec, opts)
+        })) {
+            Ok(r) => r,
+            Err(payload) => Err(FlowError::Internal {
+                candidate: alt.to_string(),
+                panic_msg: panic_message(payload),
+            }),
+        };
         candidates.push(Candidate {
             spec: alt,
-            circuit,
+            circuit: Some(circuit),
             result,
         });
     }

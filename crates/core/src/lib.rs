@@ -72,9 +72,11 @@ pub mod tune;
 pub use baseline::{baseline_sizing, BaselineMargins};
 pub use compact::{compact, CapVec, Compaction, PathClass};
 pub use error::FlowError;
-pub use explore::{explore, size_and_measure, Candidate, CandidateMetrics, Exploration};
+pub use explore::{
+    explore, explore_with, size_and_measure, Candidate, CandidateMetrics, Exploration,
+};
 pub use noise::{analyze_noise, DynamicNodeNoise, NoiseReport};
 pub use report::sizing_report;
 pub use sizing::{compaction_stats, measure_phase_delays, minimize_delay, size_circuit, SizingOutcome};
-pub use spec::{CostMetric, DelaySpec, SizingOptions};
+pub use spec::{CostMetric, DelaySpec, FlowBudget, SizingOptions};
 pub use tune::{tune_comparator_grouping, tune_partition_point, TuneCandidate, TuneSweep};

@@ -91,11 +91,7 @@ pub fn analyze_noise(circuit: &Circuit, lib: &ModelLibrary, sizing: &Sizing) -> 
             cap_per_drive: node_cap / w_pre,
         });
     }
-    nodes.sort_by(|a, b| {
-        b.leakage_ratio
-            .partial_cmp(&a.leakage_ratio)
-            .expect("finite ratios")
-    });
+    nodes.sort_by(|a, b| b.leakage_ratio.total_cmp(&a.leakage_ratio));
     NoiseReport { nodes }
 }
 

@@ -74,7 +74,7 @@ pub fn sizing_report(
             (name.to_owned(), w, contrib)
         })
         .collect();
-    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite widths"));
+    rows.sort_by(|a, b| b.2.total_cmp(&a.2));
     let _ = writeln!(out, "\n{:<16} {:>9} {:>12} {:>7}", "label", "width", "total width", "share");
     for (name, w, contrib) in &rows {
         let _ = writeln!(

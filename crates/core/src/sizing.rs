@@ -1,7 +1,21 @@
 //! The SMART sizing loop — the paper's Fig. 4: constraint generation →
 //! GP solve → netlist update → static timing verification → delay-spec
 //! retargeting, iterated to convergence.
+//!
+//! The loop is wrapped in a *resilience ladder* so an exploration sweep
+//! degrades gracefully instead of unwinding:
+//!
+//! * numerical GP failures are retried from a deterministically perturbed
+//!   starting point ([`SizingOptions::gp_retries`]);
+//! * infeasible / non-converging specs optionally walk a relaxation
+//!   schedule ([`SizingOptions::relaxation`]), recording the achieved rung
+//!   in [`SizingOutcome::spec_relaxation`];
+//! * every stage observes the [`crate::FlowBudget`] (wall clock checked
+//!   between outer iterations and cooperatively inside the GP solver).
 
+use std::time::Instant;
+
+use smart_gp::{GpError, GpProblem, GpSolution, SolverOptions};
 use smart_models::ModelLibrary;
 use smart_netlist::{Circuit, Sizing};
 use smart_sta::{analyze, Boundary};
@@ -27,6 +41,13 @@ pub struct SizingOutcome {
     pub constraint_paths: usize,
     /// Exhaustive path count before compaction (§5.2 numerator).
     pub raw_paths: u128,
+    /// Relative spec relaxation that was needed (`0.0` = the requested
+    /// spec was met; `0.05` = the +5% rung of the ladder succeeded). The
+    /// achieved spec is `requested.relaxed(spec_relaxation)`.
+    pub spec_relaxation: f64,
+    /// GP solves that had to be restarted from a perturbed point after a
+    /// numerical failure.
+    pub gp_restarts: usize,
 }
 
 /// Measures worst delays with the same models the GP used.
@@ -52,15 +73,98 @@ pub(crate) fn measure(
     Ok((data, pre))
 }
 
+/// Splitmix64 step — the deterministic jitter source for GP restart
+/// perturbation (no external PRNG dependency; reproducible runs).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A multiplicatively jittered copy of `x0`: each coordinate is scaled by
+/// `exp(u)`, `u ∈ [-0.6, 0.6]`, widening with the attempt number so
+/// successive restarts explore progressively different basins. Positive in,
+/// positive out — the GP only needs a positive anchor, not a feasible one.
+fn perturbed_start(x0: &[f64], attempt: usize) -> Vec<f64> {
+    let mut state = 0xA076_1D64_78BD_642Fu64 ^ (attempt as u64).wrapping_mul(0x10B7);
+    let spread = 0.35 * attempt as f64;
+    x0.iter()
+        .map(|&w| {
+            let u = (splitmix(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+            w * ((u - 0.5) * 2.0 * spread).exp()
+        })
+        .collect()
+}
+
+/// Converts a solver budget trip into the flow-level budget error.
+fn budget_flow_error(stage: &'static str, budget: &'static str, spent: usize) -> FlowError {
+    FlowError::BudgetExceeded {
+        what: budget,
+        detail: format!("GP {stage} spent {spent} Newton steps"),
+    }
+}
+
+/// One GP solve under the flow budget, with the numerical-failure retry
+/// ladder: `opts.gp_retries` restarts from perturbed starting points.
+/// Returns the solution and the number of restarts consumed.
+fn solve_with_retries(
+    gp: &GpProblem,
+    initial: Vec<f64>,
+    opts: &SizingOptions,
+    deadline: Option<Instant>,
+) -> Result<(GpSolution, usize), FlowError> {
+    let solver_opts = |x0: Vec<f64>| SolverOptions {
+        initial_x: Some(x0),
+        deadline,
+        max_total_newton: opts.budget.max_gp_iters,
+        ..Default::default()
+    };
+    let mut attempt = 0usize;
+    let mut start = initial.clone();
+    loop {
+        match gp.solve(&solver_opts(start)) {
+            Ok(sol) => return Ok((sol, attempt)),
+            Err(GpError::BudgetExceeded {
+                stage,
+                budget,
+                spent_newton,
+            }) => return Err(budget_flow_error(stage, budget, spent_newton)),
+            Err(e @ (GpError::Numerical { .. } | GpError::NonFinite { .. }))
+                if attempt < opts.gp_retries =>
+            {
+                // Numerical stall: re-anchor at a jittered point and try
+                // again. Infeasible/unbounded outcomes are *answers*, not
+                // stalls, so they propagate immediately.
+                let _ = e;
+                attempt += 1;
+                start = perturbed_start(&initial, attempt);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Whether a failure may be answered by walking the relaxation ladder
+/// (the spec was the problem, not the machinery).
+fn relaxable(e: &FlowError) -> bool {
+    matches!(
+        e,
+        FlowError::Gp(GpError::Infeasible { .. }) | FlowError::NoConvergence { .. }
+    )
+}
+
 /// Sizes `circuit` to meet `spec` under `boundary`, minimizing the
-/// configured cost — the full Fig.-4 loop.
+/// configured cost — the full Fig.-4 loop plus the resilience ladder.
 ///
 /// # Errors
 ///
-/// * [`FlowError::Gp`] — the spec is unachievable (infeasible) or the
-///   solver failed.
+/// * [`FlowError::Gp`] — the spec is unachievable (infeasible) at every
+///   relaxation rung, or the solver failed beyond the retry budget.
 /// * [`FlowError::NoConvergence`] — STA kept disagreeing with the
-///   constraint view beyond the outer iteration budget.
+///   constraint view beyond the outer iteration budget at every rung.
+/// * [`FlowError::BudgetExceeded`] — the flow budget expired mid-run.
 /// * Propagates compaction and STA errors.
 pub fn size_circuit(
     circuit: &Circuit,
@@ -69,19 +173,112 @@ pub fn size_circuit(
     spec: &DelaySpec,
     opts: &SizingOptions,
 ) -> Result<SizingOutcome, FlowError> {
+    let deadline = opts.budget.wall_clock.map(|d| Instant::now() + d);
+    validate_spec(spec)?;
+    let prepared = prepare(circuit, lib, boundary, opts)?;
+
+    let mut last_err = None;
+    for &rel in [0.0].iter().chain(opts.relaxation.iter()) {
+        let target = spec.relaxed(rel);
+        match size_to_spec(circuit, lib, boundary, &target, opts, &prepared, deadline) {
+            Ok(mut outcome) => {
+                outcome.spec_relaxation = rel;
+                return Ok(outcome);
+            }
+            Err(e) if relaxable(&e) => last_err = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    // The rung-0 attempt always ran, so an error is recorded.
+    Err(last_err.unwrap_or(FlowError::NoEndpoints))
+}
+
+/// The delay spec enters the GP as constraint coefficients, so a
+/// non-finite or non-positive budget would be a posynomial constructor
+/// panic downstream — reject it at flow entry instead.
+fn validate_spec(spec: &DelaySpec) -> Result<(), FlowError> {
+    let mut phases = vec![("data", spec.data)];
+    if let Some(p) = spec.precharge {
+        phases.push(("precharge", p));
+    }
+    for (phase, t) in phases {
+        if !(t.is_finite() && t > 0.0) {
+            return Err(FlowError::Gp(smart_gp::GpError::NonFinite {
+                stage: "spec",
+                detail: format!("{phase} delay budget is {t}; need finite > 0"),
+            }));
+        }
+    }
+    Ok(())
+}
+
+/// Shared per-circuit preparation: boundary loads + path compaction.
+struct Prepared {
+    extra: std::collections::HashMap<smart_netlist::NetId, f64>,
+    compaction: Compaction,
+}
+
+fn prepare(
+    circuit: &Circuit,
+    lib: &ModelLibrary,
+    boundary: &Boundary,
+    opts: &SizingOptions,
+) -> Result<Prepared, FlowError> {
+    // Reject non-finite boundary conditions here, before they can reach
+    // the posynomial layer (where a NaN coefficient is a constructor
+    // panic, not a typed error).
+    for (name, &load) in &boundary.output_loads {
+        if !load.is_finite() {
+            return Err(FlowError::Sta(smart_sta::StaError::NonFiniteBoundary {
+                name: name.clone(),
+                value: load,
+            }));
+        }
+    }
+    for (name, &(t, s)) in &boundary.input_times {
+        if !(t.is_finite() && s.is_finite()) {
+            return Err(FlowError::Sta(smart_sta::StaError::NonFiniteBoundary {
+                name: name.clone(),
+                value: if t.is_finite() { s } else { t },
+            }));
+        }
+    }
     let (_, vars) = smart_models::label_vars(circuit);
     let extra = boundary_extra_loads(circuit, boundary);
     let compaction = compact(circuit, lib, &vars, &extra, opts)?;
+    Ok(Prepared { extra, compaction })
+}
 
+/// One rung of the ladder: the classic Fig.-4 loop against a fixed target.
+fn size_to_spec(
+    circuit: &Circuit,
+    lib: &ModelLibrary,
+    boundary: &Boundary,
+    spec: &DelaySpec,
+    opts: &SizingOptions,
+    prepared: &Prepared,
+    deadline: Option<Instant>,
+) -> Result<SizingOutcome, FlowError> {
+    let compaction = &prepared.compaction;
+    let extra = &prepared.extra;
     let mut working_spec = spec.clone();
     let mut last = (f64::INFINITY, f64::INFINITY);
+    let mut restarts = 0usize;
     for iter in 1..=opts.max_outer_iters {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return Err(FlowError::BudgetExceeded {
+                    what: "wall-clock",
+                    detail: format!("sizing loop reached outer iteration {iter}"),
+                });
+            }
+        }
         let built = build_sizing_gp(
             circuit,
             lib,
-            &compaction,
+            compaction,
             boundary,
-            &extra,
+            extra,
             &working_spec,
             opts,
         )?;
@@ -95,16 +292,14 @@ pub fn size_circuit(
             }
             _ => vec![w0; built.gp.dim()],
         };
-        let sol = built.gp.solve(&smart_gp::SolverOptions {
-            initial_x: Some(initial),
-            ..Default::default()
-        })?;
+        let (sol, used) = solve_with_retries(&built.gp, initial, opts, deadline)?;
+        restarts += used;
         let sizing = Sizing::from_widths(
             (0..circuit.labels().len())
                 .map(|i| sol.x[built.vars[i].index()])
                 .collect(),
         );
-        let (data, pre) = measure(circuit, lib, &sizing, boundary, &compaction)?;
+        let (data, pre) = measure(circuit, lib, &sizing, boundary, compaction)?;
         last = (data, pre);
         let data_ok = data <= spec.data * (1.0 + opts.timing_tolerance);
         let pre_ok = pre <= spec.precharge_budget() * (1.0 + opts.timing_tolerance);
@@ -117,6 +312,8 @@ pub fn size_circuit(
                 iterations: iter,
                 constraint_paths: compaction.classes.len(),
                 raw_paths: compaction.raw_paths,
+                spec_relaxation: 0.0,
+                gp_restarts: restarts,
             });
         }
         // Retarget: shrink the constraint budgets by the measured
@@ -140,34 +337,32 @@ pub fn size_circuit(
 ///
 /// # Errors
 ///
-/// Propagates GP/STA/compaction errors.
+/// Propagates GP/STA/compaction errors and budget expiry.
 pub fn minimize_delay(
     circuit: &Circuit,
     lib: &ModelLibrary,
     boundary: &Boundary,
     opts: &SizingOptions,
 ) -> Result<(f64, SizingOutcome), FlowError> {
-    let (_, vars) = smart_models::label_vars(circuit);
-    let extra = boundary_extra_loads(circuit, boundary);
-    let compaction = compact(circuit, lib, &vars, &extra, opts)?;
-    let (built, t_var) = build_min_delay_gp(circuit, lib, &compaction, boundary, &extra, opts)?;
+    let deadline = opts.budget.wall_clock.map(|d| Instant::now() + d);
+    let prepared = prepare(circuit, lib, boundary, opts)?;
+    let compaction = &prepared.compaction;
+    let (built, t_var) =
+        build_min_delay_gp(circuit, lib, compaction, boundary, &prepared.extra, opts)?;
     // Warm start: mid-range widths with the delay variable at its upper
     // bound — strictly feasible, so phase I exits immediately instead of
     // climbing from T = 1 through a wall of violated path constraints.
     let w0 = (lib.process().w_min * lib.process().w_max).sqrt();
     let mut x0 = vec![w0; built.gp.dim()];
     x0[t_var.index()] = 1e6;
-    let sol = built.gp.solve(&smart_gp::SolverOptions {
-        initial_x: Some(x0),
-        ..Default::default()
-    })?;
+    let (sol, restarts) = solve_with_retries(&built.gp, x0, opts, deadline)?;
     let sizing = Sizing::from_widths(
         (0..circuit.labels().len())
             .map(|i| sol.x[built.vars[i].index()])
             .collect(),
     );
     let t_star = sol.x[t_var.index()];
-    let (data, pre) = measure(circuit, lib, &sizing, boundary, &compaction)?;
+    let (data, pre) = measure(circuit, lib, &sizing, boundary, compaction)?;
     Ok((
         t_star,
         SizingOutcome {
@@ -178,6 +373,8 @@ pub fn minimize_delay(
             iterations: 1,
             constraint_paths: compaction.classes.len(),
             raw_paths: compaction.raw_paths,
+            spec_relaxation: 0.0,
+            gp_restarts: restarts,
         },
     ))
 }
@@ -198,10 +395,8 @@ pub fn measure_phase_delays(
     boundary: &Boundary,
     opts: &SizingOptions,
 ) -> Result<(f64, f64), FlowError> {
-    let (_, vars) = smart_models::label_vars(circuit);
-    let extra = boundary_extra_loads(circuit, boundary);
-    let compaction = compact(circuit, lib, &vars, &extra, opts)?;
-    measure(circuit, lib, sizing, boundary, &compaction)
+    let prepared = prepare(circuit, lib, boundary, opts)?;
+    measure(circuit, lib, sizing, boundary, &prepared.compaction)
 }
 
 /// Convenience: runs compaction alone and reports the §5.2 statistics.
@@ -215,7 +410,6 @@ pub fn compaction_stats(
     boundary: &Boundary,
     opts: &SizingOptions,
 ) -> Result<Compaction, FlowError> {
-    let (_, vars) = smart_models::label_vars(circuit);
-    let extra = boundary_extra_loads(circuit, boundary);
-    compact(circuit, lib, &vars, &extra, opts)
+    let prepared = prepare(circuit, lib, boundary, opts)?;
+    Ok(prepared.compaction)
 }

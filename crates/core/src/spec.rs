@@ -2,6 +2,7 @@
 //! constraints like delays, slopes and loads" (paper §3).
 
 use std::collections::HashMap;
+use std::time::Duration;
 
 use smart_netlist::Sizing;
 
@@ -40,6 +41,42 @@ impl DelaySpec {
     /// The precharge budget (defaults to the data budget).
     pub fn precharge_budget(&self) -> f64 {
         self.precharge.unwrap_or(self.data)
+    }
+
+    /// This spec with every phase budget relaxed by the fraction `rel`
+    /// (`0.05` ⇒ +5%). Used by the sizing flow's relaxation ladder.
+    #[must_use]
+    pub fn relaxed(&self, rel: f64) -> Self {
+        DelaySpec {
+            data: self.data * (1.0 + rel),
+            precharge: self.precharge.map(|p| p * (1.0 + rel)),
+        }
+    }
+}
+
+/// Resource budgets for one flow invocation, threaded from
+/// [`SizingOptions`] down into the GP solver's iteration loop (cooperative
+/// cancellation) and across the exploration sweep. `None` everywhere —
+/// the default — means unlimited, preserving historical behavior.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowBudget {
+    /// Wall-clock allowance for one `size_circuit` run (spec retargeting,
+    /// retries and the relaxation ladder all share it). Checked between
+    /// Fig.-4 outer iterations and at every GP Newton step, so a runaway
+    /// candidate times out with [`crate::FlowError::BudgetExceeded`]
+    /// instead of hanging the sweep.
+    pub wall_clock: Option<Duration>,
+    /// Cap on total GP Newton steps per solve (phase I + phase II).
+    pub max_gp_iters: Option<usize>,
+    /// Cap on candidates sized by one [`crate::explore`] sweep; candidates
+    /// beyond it still appear in the table, as budget-exceeded error rows.
+    pub max_candidates: Option<usize>,
+}
+
+impl FlowBudget {
+    /// A budget with no limits (the default).
+    pub fn unlimited() -> Self {
+        FlowBudget::default()
     }
 }
 
@@ -84,6 +121,19 @@ pub struct SizingOptions {
     /// `false` keeps the provably sufficient Pareto set (sound without the
     /// outer loop, at a larger constraint count).
     pub heuristic_dominance: bool,
+    /// Retries of a GP solve that failed *numerically* (not infeasibly):
+    /// each retry perturbs the starting point deterministically to escape
+    /// the bad barrier trajectory. `0` disables retries.
+    pub gp_retries: usize,
+    /// Delay-spec relaxation ladder walked when the spec is infeasible or
+    /// the Fig.-4 loop cannot converge: each entry is a relative widening
+    /// (e.g. `[0.02, 0.05, 0.10]` for +2%, +5%, +10%). The achieved rung is
+    /// reported in [`crate::SizingOutcome::spec_relaxation`] so exploration
+    /// can still rank "almost feasible" candidates. Empty (the default)
+    /// keeps strict-spec behavior.
+    pub relaxation: Vec<f64>,
+    /// Resource budgets (wall clock, GP iterations, candidate count).
+    pub budget: FlowBudget,
 }
 
 impl Default for SizingOptions {
@@ -99,6 +149,9 @@ impl Default for SizingOptions {
             warm_start: None,
             otb: true,
             heuristic_dominance: true,
+            gp_retries: 2,
+            relaxation: Vec::new(),
+            budget: FlowBudget::default(),
         }
     }
 }

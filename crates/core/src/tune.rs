@@ -38,28 +38,23 @@ pub struct TuneSweep {
 }
 
 impl TuneSweep {
-    /// The feasible setting with the least total width.
+    /// The feasible setting with the least total width. NaN-tolerant: a
+    /// rogue non-finite metric ranks last instead of panicking the sweep.
     pub fn best_by_width(&self) -> Option<&TuneCandidate> {
-        self.candidates
-            .iter()
-            .filter(|c| c.result.is_ok())
-            .min_by(|a, b| {
-                let wa = a.result.as_ref().unwrap().outcome.total_width;
-                let wb = b.result.as_ref().unwrap().outcome.total_width;
-                wa.partial_cmp(&wb).expect("widths are finite")
-            })
+        self.best_by(|m| m.outcome.total_width)
     }
 
     /// The feasible setting with the least clock load.
     pub fn best_by_clock(&self) -> Option<&TuneCandidate> {
+        self.best_by(|m| m.clock_load)
+    }
+
+    fn best_by(&self, key: impl Fn(&CandidateMetrics) -> f64) -> Option<&TuneCandidate> {
         self.candidates
             .iter()
-            .filter(|c| c.result.is_ok())
-            .min_by(|a, b| {
-                let ca = a.result.as_ref().unwrap().clock_load;
-                let cb = b.result.as_ref().unwrap().clock_load;
-                ca.partial_cmp(&cb).expect("clock loads are finite")
-            })
+            .filter_map(|c| c.result.as_ref().ok().map(|m| (c, key(m))))
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(c, _)| c)
     }
 
     /// Number of feasible settings.

@@ -1,42 +1,52 @@
-//! Property tests on the flow: across random macro instances and specs,
-//! compaction accounting holds, the sizer's self-report agrees with an
-//! independent STA run, and the heuristic dominance mode is bounded by
-//! the sound Pareto mode.
+//! Randomized tests on the flow: across seeded random macro instances and
+//! specs, compaction accounting holds, the sizer's self-report agrees with
+//! an independent STA run, and the heuristic dominance mode is bounded by
+//! the sound Pareto mode. Deterministic (fixed seeds via `smart-prng`).
 
-use proptest::prelude::*;
 use smart_core::{compaction_stats, size_circuit, DelaySpec, SizingOptions};
 use smart_macros::{MacroSpec, MuxTopology, ZeroDetectStyle};
 use smart_models::ModelLibrary;
+use smart_prng::Prng;
 use smart_sta::{max_delay, Boundary};
 
+const CASES: usize = 24;
+
 /// A pool of cheap, diverse macro instances.
-fn arb_spec() -> impl Strategy<Value = MacroSpec> {
-    prop_oneof![
-        (2usize..=10).prop_map(|w| MacroSpec::Incrementor { width: w }),
-        (2usize..=10).prop_map(|w| MacroSpec::Decrementor { width: w }),
-        (2usize..=16).prop_map(|w| MacroSpec::ZeroDetect {
-            width: w,
+fn spec(r: &mut Prng) -> MacroSpec {
+    match r.usize_in(0, 9) {
+        0 => MacroSpec::Incrementor {
+            width: r.usize_in(2, 11),
+        },
+        1 => MacroSpec::Decrementor {
+            width: r.usize_in(2, 11),
+        },
+        2 => MacroSpec::ZeroDetect {
+            width: r.usize_in(2, 17),
             style: ZeroDetectStyle::Static,
-        }),
-        (4usize..=16).prop_map(|w| MacroSpec::ZeroDetect {
-            width: w,
+        },
+        3 => MacroSpec::ZeroDetect {
+            width: r.usize_in(4, 17),
             style: ZeroDetectStyle::Domino,
-        }),
-        (1usize..=4).prop_map(|b| MacroSpec::Decoder { in_bits: b }),
-        (2usize..=8).prop_map(|w| MacroSpec::Mux {
+        },
+        4 => MacroSpec::Decoder {
+            in_bits: r.usize_in(1, 5),
+        },
+        5 => MacroSpec::Mux {
             topology: MuxTopology::StronglyMutexedPass,
-            width: w,
-        }),
-        (2usize..=8).prop_map(|w| MacroSpec::Mux {
+            width: r.usize_in(2, 9),
+        },
+        6 => MacroSpec::Mux {
             topology: MuxTopology::UnsplitDomino,
-            width: w,
-        }),
-        (3usize..=8).prop_map(|w| MacroSpec::Mux {
+            width: r.usize_in(2, 9),
+        },
+        7 => MacroSpec::Mux {
             topology: MuxTopology::Tristate,
-            width: w,
-        }),
-        (1usize..=3).prop_map(|b| MacroSpec::PriorityEncoder { out_bits: b }),
-    ]
+            width: r.usize_in(3, 9),
+        },
+        _ => MacroSpec::PriorityEncoder {
+            out_bits: r.usize_in(1, 4),
+        },
+    }
 }
 
 fn boundary_for(circuit: &smart_netlist::Circuit, load: f64) -> Boundary {
@@ -47,58 +57,66 @@ fn boundary_for(circuit: &smart_netlist::Circuit, load: f64) -> Boundary {
     b
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn compaction_accounting_holds(spec in arb_spec(), load in 5.0f64..30.0) {
-        let circuit = spec.generate();
-        let lib = ModelLibrary::reference();
+#[test]
+fn compaction_accounting_holds() {
+    let lib = ModelLibrary::reference();
+    let mut r = Prng::new(0x201);
+    for _ in 0..CASES {
+        let circuit = spec(&mut r).generate();
+        let load = r.f64_in(5.0, 30.0);
         let boundary = boundary_for(&circuit, load);
         let opts = SizingOptions::default();
         let stats = compaction_stats(&circuit, &lib, &boundary, &opts).unwrap();
-        prop_assert!(!stats.classes.is_empty());
-        prop_assert!((stats.classes.len() as u128) <= stats.raw_paths);
-        prop_assert!(stats.after_regularity >= stats.classes.len());
+        assert!(!stats.classes.is_empty());
+        assert!((stats.classes.len() as u128) <= stats.raw_paths);
+        assert!(stats.after_regularity >= stats.classes.len());
         // Every class's representative is a real connected path.
         for class in &stats.classes {
-            prop_assert!(!class.arcs.is_empty());
+            assert!(!class.arcs.is_empty());
             for pair in class.arcs.windows(2) {
                 let a = &stats.graph.arcs[pair[0]];
                 let b = &stats.graph.arcs[pair[1]];
-                prop_assert_eq!(a.to, b.from, "class path must be connected");
+                assert_eq!(a.to, b.from, "class path must be connected");
             }
             let first = &stats.graph.arcs[class.arcs[0]];
             let last = &stats.graph.arcs[*class.arcs.last().unwrap()];
-            prop_assert_eq!(first.from, class.source);
-            prop_assert_eq!(last.to, class.endpoint);
+            assert_eq!(first.from, class.source);
+            assert_eq!(last.to, class.endpoint);
         }
     }
+}
 
-    #[test]
-    fn sizer_report_matches_independent_sta(spec in arb_spec(), load in 5.0f64..30.0) {
-        let circuit = spec.generate();
-        let lib = ModelLibrary::reference();
+#[test]
+fn sizer_report_matches_independent_sta() {
+    let lib = ModelLibrary::reference();
+    let mut r = Prng::new(0x202);
+    for _ in 0..CASES {
+        let circuit = spec(&mut r).generate();
+        let load = r.f64_in(5.0, 30.0);
         let boundary = boundary_for(&circuit, load);
         let opts = SizingOptions::default();
         // A spec loose enough to always be feasible.
-        let relaxed = DelaySpec::uniform(4000.0 * circuit.component_count() as f64 / 10.0 + 500.0);
+        let relaxed =
+            DelaySpec::uniform(4000.0 * circuit.component_count() as f64 / 10.0 + 500.0);
         let out = size_circuit(&circuit, &lib, &boundary, &relaxed, &opts).unwrap();
         let independent = max_delay(&circuit, &lib, &out.sizing, &boundary).unwrap();
-        prop_assert!(
+        assert!(
             (independent - out.measured_delay.max(out.measured_precharge)).abs() < 1e-6,
             "flow {} / {} vs STA {}",
             out.measured_delay,
             out.measured_precharge,
             independent
         );
-        prop_assert!(independent <= relaxed.data * (1.0 + opts.timing_tolerance));
+        assert!(independent <= relaxed.data * (1.0 + opts.timing_tolerance));
     }
+}
 
-    #[test]
-    fn heuristic_dominance_is_a_subset_of_pareto(spec in arb_spec()) {
-        let circuit = spec.generate();
-        let lib = ModelLibrary::reference();
+#[test]
+fn heuristic_dominance_is_a_subset_of_pareto() {
+    let lib = ModelLibrary::reference();
+    let mut r = Prng::new(0x203);
+    for _ in 0..CASES {
+        let circuit = spec(&mut r).generate();
         let boundary = boundary_for(&circuit, 12.0);
         let heuristic = SizingOptions::default();
         let exact = SizingOptions {
@@ -107,24 +125,28 @@ proptest! {
         };
         let sh = compaction_stats(&circuit, &lib, &boundary, &heuristic).unwrap();
         let se = compaction_stats(&circuit, &lib, &boundary, &exact).unwrap();
-        prop_assert!(sh.classes.len() <= se.classes.len());
-        prop_assert_eq!(sh.raw_paths, se.raw_paths);
-        prop_assert_eq!(sh.after_regularity, se.after_regularity);
+        assert!(sh.classes.len() <= se.classes.len());
+        assert_eq!(sh.raw_paths, se.raw_paths);
+        assert_eq!(sh.after_regularity, se.after_regularity);
     }
+}
 
-    #[test]
-    fn exact_dominance_also_converges(spec in arb_spec()) {
+#[test]
+fn exact_dominance_also_converges() {
+    let lib = ModelLibrary::reference();
+    let mut r = Prng::new(0x204);
+    for _ in 0..CASES {
         // The sound mode must produce a feasible solution too (it has
         // strictly more constraints, so the spec needs headroom).
-        let circuit = spec.generate();
-        let lib = ModelLibrary::reference();
+        let circuit = spec(&mut r).generate();
         let boundary = boundary_for(&circuit, 12.0);
         let exact = SizingOptions {
             heuristic_dominance: false,
             ..Default::default()
         };
-        let relaxed = DelaySpec::uniform(4000.0 * circuit.component_count() as f64 / 10.0 + 500.0);
+        let relaxed =
+            DelaySpec::uniform(4000.0 * circuit.component_count() as f64 / 10.0 + 500.0);
         let out = size_circuit(&circuit, &lib, &boundary, &relaxed, &exact).unwrap();
-        prop_assert!(out.measured_delay <= relaxed.data * 1.01);
+        assert!(out.measured_delay <= relaxed.data * 1.01);
     }
 }

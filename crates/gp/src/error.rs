@@ -31,6 +31,28 @@ pub enum GpError {
         /// Human-readable detail.
         detail: String,
     },
+    /// A non-finite value entered or left the solver: a NaN/Inf coefficient
+    /// or exponent in the problem data, a bad warm-start point, or a
+    /// non-finite iterate that slipped past the step-size safeguards. The
+    /// flow treats this as a per-candidate failure, never a panic.
+    NonFinite {
+        /// Stage that detected the value (`"spec"`, `"setup"`,
+        /// `"phase1"`, `"phase2"`, `"solution"`).
+        stage: &'static str,
+        /// Human-readable detail naming the offending quantity.
+        detail: String,
+    },
+    /// A cooperative budget (wall-clock deadline or Newton-step cap from
+    /// [`crate::SolverOptions`]) expired mid-solve. The partial iterate is
+    /// discarded; the caller decides whether to retry with a larger budget.
+    BudgetExceeded {
+        /// Stage that was running when the budget expired.
+        stage: &'static str,
+        /// Which budget expired (`"wall-clock"` or `"newton-steps"`).
+        budget: &'static str,
+        /// Newton steps spent before the budget fired.
+        spent_newton: usize,
+    },
 }
 
 impl fmt::Display for GpError {
@@ -49,6 +71,17 @@ impl fmt::Display for GpError {
             GpError::Numerical { stage, detail } => {
                 write!(f, "numerical failure in {stage}: {detail}")
             }
+            GpError::NonFinite { stage, detail } => {
+                write!(f, "non-finite value in {stage}: {detail}")
+            }
+            GpError::BudgetExceeded {
+                stage,
+                budget,
+                spent_newton,
+            } => write!(
+                f,
+                "{budget} budget exceeded in {stage} after {spent_newton} Newton steps"
+            ),
         }
     }
 }

@@ -109,11 +109,16 @@ impl GpProblem {
         if lhs.is_zero() {
             return Err(GpError::EmptyConstraint { label: label.into() });
         }
+        self.push_le(label.into(), lhs, rhs);
+        Ok(())
+    }
+
+    /// Infallible insertion for bodies that are nonzero by construction.
+    fn push_le(&mut self, label: String, lhs: Posynomial, rhs: Monomial) {
         self.constraints.push(GpConstraint {
-            label: label.into(),
+            label,
             body: lhs.div_monomial(&rhs),
         });
-        Ok(())
     }
 
     /// Adds an upper bound `x ≤ ub`.
@@ -123,8 +128,7 @@ impl GpProblem {
     /// Panics if `ub` is not finite and strictly positive.
     pub fn add_upper_bound(&mut self, v: VarId, ub: f64) {
         let name = format!("{} <= {ub}", self.pool.name(v));
-        self.add_le(name, Posynomial::var(v), Monomial::new(ub))
-            .expect("variable posynomial is nonzero");
+        self.push_le(name, Posynomial::var(v), Monomial::new(ub));
     }
 
     /// Adds a lower bound `x ≥ lb` (encoded `lb·x⁻¹ ≤ 1`).
@@ -135,8 +139,7 @@ impl GpProblem {
     pub fn add_lower_bound(&mut self, v: VarId, lb: f64) {
         let name = format!("{} >= {lb}", self.pool.name(v));
         let body = Posynomial::from(Monomial::new(lb).pow(v, -1.0));
-        self.add_le(name, body, Monomial::new(1.0))
-            .expect("bound posynomial is nonzero");
+        self.push_le(name, body, Monomial::new(1.0));
     }
 
     /// Pins `x = value` (designer-controlled size, paper §2): both bounds at

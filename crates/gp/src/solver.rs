@@ -8,6 +8,8 @@
 //! Vandenberghe, ch. 11; this mirrors the "GP solver" box of the paper's
 //! Fig. 4.
 
+use std::time::Instant;
+
 use smart_posy::LogPosynomial;
 
 use crate::linalg::{axpy, dot, norm, solve_spd_ridged};
@@ -35,6 +37,13 @@ pub struct SolverOptions {
     /// region (important when a variable's natural scale is far from 1,
     /// e.g. an auxiliary delay variable in a min-delay program).
     pub initial_x: Option<Vec<f64>>,
+    /// Cooperative wall-clock deadline: the Newton loops check it every
+    /// step and bail with [`GpError::BudgetExceeded`] once passed, so a
+    /// runaway candidate cannot hang an exploration sweep.
+    pub deadline: Option<Instant>,
+    /// Cap on total Newton steps across both phases; `None` is unlimited.
+    /// Exceeding it yields [`GpError::BudgetExceeded`].
+    pub max_total_newton: Option<usize>,
 }
 
 impl Default for SolverOptions {
@@ -47,8 +56,51 @@ impl Default for SolverOptions {
             max_outer_iter: 100,
             feasibility_margin: 1e-7,
             initial_x: None,
+            deadline: None,
+            max_total_newton: None,
         }
     }
+}
+
+/// Cooperative budget check, called once per Newton step (a step costs a
+/// Hessian assembly + factorization, so the `Instant::now()` call is
+/// negligible against it).
+fn check_budget(
+    opts: &SolverOptions,
+    stage: &'static str,
+    spent_newton: usize,
+) -> Result<(), GpError> {
+    if let Some(cap) = opts.max_total_newton {
+        if spent_newton > cap {
+            return Err(GpError::BudgetExceeded {
+                stage,
+                budget: "newton-steps",
+                spent_newton,
+            });
+        }
+    }
+    if let Some(deadline) = opts.deadline {
+        if Instant::now() >= deadline {
+            return Err(GpError::BudgetExceeded {
+                stage,
+                budget: "wall-clock",
+                spent_newton,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Largest-magnitude coordinate without relying on a total order over
+/// possibly-NaN floats (diagnostic use only).
+fn max_abs_coord(y: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, 0.0f64);
+    for (i, &v) in y.iter().enumerate() {
+        if v.abs() > best.1.abs() {
+            best = (i, v);
+        }
+    }
+    best
 }
 
 /// Result of a successful GP solve.
@@ -97,6 +149,10 @@ impl GpProblem {
     ///   the objective has no positive minimizer under the constraints.
     /// * [`GpError::Numerical`] — Newton failed to make progress (returned
     ///   with the stage name for diagnosis).
+    /// * [`GpError::NonFinite`] — the problem data or warm start contains
+    ///   NaN/Inf, or an iterate went non-finite despite the safeguards.
+    /// * [`GpError::BudgetExceeded`] — a configured deadline or Newton-step
+    ///   cap fired before convergence.
     pub fn solve(&self, opts: &SolverOptions) -> Result<GpSolution, GpError> {
         let dim = self.dim();
         if dim == 0 {
@@ -104,6 +160,16 @@ impl GpProblem {
                 stage: "setup",
                 detail: "problem has no variables".into(),
             });
+        }
+        self.objective().validate().map_err(|e| GpError::NonFinite {
+            stage: "setup",
+            detail: format!("objective: {e}"),
+        })?;
+        for c in self.constraints() {
+            c.body.validate().map_err(|e| GpError::NonFinite {
+                stage: "setup",
+                detail: format!("constraint '{}': {e}", c.label),
+            })?;
         }
         let obj = LogPosynomial::from_posynomial(self.objective(), dim);
         let cons: Vec<LogPosynomial> = self
@@ -114,18 +180,26 @@ impl GpProblem {
 
         let start: Vec<f64> = match &opts.initial_x {
             Some(x0) => {
-                assert!(
-                    x0.len() >= dim,
-                    "initial point has {} coordinates, problem has {dim}",
-                    x0.len()
-                );
-                x0[..dim]
-                    .iter()
-                    .map(|&v| {
-                        assert!(v.is_finite() && v > 0.0, "initial point must be > 0");
-                        v.ln()
-                    })
-                    .collect()
+                if x0.len() < dim {
+                    return Err(GpError::Numerical {
+                        stage: "setup",
+                        detail: format!(
+                            "initial point has {} coordinates, problem has {dim}",
+                            x0.len()
+                        ),
+                    });
+                }
+                let mut y = Vec::with_capacity(dim);
+                for (i, &v) in x0[..dim].iter().enumerate() {
+                    if !(v.is_finite() && v > 0.0) {
+                        return Err(GpError::NonFinite {
+                            stage: "setup",
+                            detail: format!("initial point coordinate {i} is {v}"),
+                        });
+                    }
+                    y.push(v.ln());
+                }
+                y
             }
             None => vec![0.0; dim],
         };
@@ -137,12 +211,25 @@ impl GpProblem {
         };
 
         let mut phase2_steps = 0;
-        let (y, t_final) = phase2(&obj, &cons, y0, opts, &mut phase2_steps)?;
+        let (y, t_final) = phase2(&obj, &cons, y0, opts, phase1_steps, &mut phase2_steps)?;
 
         let x: Vec<f64> = y.iter().map(|&v| v.exp()).collect();
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::NonFinite {
+                stage: "solution",
+                detail: "optimizer returned a non-finite width".into(),
+            });
+        }
+        let objective = self.objective().eval(&x);
+        if !objective.is_finite() {
+            return Err(GpError::NonFinite {
+                stage: "solution",
+                detail: format!("objective evaluated to {objective} at the optimum"),
+            });
+        }
         let kkt = KktReport::at_point(&obj, &cons, &y, t_final);
         Ok(GpSolution {
-            objective: self.objective().eval(&x),
+            objective,
             x,
             phase1_newton_steps: phase1_steps,
             phase2_newton_steps: phase2_steps,
@@ -179,6 +266,7 @@ fn phase1(
         // Centering on φ(y,s) = t·s − Σ log(s − Fᵢ(y)).
         for _ in 0..opts.max_newton_iter {
             *steps += 1;
+            check_budget(opts, "phase1", *steps)?;
             let n = dim + 1;
             let mut grad = vec![0.0; n];
             let mut hess = vec![vec![0.0; n]; n];
@@ -262,13 +350,18 @@ fn phase1(
             if s < -opts.feasibility_margin || worst(&y) < -opts.feasibility_margin {
                 return Ok(y);
             }
+            // NaN never compares > Y_BOUND, so catch it explicitly before
+            // the escape check — a NaN iterate must become a typed error,
+            // not a NaN solution.
+            if y.iter().any(|v| !v.is_finite()) {
+                return Err(GpError::NonFinite {
+                    stage: "phase1",
+                    detail: "iterate became non-finite".into(),
+                });
+            }
             if y.iter().any(|v| v.abs() > Y_BOUND) {
                 if std::env::var("SMART_GP_DEBUG").is_ok() {
-                    let (i, v) = y
-                        .iter()
-                        .enumerate()
-                        .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
-                        .unwrap();
+                    let (i, v) = max_abs_coord(&y);
                     eprintln!("phase1 escape: y[{i}] = {v}, s = {s}, t = {t}");
                 }
                 return Err(GpError::Unbounded);
@@ -294,6 +387,7 @@ fn phase2(
     cons: &[LogPosynomial],
     mut y: Vec<f64>,
     opts: &SolverOptions,
+    spent_before: usize,
     steps: &mut usize,
 ) -> Result<(Vec<f64>, f64), GpError> {
     let dim = y.len();
@@ -316,6 +410,7 @@ fn phase2(
         // Centering.
         for _ in 0..opts.max_newton_iter {
             *steps += 1;
+            check_budget(opts, "phase2", spent_before + *steps)?;
             let (_, og, oh) = obj.value_grad_hess(&y);
             let mut grad: Vec<f64> = og.iter().map(|&g| t * g).collect();
             let mut hess: Vec<Vec<f64>> = oh
@@ -367,13 +462,15 @@ fn phase2(
             if !accepted {
                 break;
             }
+            if y.iter().any(|v| !v.is_finite()) {
+                return Err(GpError::NonFinite {
+                    stage: "phase2",
+                    detail: "iterate became non-finite".into(),
+                });
+            }
             if y.iter().any(|v| v.abs() > Y_BOUND) {
                 if std::env::var("SMART_GP_DEBUG").is_ok() {
-                    let (i, v) = y
-                        .iter()
-                        .enumerate()
-                        .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
-                        .unwrap();
+                    let (i, v) = max_abs_coord(&y);
                     eprintln!("phase2 escape: y[{i}] = {v}, t = {t}, alpha = {alpha}");
                 }
                 return Err(GpError::Unbounded);

@@ -30,17 +30,27 @@ fn warm_start_is_respected_and_matches_cold_start() {
 }
 
 #[test]
-#[should_panic(expected = "initial point must be > 0")]
-fn nonpositive_warm_start_panics() {
+fn nonpositive_warm_start_is_a_typed_error() {
+    // Used to assert/panic; the fault-isolated runtime instead rejects the
+    // point with a typed error the flow can contain and report.
     let mut pool = VarPool::new();
     let x = pool.var("x");
     let mut gp = GpProblem::new(pool);
     gp.set_objective(Posynomial::var(x));
     gp.add_lower_bound(x, 1.0);
-    let _ = gp.solve(&SolverOptions {
-        initial_x: Some(vec![0.0]),
-        ..Default::default()
-    });
+    let err = gp
+        .solve(&SolverOptions {
+            initial_x: Some(vec![0.0]),
+            ..Default::default()
+        })
+        .unwrap_err();
+    match err {
+        GpError::NonFinite { stage, ref detail } => {
+            assert_eq!(stage, "setup");
+            assert!(detail.contains("coordinate 0"), "{detail}");
+        }
+        other => panic!("expected NonFinite setup error, got {other}"),
+    }
 }
 
 #[test]

@@ -18,6 +18,13 @@
 //! * [`shifter`] — pass-gate barrel shifters (§2's "shifters").
 //! * [`Database`] / [`MacroSpec`] — the expandable registry plus the
 //!   per-function topology alternatives the exploration flow compares.
+
+// Generator internals build netlists whose structure is correct by
+// construction, so builder errors are contract panics, not recoverable
+// states. The exploration runtime contains them per-candidate with
+// catch_unwind (FlowError::Internal), which is why the workspace-wide
+// unwrap/expect deny lint is relaxed for this crate.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //!
 //! Every generator is functionally verified against its golden function by
 //! the `smart-sim` test suite (`tests/functional.rs`).

@@ -3,8 +3,6 @@
 //! outputs compared against the arithmetic/logic function it claims to
 //! implement — the guarantee a design database must ship with.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use smart_macros::{
     cla_adder, comparator, decoder, decrementor, incrementor, onehot_encoder,
     priority_encoder, regfile_read, zero_detect, ComparatorVariant, MuxTopology,
@@ -12,11 +10,12 @@ use smart_macros::{
 };
 use smart_netlist::Circuit;
 use smart_sim::harness::evaluate;
+use smart_prng::Prng;
 use smart_sim::Logic;
 use std::collections::BTreeMap;
 
-fn rng() -> StdRng {
-    StdRng::seed_from_u64(0x5AA7_2001)
+fn rng() -> Prng {
+    Prng::new(0x5AA7_2001)
 }
 
 /// Runs `circuit` on named boolean inputs; returns output map.
@@ -90,8 +89,8 @@ fn wide_domino_muxes() {
         let c = smart_macros::mux::generate(topo, width);
         let mut r = rng();
         for _ in 0..20 {
-            let data: u64 = r.random_range(0..256);
-            let sel = r.random_range(0..width);
+            let data: u64 = r.u64_below(256);
+            let sel = r.usize_in(0, width);
             let mut inputs = bus("d", width, data);
             for i in 0..width {
                 inputs.push((format!("s{i}"), i == sel));
@@ -133,7 +132,7 @@ fn incrementor_random_wide() {
     let mut r = rng();
     let mask = (1u64 << width) - 1;
     for _ in 0..16 {
-        let a = r.random::<u64>() & mask;
+        let a = r.next_u64() & mask;
         let out = run(&c, &bus("a", width, a));
         assert_eq!(read_bus_out(&out, "y", width), (a + 1) & mask, "inc48({a:#x})");
     }
@@ -175,7 +174,7 @@ fn zero_detect_both_styles() {
                 cases.push(1 << i);
             }
             for _ in 0..8 {
-                cases.push(r.random_range(0..(1u64 << width)));
+                cases.push(r.u64_below(1u64 << width));
             }
             for a in cases {
                 let out = run(&c, &bus("a", width, a));
@@ -253,14 +252,14 @@ fn comparator_variants_detect_equality() {
     for variant in ComparatorVariant::exploration_set() {
         let c = comparator(32, variant);
         for _ in 0..12 {
-            let a: u64 = r.random_range(0..(1u64 << 32));
+            let a: u64 = r.u64_below(1u64 << 32);
             // Equal case.
             let mut inputs = bus("a", 32, a);
             inputs.extend(bus("b", 32, a));
             let out = run(&c, &inputs);
             assert_eq!(out["eq"], Logic::One, "{} a==b={a:#x}", variant.name());
             // Single-bit difference (hardest case).
-            let flip = 1u64 << r.random_range(0..32);
+            let flip = 1u64 << r.u64_below(32);
             let mut inputs = bus("a", 32, a);
             inputs.extend(bus("b", 32, a ^ flip));
             let out = run(&c, &inputs);
@@ -312,9 +311,9 @@ fn adder_random_64_bit() {
     let c = cla_adder(64);
     let mut r = rng();
     for _ in 0..10 {
-        let a: u64 = r.random();
-        let b: u64 = r.random();
-        let cin = r.random::<bool>();
+        let a: u64 = r.next_u64();
+        let b: u64 = r.next_u64();
+        let cin = r.bool();
         let mut inputs = bus("a", 64, a);
         inputs.extend(bus("b", 64, b));
         inputs.push(("cin0".into(), cin));
@@ -342,7 +341,7 @@ fn regfile_reads_addressed_word() {
     let (words, bits) = (8usize, 4usize);
     let c = regfile_read(words, bits);
     let mut r = rng();
-    let contents: Vec<u64> = (0..words).map(|_| r.random_range(0..16)).collect();
+    let contents: Vec<u64> = (0..words).map(|_| r.u64_below(16)).collect();
     for addr in 0..words {
         let mut inputs = bus("a", 3, addr as u64);
         for (w, &val) in contents.iter().enumerate() {
@@ -372,7 +371,7 @@ fn barrel_shifter_matches_shift_semantics() {
         let c = barrel_shifter(width, kind);
         let mask = (1u64 << width) - 1;
         for _ in 0..12 {
-            let a = r.random_range(0..=mask);
+            let a = r.u64_below(mask + 1);
             for sh in 0..width as u64 {
                 let mut inputs = bus("a", width, a);
                 inputs.extend(bus("s", 3, sh));
@@ -421,7 +420,7 @@ fn cla_incrementor_matches_ripple() {
         let mut cases: Vec<u64> = vec![0, mask, mask >> 1];
         let mut r = rng();
         for _ in 0..10 {
-            cases.push(r.random_range(0..=mask));
+            cases.push(r.u64_below(mask.wrapping_add(1).max(1)));
         }
         for a in cases {
             let out = run(&c, &bus("a", width, a));

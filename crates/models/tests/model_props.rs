@@ -1,14 +1,15 @@
-//! Property tests: the posynomial and numeric model paths agree exactly
-//! for every component kind, at random sizings — the invariant that makes
-//! the GP's constraint view and the STA's measurement view consistent.
+//! Randomized tests: the posynomial and numeric model paths agree exactly
+//! for every component kind, at seeded random sizings — the invariant that
+//! makes the GP's constraint view and the STA's measurement view
+//! consistent. Deterministic (fixed seeds via `smart-prng`).
 
-use proptest::prelude::*;
 use smart_models::arcs::{arcs, drive, Edge};
 use smart_models::{label_vars, ModelLibrary};
-use smart_netlist::{
-    Circuit, ComponentKind, DeviceRole, Network, Sizing, Skew,
-};
+use smart_netlist::{Circuit, ComponentKind, DeviceRole, Network, Sizing, Skew};
 use smart_posy::Posynomial;
+use smart_prng::Prng;
+
+const CASES: usize = 32;
 
 /// Builds a one-component circuit of the given kind, fully port-wrapped.
 fn single(kind: ComponentKind) -> Circuit {
@@ -69,15 +70,13 @@ fn all_kinds() -> Vec<ComponentKind> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn posynomial_equals_numeric_for_every_kind(
-        widths in proptest::collection::vec(0.6f64..40.0, 16),
-        kind_idx in 0usize..12,
-        slope_in in 5.0f64..80.0
-    ) {
+#[test]
+fn posynomial_equals_numeric_for_every_kind() {
+    let mut r = Prng::new(0x101);
+    for case in 0..CASES {
+        let widths = r.f64_vec(0.6, 40.0, 16);
+        let kind_idx = case % 12;
+        let slope_in = r.f64_in(5.0, 80.0);
         let kind = all_kinds()[kind_idx].clone();
         let circuit = single(kind);
         let lib = ModelLibrary::reference();
@@ -90,30 +89,30 @@ proptest! {
         for edge in [Edge::Rise, Edge::Fall] {
             let cap_num = lib.net_cap(&circuit, out, &sizing);
             let cap_posy = lib.net_cap_posy(&circuit, out, &vars);
-            prop_assert!((cap_posy.eval(sizing.as_slice()) - cap_num).abs() < 1e-9);
+            assert!((cap_posy.eval(sizing.as_slice()) - cap_num).abs() < 1e-9);
 
             let numeric = lib.stage_timing(comp, edge, cap_num, slope_in, &sizing);
             let slope_posy_in = Posynomial::constant(slope_in);
             let delay_posy =
                 lib.stage_delay_posy(comp, edge, &cap_posy, Some(&slope_posy_in), &vars);
-            prop_assert!(
+            assert!(
                 (delay_posy.eval(sizing.as_slice()) - numeric.delay).abs() < 1e-9,
                 "{:?} {:?}",
                 comp.kind,
                 edge
             );
             let slope_posy = lib.stage_slope_posy(comp, edge, &cap_posy, &vars);
-            prop_assert!(
-                (slope_posy.eval(sizing.as_slice()) - numeric.slope).abs() < 1e-9
-            );
+            assert!((slope_posy.eval(sizing.as_slice()) - numeric.slope).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn delay_decreases_when_drive_grows(
-        kind_idx in 0usize..12,
-        scale in 1.5f64..6.0
-    ) {
+#[test]
+fn delay_decreases_when_drive_grows() {
+    let mut r = Prng::new(0x102);
+    for case in 0..CASES {
+        let kind_idx = case % 12;
+        let scale = r.f64_in(1.5, 6.0);
         let kind = all_kinds()[kind_idx].clone();
         let circuit = single(kind);
         let lib = ModelLibrary::reference();
@@ -126,25 +125,26 @@ proptest! {
         for edge in [Edge::Rise, Edge::Fall] {
             let d_small = lib.stage_timing(comp, edge, cap, 10.0, &small).delay;
             let d_big = lib.stage_timing(comp, edge, cap, 10.0, &big).delay;
-            prop_assert!(d_big < d_small, "{:?} {:?}", comp.kind, edge);
+            assert!(d_big < d_small, "{:?} {:?}", comp.kind, edge);
         }
     }
+}
 
-    #[test]
-    fn every_kind_has_coherent_arcs_and_drives(kind_idx in 0usize..12) {
-        let kind = all_kinds()[kind_idx].clone();
+#[test]
+fn every_kind_has_coherent_arcs_and_drives() {
+    for kind in all_kinds() {
         let specs = arcs(&kind);
-        prop_assert!(!specs.is_empty());
+        assert!(!specs.is_empty());
         for spec in &specs {
-            prop_assert!(spec.from_pin < kind.output_pin());
+            assert!(spec.from_pin < kind.output_pin());
         }
         for edge in [Edge::Rise, Edge::Fall] {
             let terms = drive(&kind, edge, 0.5, 0.7);
-            prop_assert!(!terms.is_empty(), "{kind:?} {edge:?} must have drive");
+            assert!(!terms.is_empty(), "{kind:?} {edge:?} must have drive");
             for t in &terms {
-                prop_assert!(t.factor > 0.0);
+                assert!(t.factor > 0.0);
                 // Every drive role must be a label role of the kind.
-                prop_assert!(
+                assert!(
                     kind.label_roles().contains(&t.role),
                     "{kind:?}: drive role {:?} unbound",
                     t.role

@@ -229,7 +229,9 @@ pub fn from_text(input: &str) -> Result<Circuit, TextError> {
             continue;
         }
         let mut words = content.split_whitespace();
-        let head = words.next().expect("non-empty line");
+        let Some(head) = words.next() else {
+            continue; // unreachable: content is non-empty
+        };
         match head {
             ".circuit" => {
                 let name = words

@@ -1,22 +1,25 @@
-//! Property tests on series-parallel networks: structural counts and
-//! conduction semantics against brute-force evaluation.
+//! Randomized tests on series-parallel networks: structural counts and
+//! conduction semantics against brute-force evaluation. Deterministic
+//! (fixed seeds via `smart-prng`).
 
-use proptest::prelude::*;
 use smart_netlist::Network;
+use smart_prng::Prng;
+
+const CASES: usize = 128;
 
 /// Random series-parallel network over up to 6 pins, depth-bounded.
-fn arb_network(depth: u32) -> BoxedStrategy<Network> {
-    if depth == 0 {
-        (0usize..6).prop_map(Network::Input).boxed()
-    } else {
-        prop_oneof![
-            (0usize..6).prop_map(Network::Input),
-            proptest::collection::vec(arb_network(depth - 1), 1..4)
-                .prop_map(Network::Series),
-            proptest::collection::vec(arb_network(depth - 1), 1..4)
-                .prop_map(Network::Parallel),
-        ]
-        .boxed()
+fn network(r: &mut Prng, depth: u32) -> Network {
+    let choice = if depth == 0 { 0 } else { r.usize_in(0, 3) };
+    match choice {
+        0 => Network::Input(r.usize_in(0, 6)),
+        1 => {
+            let n = r.usize_in(1, 4);
+            Network::Series((0..n).map(|_| network(r, depth - 1)).collect())
+        }
+        _ => {
+            let n = r.usize_in(1, 4);
+            Network::Parallel((0..n).map(|_| network(r, depth - 1)).collect())
+        }
     }
 }
 
@@ -29,43 +32,58 @@ fn conducts_ref(n: &Network, v: &[bool]) -> bool {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn conduction_matches_reference(n in arb_network(3), bits in 0u64..64) {
+#[test]
+fn conduction_matches_reference() {
+    let mut r = Prng::new(0xD1);
+    for _ in 0..CASES {
+        let n = network(&mut r, 3);
+        let bits = r.u64_below(64);
         let v: Vec<bool> = (0..6).map(|i| (bits >> i) & 1 == 1).collect();
-        prop_assert_eq!(n.conducts(&v), conducts_ref(&n, &v));
+        assert_eq!(n.conducts(&v), conducts_ref(&n, &v));
     }
+}
 
-    #[test]
-    fn all_on_conducts_all_off_does_not(n in arb_network(3)) {
-        prop_assert!(n.conducts(&[true; 6]));
-        prop_assert!(!n.conducts(&[false; 6]));
+#[test]
+fn all_on_conducts_all_off_does_not() {
+    let mut r = Prng::new(0xD2);
+    for _ in 0..CASES {
+        let n = network(&mut r, 3);
+        assert!(n.conducts(&[true; 6]));
+        assert!(!n.conducts(&[false; 6]));
     }
+}
 
-    #[test]
-    fn structural_counts_are_consistent(n in arb_network(3)) {
+#[test]
+fn structural_counts_are_consistent() {
+    let mut r = Prng::new(0xD3);
+    for _ in 0..CASES {
+        let n = network(&mut r, 3);
         let devices = n.device_count();
         let depth = n.max_stack_depth();
         let branches = n.top_branch_count();
-        prop_assert!(devices >= 1);
-        prop_assert!((1..=devices).contains(&depth));
-        prop_assert!((1..=devices).contains(&branches));
+        assert!(devices >= 1);
+        assert!((1..=devices).contains(&depth));
+        assert!((1..=devices).contains(&branches));
         // A conducting path exists with at most `depth` devices on: turn
         // everything on — the worst series chain is `depth` long, so depth
         // bounds the series resistance factor the models use.
-        prop_assert!(n.pin_span() <= 6);
-        prop_assert_eq!(n.pins().len(), devices, "one pin reference per leaf");
+        assert!(n.pin_span() <= 6);
+        assert_eq!(n.pins().len(), devices, "one pin reference per leaf");
     }
+}
 
-    #[test]
-    fn conduction_is_monotone(n in arb_network(3), bits in 0u64..64, extra in 0usize..6) {
+#[test]
+fn conduction_is_monotone() {
+    let mut r = Prng::new(0xD4);
+    for _ in 0..CASES {
         // Turning one more pin ON can never stop conduction.
+        let n = network(&mut r, 3);
+        let bits = r.u64_below(64);
+        let extra = r.usize_in(0, 6);
         let mut v: Vec<bool> = (0..6).map(|i| (bits >> i) & 1 == 1).collect();
         let before = n.conducts(&v);
         v[extra] = true;
         let after = n.conducts(&v);
-        prop_assert!(!before || after, "conduction must be monotone in inputs");
+        assert!(!before || after, "conduction must be monotone in inputs");
     }
 }

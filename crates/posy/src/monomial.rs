@@ -38,6 +38,7 @@ impl Monomial {
     ///
     /// Panics if `coeff` is not finite and strictly positive — use
     /// [`Monomial::try_new`] for a fallible variant.
+    #[allow(clippy::expect_used)] // documented contract panic; try_ variant exists
     pub fn new(coeff: f64) -> Self {
         Self::try_new(coeff).expect("monomial coefficient must be finite and > 0")
     }
@@ -137,6 +138,7 @@ impl Monomial {
     ///
     /// Panics if `x` is too short or contains a non-positive coordinate; use
     /// [`Monomial::try_eval`] for a fallible variant.
+    #[allow(clippy::expect_used)] // documented contract panic; try_ variant exists
     pub fn eval(&self, x: &[f64]) -> f64 {
         self.try_eval(x).expect("invalid evaluation point")
     }

@@ -79,8 +79,36 @@ impl Posynomial {
     /// # Panics
     ///
     /// Panics on invalid points; see [`Posynomial::try_eval`].
+    #[allow(clippy::expect_used)] // documented contract panic; try_ variant exists
     pub fn eval(&self, x: &[f64]) -> f64 {
         self.try_eval(x).expect("invalid evaluation point")
+    }
+
+    /// Verifies every term is still inside the posynomial cone: all
+    /// coefficients finite and strictly positive, all exponents finite.
+    ///
+    /// Construction enforces these invariants, but arithmetic on extreme
+    /// inputs can overflow a coefficient to `inf` (e.g. scaling by a huge
+    /// load); solvers call this at the problem boundary so such data
+    /// becomes a typed error instead of NaN iterates downstream.
+    ///
+    /// # Errors
+    ///
+    /// [`PosyError::BadCoefficient`] or [`PosyError::BadExponent`] naming
+    /// the first offending value.
+    pub fn validate(&self) -> Result<(), PosyError> {
+        for t in &self.terms {
+            let c = t.coeff();
+            if !(c.is_finite() && c > 0.0) {
+                return Err(PosyError::BadCoefficient { value: c });
+            }
+            for (_, e) in t.exponents() {
+                if !e.is_finite() {
+                    return Err(PosyError::BadExponent { value: e });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Fallible evaluation.

@@ -1,36 +1,33 @@
-//! Property-based tests: posynomial algebra laws hold on random inputs.
+//! Randomized algebra tests: posynomial algebra laws hold on seeded
+//! pseudo-random inputs. Deterministic (fixed seeds via `smart-prng`), so
+//! they run identically offline and in CI — no external property-testing
+//! framework.
 
-use proptest::prelude::*;
 use smart_posy::{LogPosynomial, Monomial, Posynomial, VarId};
+use smart_prng::Prng;
 
 const DIM: usize = 4;
+const CASES: usize = 128;
 
-fn arb_monomial() -> impl Strategy<Value = Monomial> {
-    (
-        0.01f64..100.0,
-        proptest::collection::vec(-3.0f64..3.0, DIM),
-    )
-        .prop_map(|(c, exps)| {
-            let mut m = Monomial::new(c);
-            for (i, e) in exps.into_iter().enumerate() {
-                m = m.pow(VarId::from_index(i), e);
-            }
-            m
-        })
+fn monomial(r: &mut Prng) -> Monomial {
+    let mut m = Monomial::new(r.f64_in(0.01, 100.0));
+    for i in 0..DIM {
+        m = m.pow(VarId::from_index(i), r.f64_in(-3.0, 3.0));
+    }
+    m
 }
 
-fn arb_posynomial() -> impl Strategy<Value = Posynomial> {
-    proptest::collection::vec(arb_monomial(), 1..6).prop_map(|ms| {
-        let mut p = Posynomial::zero();
-        for m in ms {
-            p.push(m);
-        }
-        p
-    })
+fn posynomial(r: &mut Prng) -> Posynomial {
+    let n = r.usize_in(1, 6);
+    let mut p = Posynomial::zero();
+    for _ in 0..n {
+        p.push(monomial(r));
+    }
+    p
 }
 
-fn arb_point() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.05f64..20.0, DIM)
+fn point(r: &mut Prng) -> Vec<f64> {
+    r.f64_vec(0.05, 20.0, DIM)
 }
 
 fn close(a: f64, b: f64) -> bool {
@@ -38,48 +35,72 @@ fn close(a: f64, b: f64) -> bool {
     (a - b).abs() <= 1e-8 * scale
 }
 
-proptest! {
-    #[test]
-    fn addition_is_pointwise(p in arb_posynomial(), q in arb_posynomial(), x in arb_point()) {
+#[test]
+fn addition_is_pointwise() {
+    let mut r = Prng::new(0xA1);
+    for _ in 0..CASES {
+        let (p, q, x) = (posynomial(&mut r), posynomial(&mut r), point(&mut r));
         let sum = p.clone() + q.clone();
-        prop_assert!(close(sum.eval(&x), p.eval(&x) + q.eval(&x)));
+        assert!(close(sum.eval(&x), p.eval(&x) + q.eval(&x)));
     }
+}
 
-    #[test]
-    fn multiplication_is_pointwise(p in arb_posynomial(), q in arb_posynomial(), x in arb_point()) {
+#[test]
+fn multiplication_is_pointwise() {
+    let mut r = Prng::new(0xA2);
+    for _ in 0..CASES {
+        let (p, q, x) = (posynomial(&mut r), posynomial(&mut r), point(&mut r));
         let prod = p.clone() * q.clone();
-        prop_assert!(close(prod.eval(&x), p.eval(&x) * q.eval(&x)));
+        assert!(close(prod.eval(&x), p.eval(&x) * q.eval(&x)));
     }
+}
 
-    #[test]
-    fn addition_commutes(p in arb_posynomial(), q in arb_posynomial(), x in arb_point()) {
+#[test]
+fn addition_commutes() {
+    let mut r = Prng::new(0xA3);
+    for _ in 0..CASES {
+        let (p, q, x) = (posynomial(&mut r), posynomial(&mut r), point(&mut r));
         let a = p.clone() + q.clone();
         let b = q + p;
-        prop_assert!(close(a.eval(&x), b.eval(&x)));
+        assert!(close(a.eval(&x), b.eval(&x)));
     }
+}
 
-    #[test]
-    fn monomial_division_inverts_multiplication(
-        p in arb_posynomial(), m in arb_monomial(), x in arb_point()
-    ) {
+#[test]
+fn monomial_division_inverts_multiplication() {
+    let mut r = Prng::new(0xA4);
+    for _ in 0..CASES {
+        let (p, m, x) = (posynomial(&mut r), monomial(&mut r), point(&mut r));
         let roundtrip = (p.clone() * m.clone()).div_monomial(&m);
-        prop_assert!(close(roundtrip.eval(&x), p.eval(&x)));
+        assert!(close(roundtrip.eval(&x), p.eval(&x)));
     }
+}
 
-    #[test]
-    fn eval_is_strictly_positive(p in arb_posynomial(), x in arb_point()) {
-        prop_assert!(p.eval(&x) > 0.0);
+#[test]
+fn eval_is_strictly_positive() {
+    let mut r = Prng::new(0xA5);
+    for _ in 0..CASES {
+        let (p, x) = (posynomial(&mut r), point(&mut r));
+        assert!(p.eval(&x) > 0.0);
     }
+}
 
-    #[test]
-    fn logform_value_matches_log_of_eval(p in arb_posynomial(), x in arb_point()) {
+#[test]
+fn logform_value_matches_log_of_eval() {
+    let mut r = Prng::new(0xA6);
+    for _ in 0..CASES {
+        let (p, x) = (posynomial(&mut r), point(&mut r));
         let lp = LogPosynomial::from_posynomial(&p, DIM);
         let y: Vec<f64> = x.iter().map(|v| v.ln()).collect();
-        prop_assert!(close(lp.value(&y), p.eval(&x).ln()));
+        assert!(close(lp.value(&y), p.eval(&x).ln()));
     }
+}
 
-    #[test]
-    fn logform_gradient_matches_finite_difference(p in arb_posynomial(), x in arb_point()) {
+#[test]
+fn logform_gradient_matches_finite_difference() {
+    let mut r = Prng::new(0xA7);
+    for _ in 0..CASES {
+        let (p, x) = (posynomial(&mut r), point(&mut r));
         let lp = LogPosynomial::from_posynomial(&p, DIM);
         let y: Vec<f64> = x.iter().map(|v| v.ln()).collect();
         let (_, grad) = lp.value_grad(&y);
@@ -90,34 +111,46 @@ proptest! {
             yp[i] += h;
             ym[i] -= h;
             let fd = (lp.value(&yp) - lp.value(&ym)) / (2.0 * h);
-            prop_assert!((grad[i] - fd).abs() < 1e-4, "grad[{}]={} fd={}", i, grad[i], fd);
+            assert!((grad[i] - fd).abs() < 1e-4, "grad[{}]={} fd={}", i, grad[i], fd);
         }
     }
+}
 
-    #[test]
-    fn hessian_is_psd_on_random_directions(
-        p in arb_posynomial(),
-        x in arb_point(),
-        d in proptest::collection::vec(-1.0f64..1.0, DIM)
-    ) {
+#[test]
+fn hessian_is_psd_on_random_directions() {
+    let mut r = Prng::new(0xA8);
+    for _ in 0..CASES {
+        let (p, x) = (posynomial(&mut r), point(&mut r));
+        let d = r.f64_vec(-1.0, 1.0, DIM);
         let lp = LogPosynomial::from_posynomial(&p, DIM);
         let y: Vec<f64> = x.iter().map(|v| v.ln()).collect();
         let (_, _, hess) = lp.value_grad_hess(&y);
         let q: f64 = (0..DIM)
             .map(|i| (0..DIM).map(|j| d[i] * hess[i][j] * d[j]).sum::<f64>())
             .sum();
-        prop_assert!(q >= -1e-9, "Hessian not PSD: {}", q);
+        assert!(q >= -1e-9, "Hessian not PSD: {q}");
     }
+}
 
-    #[test]
-    fn monomial_powf_matches_eval(m in arb_monomial(), x in arb_point(), pwr in -2.0f64..2.0) {
+#[test]
+fn monomial_powf_matches_eval() {
+    let mut r = Prng::new(0xA9);
+    for _ in 0..CASES {
+        let (m, x) = (monomial(&mut r), point(&mut r));
+        let pwr = r.f64_in(-2.0, 2.0);
         let lhs = m.powf(pwr).eval(&x);
         let rhs = m.eval(&x).powf(pwr);
-        prop_assert!(close(lhs, rhs));
+        assert!(close(lhs, rhs));
     }
+}
 
-    #[test]
-    fn push_normalization_preserves_value(ms in proptest::collection::vec(arb_monomial(), 1..8), x in arb_point()) {
+#[test]
+fn push_normalization_preserves_value() {
+    let mut r = Prng::new(0xAA);
+    for _ in 0..CASES {
+        let n = r.usize_in(1, 8);
+        let ms: Vec<Monomial> = (0..n).map(|_| monomial(&mut r)).collect();
+        let x = point(&mut r);
         let mut p = Posynomial::zero();
         let mut direct = 0.0;
         for m in &ms {
@@ -126,6 +159,6 @@ proptest! {
         for m in ms {
             p.push(m);
         }
-        prop_assert!(close(p.eval(&x), direct));
+        assert!(close(p.eval(&x), direct));
     }
 }

@@ -1,9 +1,12 @@
-//! Property test: on randomly generated static gate DAGs, the event-driven
+//! Randomized test: on seeded random static gate DAGs, the event-driven
 //! simulator agrees with a direct recursive boolean evaluation.
+//! Deterministic (fixed seeds via `smart-prng`).
 
-use proptest::prelude::*;
 use smart_netlist::{Circuit, ComponentKind, DeviceRole, NetId, Skew};
+use smart_prng::Prng;
 use smart_sim::{Logic, Simulator};
+
+const CASES: usize = 48;
 
 /// A recipe for one random static circuit: gate kinds + input wiring.
 #[derive(Debug, Clone)]
@@ -12,22 +15,19 @@ struct GateRecipe {
     srcs: Vec<usize>,
 }
 
-fn arb_circuit(inputs: usize, gates: usize) -> impl Strategy<Value = Vec<GateRecipe>> {
-    proptest::collection::vec(
-        (0u8..5, proptest::collection::vec(0usize..1000, 3)),
-        gates..=gates,
-    )
-    .prop_map(move |raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, (kind, srcs))| GateRecipe {
-                kind,
-                // Each gate may read primary inputs or earlier gates only
-                // (indices taken modulo the nets available so far).
-                srcs: srcs.into_iter().map(|s| s % (inputs + i)).collect(),
-            })
-            .collect()
-    })
+fn recipe(r: &mut Prng, inputs: usize, gates: usize) -> Vec<GateRecipe> {
+    (0..gates)
+        .map(|i| GateRecipe {
+            kind: r.u64_below(5) as u8,
+            // Each gate may read primary inputs or earlier gates only
+            // (indices taken modulo the nets available so far).
+            srcs: (0..3).map(|_| r.usize_in(0, 1000) % (inputs + i)).collect(),
+        })
+        .collect()
+}
+
+fn stimulus(r: &mut Prng, n: usize) -> Vec<bool> {
+    (0..n).map(|_| r.bool()).collect()
 }
 
 /// Builds the circuit; returns it plus the recipe's net list (inputs then
@@ -83,39 +83,37 @@ fn reference(inputs: &[bool], recipe: &[GateRecipe]) -> Vec<bool> {
     vals
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn simulator_matches_reference_on_random_dags(
-        recipe in arb_circuit(4, 12),
-        stimulus in proptest::collection::vec(any::<bool>(), 4)
-    ) {
-        let (circuit, nets) = build(4, &recipe);
+#[test]
+fn simulator_matches_reference_on_random_dags() {
+    let mut r = Prng::new(0xF1);
+    for _ in 0..CASES {
+        let rec = recipe(&mut r, 4, 12);
+        let stim = stimulus(&mut r, 4);
+        let (circuit, nets) = build(4, &rec);
         let mut sim = Simulator::new(&circuit);
-        for (i, &b) in stimulus.iter().enumerate() {
+        for (i, &b) in stim.iter().enumerate() {
             sim.set(&format!("in{i}"), Logic::from_bool(b)).unwrap();
         }
         sim.settle().unwrap();
-        let expect = reference(&stimulus, &recipe);
+        let expect = reference(&stim, &rec);
         for (idx, &net) in nets.iter().enumerate() {
-            prop_assert_eq!(
+            assert_eq!(
                 sim.net_value(net),
                 Logic::from_bool(expect[idx]),
-                "net {} of {:?}",
-                idx,
-                recipe
+                "net {idx} of {rec:?}"
             );
         }
     }
+}
 
-    #[test]
-    fn incremental_updates_match_fresh_evaluation(
-        recipe in arb_circuit(4, 10),
-        first in proptest::collection::vec(any::<bool>(), 4),
-        second in proptest::collection::vec(any::<bool>(), 4)
-    ) {
-        let (circuit, nets) = build(4, &recipe);
+#[test]
+fn incremental_updates_match_fresh_evaluation() {
+    let mut r = Prng::new(0xF2);
+    for _ in 0..CASES {
+        let rec = recipe(&mut r, 4, 10);
+        let first = stimulus(&mut r, 4);
+        let second = stimulus(&mut r, 4);
+        let (circuit, nets) = build(4, &rec);
         // Incremental: settle on `first`, then change to `second`.
         let mut sim = Simulator::new(&circuit);
         for (i, &b) in first.iter().enumerate() {
@@ -133,19 +131,21 @@ proptest! {
         }
         fresh.settle().unwrap();
         for &net in &nets {
-            prop_assert_eq!(sim.net_value(net), fresh.net_value(net));
+            assert_eq!(sim.net_value(net), fresh.net_value(net));
         }
     }
+}
 
-    #[test]
-    fn unknown_inputs_never_produce_strong_garbage(
-        recipe in arb_circuit(3, 8),
-        known in proptest::collection::vec(any::<bool>(), 3),
-        hide in 0usize..3
-    ) {
+#[test]
+fn unknown_inputs_never_produce_strong_garbage() {
+    let mut r = Prng::new(0xF3);
+    for _ in 0..CASES {
         // With one input left at X, any net that *does* resolve strongly
         // must match the reference for BOTH values of the hidden input.
-        let (circuit, nets) = build(3, &recipe);
+        let rec = recipe(&mut r, 3, 8);
+        let known = stimulus(&mut r, 3);
+        let hide = r.usize_in(0, 3);
+        let (circuit, nets) = build(3, &rec);
         let mut sim = Simulator::new(&circuit);
         for (i, &b) in known.iter().enumerate() {
             if i != hide {
@@ -157,12 +157,12 @@ proptest! {
         lo[hide] = false;
         let mut hi = known.clone();
         hi[hide] = true;
-        let ref_lo = reference(&lo, &recipe);
-        let ref_hi = reference(&hi, &recipe);
+        let ref_lo = reference(&lo, &rec);
+        let ref_hi = reference(&hi, &rec);
         for (idx, &net) in nets.iter().enumerate() {
             if let Some(b) = sim.net_value(net).to_bool() {
-                prop_assert_eq!(b, ref_lo[idx], "net {} under hidden=0", idx);
-                prop_assert_eq!(b, ref_hi[idx], "net {} under hidden=1", idx);
+                assert_eq!(b, ref_lo[idx], "net {idx} under hidden=0");
+                assert_eq!(b, ref_hi[idx], "net {idx} under hidden=1");
             }
         }
     }

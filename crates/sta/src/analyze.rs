@@ -21,6 +21,21 @@ pub enum StaError {
         /// The missing name.
         name: String,
     },
+    /// A boundary condition carried a NaN/Inf arrival, slope or load —
+    /// rejected up front so it cannot poison every downstream arrival.
+    NonFiniteBoundary {
+        /// Port the bad value was attached to.
+        name: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A stage-delay model evaluated to NaN/Inf during propagation (bad
+    /// width in the sizing, degenerate load). The arrival table would be
+    /// meaningless, so analysis aborts with the offending component.
+    NonFiniteTiming {
+        /// Instance path of the component whose arc went non-finite.
+        comp: String,
+    },
 }
 
 impl fmt::Display for StaError {
@@ -30,6 +45,12 @@ impl fmt::Display for StaError {
                 write!(f, "circuit contains a combinational loop")
             }
             StaError::UnknownPort { name } => write!(f, "no port named '{name}'"),
+            StaError::NonFiniteBoundary { name, value } => {
+                write!(f, "boundary condition on '{name}' is not finite ({value})")
+            }
+            StaError::NonFiniteTiming { comp } => {
+                write!(f, "stage timing through '{comp}' is not finite")
+            }
         }
     }
 }
@@ -117,10 +138,11 @@ impl StaReport {
     pub fn slacks(&self, t: f64) -> Vec<Option<f64>> {
         let n = self.graph.node_count();
         let mut required: Vec<Option<f64>> = vec![None; n];
-        let order = self
-            .graph
-            .topo_order()
-            .expect("report graph was acyclic at analysis time");
+        // The graph was proved acyclic when the report was built; if that
+        // ever regresses, an all-None slack view beats a panic mid-flow.
+        let Some(order) = self.graph.topo_order() else {
+            return required;
+        };
         for node in order.iter().rev() {
             let i = node.index();
             if self.arrivals[i].is_none() {
@@ -202,6 +224,24 @@ pub fn analyze(
             return Err(StaError::UnknownPort { name: name.clone() });
         }
     }
+    for (name, &(t, s)) in &boundary.input_times {
+        for v in [t, s] {
+            if !v.is_finite() {
+                return Err(StaError::NonFiniteBoundary {
+                    name: name.clone(),
+                    value: v,
+                });
+            }
+        }
+    }
+    for (name, &l) in &boundary.output_loads {
+        if !l.is_finite() {
+            return Err(StaError::NonFiniteBoundary {
+                name: name.clone(),
+                value: l,
+            });
+        }
+    }
     let graph = TimingGraph::extract(circuit);
     let order = graph.topo_order().ok_or(StaError::CombinationalLoop)?;
     let mut arrivals: Vec<Option<Arrival>> = vec![None; graph.node_count()];
@@ -247,6 +287,11 @@ pub fn analyze(
             let cap = lib.net_cap(circuit, node.net, sizing)
                 + extra_load.get(&node.net).copied().unwrap_or(0.0);
             let t = lib.stage_timing(comp, node.edge, cap, src.slope, sizing);
+            if !(t.delay.is_finite() && t.slope.is_finite()) {
+                return Err(StaError::NonFiniteTiming {
+                    comp: comp.path.clone(),
+                });
+            }
             arc_delays[ai] = Some(t.delay);
             let cand = Arrival {
                 time: src.time + t.delay,

@@ -1,113 +1,126 @@
-//! Property tests on the timing engine: arrivals increase along paths,
-//! delay is monotone in load and anti-monotone in drive, slacks are
-//! consistent with arrivals.
+//! Randomized timing-engine tests: arrivals increase along paths, delay is
+//! monotone in load and anti-monotone in drive, slacks are consistent with
+//! arrivals. Deterministic (fixed seeds via `smart-prng`).
 
-use proptest::prelude::*;
 use smart_models::arcs::Edge;
 use smart_models::ModelLibrary;
 use smart_netlist::{Circuit, ComponentKind, DeviceRole, Sizing, Skew};
+use smart_prng::Prng;
 use smart_sta::{analyze, max_delay, Boundary, TNode};
 
+const CASES: usize = 40;
+
 /// Random inverter/NAND tree: every gate reads earlier nets.
-fn arb_tree() -> impl Strategy<Value = Circuit> {
-    proptest::collection::vec((any::<bool>(), 0usize..100, 0usize..100), 2..12).prop_map(
-        |gates| {
-            let mut c = Circuit::new("tree");
-            let mut nets = vec![];
-            for i in 0..3 {
-                let n = c.add_net(format!("in{i}")).unwrap();
-                c.expose_input(format!("in{i}"), n);
-                nets.push(n);
+fn tree(r: &mut Prng) -> Circuit {
+    let n_gates = r.usize_in(2, 12);
+    let mut c = Circuit::new("tree");
+    let mut nets = vec![];
+    for i in 0..3 {
+        let n = c.add_net(format!("in{i}")).unwrap();
+        c.expose_input(format!("in{i}"), n);
+        nets.push(n);
+    }
+    for g in 0..n_gates {
+        let is_nand = r.bool();
+        let s0 = r.usize_in(0, 100);
+        let s1 = r.usize_in(0, 100);
+        let out = c.add_net(format!("g{g}")).unwrap();
+        let p = c.label(&format!("P{g}"));
+        let n = c.label(&format!("N{g}"));
+        let bind = [(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)];
+        let a = nets[s0 % nets.len()];
+        if is_nand {
+            let b = nets[s1 % nets.len()];
+            if a == b {
+                c.add(
+                    format!("u{g}"),
+                    ComponentKind::Inverter { skew: Skew::Balanced },
+                    &[a, out],
+                    &bind,
+                )
+                .unwrap();
+            } else {
+                c.add(
+                    format!("u{g}"),
+                    ComponentKind::Nand { inputs: 2 },
+                    &[a, b, out],
+                    &bind,
+                )
+                .unwrap();
             }
-            for (g, (is_nand, s0, s1)) in gates.into_iter().enumerate() {
-                let out = c.add_net(format!("g{g}")).unwrap();
-                let p = c.label(&format!("P{g}"));
-                let n = c.label(&format!("N{g}"));
-                let bind = [(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)];
-                let a = nets[s0 % nets.len()];
-                if is_nand {
-                    let b = nets[s1 % nets.len()];
-                    if a == b {
-                        c.add(
-                            format!("u{g}"),
-                            ComponentKind::Inverter { skew: Skew::Balanced },
-                            &[a, out],
-                            &bind,
-                        )
-                        .unwrap();
-                    } else {
-                        c.add(
-                            format!("u{g}"),
-                            ComponentKind::Nand { inputs: 2 },
-                            &[a, b, out],
-                            &bind,
-                        )
-                        .unwrap();
-                    }
-                } else {
-                    c.add(
-                        format!("u{g}"),
-                        ComponentKind::Inverter { skew: Skew::Balanced },
-                        &[a, out],
-                        &bind,
-                    )
-                    .unwrap();
-                }
-                nets.push(out);
-            }
-            c.expose_output("out", *nets.last().unwrap());
-            c
-        },
-    )
+        } else {
+            c.add(
+                format!("u{g}"),
+                ComponentKind::Inverter { skew: Skew::Balanced },
+                &[a, out],
+                &bind,
+            )
+            .unwrap();
+        }
+        nets.push(out);
+    }
+    c.expose_output("out", *nets.last().unwrap());
+    c
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn arrivals_increase_along_critical_path(circuit in arb_tree()) {
-        let lib = ModelLibrary::reference();
+#[test]
+fn arrivals_increase_along_critical_path() {
+    let lib = ModelLibrary::reference();
+    let mut r = Prng::new(0xC1);
+    for _ in 0..CASES {
+        let circuit = tree(&mut r);
         let sizing = Sizing::uniform(circuit.labels(), 2.0);
         let report = analyze(&circuit, &lib, &sizing, &Boundary::default()).unwrap();
         if let Some((node, _)) = report.worst_over(circuit.output_ports().map(|p| p.net)) {
             let path = report.path_to(&circuit, node);
             for w in path.windows(2) {
-                prop_assert!(w[1].time > w[0].time);
+                assert!(w[1].time > w[0].time);
             }
         }
     }
+}
 
-    #[test]
-    fn extra_load_never_speeds_things_up(circuit in arb_tree(), load in 1.0f64..60.0) {
-        let lib = ModelLibrary::reference();
+#[test]
+fn extra_load_never_speeds_things_up() {
+    let lib = ModelLibrary::reference();
+    let mut r = Prng::new(0xC2);
+    for _ in 0..CASES {
+        let circuit = tree(&mut r);
+        let load = r.f64_in(1.0, 60.0);
         let sizing = Sizing::uniform(circuit.labels(), 2.0);
         let base = max_delay(&circuit, &lib, &sizing, &Boundary::default()).unwrap();
         let mut b = Boundary::default();
         b.output_loads.insert("out".into(), load);
         let loaded = max_delay(&circuit, &lib, &sizing, &b).unwrap();
-        prop_assert!(loaded >= base - 1e-9, "loaded {loaded} vs base {base}");
+        assert!(loaded >= base - 1e-9, "loaded {loaded} vs base {base}");
     }
+}
 
-    #[test]
-    fn global_upsizing_with_fixed_port_load_is_not_slower_at_the_port_stage(
-        circuit in arb_tree()
-    ) {
-        // Uniform upsizing leaves internal effort constant but strengthens
-        // the port driver against the fixed external load, so the total
-        // delay cannot increase.
-        let lib = ModelLibrary::reference();
+#[test]
+fn global_upsizing_with_fixed_port_load_is_not_slower_at_the_port_stage() {
+    // Uniform upsizing leaves internal effort constant but strengthens
+    // the port driver against the fixed external load, so the total
+    // delay cannot increase.
+    let lib = ModelLibrary::reference();
+    let mut r = Prng::new(0xC3);
+    for _ in 0..CASES {
+        let circuit = tree(&mut r);
         let mut b = Boundary::default();
         b.output_loads.insert("out".into(), 50.0);
-        let small = max_delay(&circuit, &lib, &Sizing::uniform(circuit.labels(), 1.0), &b)
-            .unwrap();
-        let big = max_delay(&circuit, &lib, &Sizing::uniform(circuit.labels(), 6.0), &b)
-            .unwrap();
-        prop_assert!(big <= small + 1e-9, "big {big} vs small {small}");
+        let small =
+            max_delay(&circuit, &lib, &Sizing::uniform(circuit.labels(), 1.0), &b).unwrap();
+        let big =
+            max_delay(&circuit, &lib, &Sizing::uniform(circuit.labels(), 6.0), &b).unwrap();
+        assert!(big <= small + 1e-9, "big {big} vs small {small}");
     }
+}
 
-    #[test]
-    fn slacks_are_nonnegative_at_the_measured_delay(circuit in arb_tree()) {
-        let lib = ModelLibrary::reference();
+#[test]
+fn slacks_are_nonnegative_at_the_measured_delay() {
+    let lib = ModelLibrary::reference();
+    let mut r = Prng::new(0xC4);
+    for _ in 0..CASES {
+        let circuit = tree(&mut r);
         let sizing = Sizing::uniform(circuit.labels(), 2.0);
         let report = analyze(&circuit, &lib, &sizing, &Boundary::default()).unwrap();
         // Global worst arrival over every node (any node can be an
@@ -126,13 +139,13 @@ proptest! {
             for edge in [Edge::Rise, Edge::Fall] {
                 let node = TNode { net, edge };
                 if let Some(s) = slacks[node.index()] {
-                    prop_assert!(s >= -1e-6, "negative slack {s} at {net}");
+                    assert!(s >= -1e-6, "negative slack {s} at {net}");
                     if s.abs() < 1e-6 {
                         saw_zero = true;
                     }
                 }
             }
         }
-        prop_assert!(saw_zero, "the critical endpoint must have zero slack");
+        assert!(saw_zero, "the critical endpoint must have zero slack");
     }
 }

@@ -2,8 +2,6 @@
 //! verification over randomized vectors, end-to-end sizing of the whole
 //! netlist, and consistency of composed-circuit analyses.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use smart_datapath::blocks::alu_slice;
 use smart_datapath::core::{minimize_delay, size_circuit, DelaySpec, SizingOptions};
 use smart_datapath::models::ModelLibrary;
@@ -11,6 +9,7 @@ use smart_datapath::power::{estimate, ActivityProfile};
 use smart_datapath::sim::harness::{read_bus, set_bus};
 use smart_datapath::sim::{Logic, Simulator};
 use smart_datapath::sta::Boundary;
+use smart_prng::Prng;
 
 const BITS: usize = 4;
 
@@ -38,14 +37,14 @@ fn composed_alu_is_functionally_correct_over_random_vectors() {
     let alu = alu_slice(BITS);
     assert!(alu.lint().is_empty());
     let mut sim = Simulator::new(&alu);
-    let mut rng = StdRng::seed_from_u64(0xA1_57);
+    let mut rng = Prng::new(0xA1_57);
     let mask = (1u64 << BITS) - 1;
     for _ in 0..40 {
-        let a = rng.random_range(0..=mask);
-        let b = rng.random_range(0..=mask);
-        let sh = rng.random_range(0..BITS as u64);
-        let op = rng.random::<bool>();
-        let cin = rng.random::<bool>();
+        let a = rng.u64_below(mask + 1);
+        let b = rng.u64_below(mask + 1);
+        let sh = rng.u64_below(BITS as u64);
+        let op = rng.bool();
+        let cin = rng.bool();
         let (r, z) = run_vector(&mut sim, a, b, sh, op, cin);
         let expect = if op {
             ((a << sh) | (a >> (BITS as u64 - sh).min(63))) & mask
