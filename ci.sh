@@ -12,10 +12,20 @@ cd "$(dirname "$0")"
 echo "== build (release, offline) =="
 cargo build --workspace --release --offline
 
-echo "== test (workspace) =="
-cargo test -q --offline --workspace
+# The whole suite runs twice: once serial, once with the exploration
+# sweep fanned across 4 workers (explore/explore_with read SMART_WORKERS
+# from the environment). Any test that diverges between the two runs is a
+# determinism bug in the parallel runtime (DESIGN.md §9).
+echo "== test (workspace, SMART_WORKERS=1) =="
+SMART_WORKERS=1 cargo test -q --offline --workspace
 
-echo "== clippy (no unwrap/expect in flow crates) =="
+echo "== test (workspace, SMART_WORKERS=4) =="
+SMART_WORKERS=4 cargo test -q --offline --workspace
+
+echo "== explore_scaling smoke (parallel + memoized sweeps) =="
+cargo run -q --offline --release -p smart-bench --bin explore_scaling -- --smoke
+
+echo "== clippy (no unwrap/expect in flow crates, pool/cache included) =="
 cargo clippy -q --offline -p smart-core -p smart-gp -- \
   -D clippy::unwrap_used -D clippy::expect_used
 

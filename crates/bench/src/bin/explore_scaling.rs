@@ -1,0 +1,207 @@
+//! Exploration scaling study: wall-clock of the Fig.-1 topology sweep at
+//! 1/2/4/8 workers, plus the memoization cache's algorithmic speedup on
+//! repeated sweeps (the multi-instance reality: a datapath instantiates
+//! the same macro at many points, and every sweep point re-sizes the same
+//! alternatives).
+//!
+//! Thread speedup is bounded by the host's core count — on a single-core
+//! CI box the worker sweep proves determinism-at-scale, not speed; the
+//! cache rows provide the machine-independent speedup evidence.
+//!
+//! `--smoke` runs a 2-iteration reduced sweep (CI-sized); the default
+//! runs the full macro set.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use smart_core::{
+    explore_parallel, DelaySpec, Exploration, ParallelOptions, SizingCache, SizingOptions,
+};
+use smart_macros::{MacroSpec, MuxTopology, ZeroDetectStyle};
+use smart_models::ModelLibrary;
+use smart_sta::Boundary;
+
+struct Case {
+    name: &'static str,
+    request: MacroSpec,
+    spec_ps: f64,
+}
+
+fn cases(smoke: bool) -> Vec<Case> {
+    if smoke {
+        return vec![Case {
+            name: "mux4",
+            request: MacroSpec::Mux {
+                topology: MuxTopology::StronglyMutexedPass,
+                width: 4,
+            },
+            spec_ps: 400.0,
+        }];
+    }
+    vec![
+        Case {
+            name: "mux8",
+            request: MacroSpec::Mux {
+                topology: MuxTopology::StronglyMutexedPass,
+                width: 8,
+            },
+            spec_ps: 450.0,
+        },
+        Case {
+            name: "zd16",
+            request: MacroSpec::ZeroDetect {
+                width: 16,
+                style: ZeroDetectStyle::Domino,
+            },
+            spec_ps: 450.0,
+        },
+        Case {
+            name: "inc13",
+            request: MacroSpec::Incrementor { width: 13 },
+            spec_ps: 900.0,
+        },
+    ]
+}
+
+fn boundary_for(request: &MacroSpec, load: f64) -> Boundary {
+    let mut b = Boundary::default();
+    for port in request.generate().output_ports() {
+        b.output_loads.insert(port.name.clone(), load);
+    }
+    b
+}
+
+/// One full sweep: every case × every load, at the given worker count.
+/// Returns elapsed wall clock and the concatenated tables.
+fn run_sweep(
+    cases: &[Case],
+    loads: &[f64],
+    lib: &ModelLibrary,
+    opts: &SizingOptions,
+    par: &ParallelOptions,
+) -> (Duration, Vec<Exploration>) {
+    let start = Instant::now();
+    let mut tables = Vec::new();
+    for case in cases {
+        for &load in loads {
+            let boundary = boundary_for(&case.request, load);
+            tables.push(explore_parallel(
+                &case.request,
+                lib,
+                &boundary,
+                &DelaySpec::uniform(case.spec_ps),
+                opts,
+                par,
+            ));
+        }
+    }
+    (start.elapsed(), tables)
+}
+
+/// Order-sensitive fingerprint of a sweep's results: per row, the spec
+/// and either the exact total-width bits or the failure taxonomy. Two
+/// sweeps agree iff their fingerprints agree.
+fn fingerprint(tables: &[Exploration]) -> String {
+    let mut out = String::new();
+    for t in tables {
+        for c in &t.candidates {
+            out.push_str(&match &c.result {
+                Ok(m) => format!("{}:{:016x};", c.spec, m.outcome.total_width.to_bits()),
+                Err(e) => format!("{}:{};", c.spec, e.taxonomy()),
+            });
+        }
+    }
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let iterations = if smoke { 2 } else { 3 };
+    let loads: &[f64] = if smoke { &[12.0, 20.0] } else { &[8.0, 16.0, 32.0] };
+    let cases = cases(smoke);
+    let lib = ModelLibrary::reference();
+    let opts = SizingOptions::default();
+
+    println!(
+        "# Exploration scaling ({} mode, cases [{}] x {} load(s), best of {iterations})\n",
+        if smoke { "smoke" } else { "full" },
+        cases.iter().map(|c| c.name).collect::<Vec<_>>().join(", "),
+        loads.len(),
+    );
+
+    // --- Worker scaling (cold, no cache) ------------------------------
+    println!("{:<9} {:>10} {:>9}  {}", "workers", "wall", "speedup", "vs serial");
+    let mut serial_best = Duration::MAX;
+    let mut serial_print: Option<String> = None;
+    let mut workers_diverged = false;
+    for workers in [1usize, 2, 4, 8] {
+        let par = ParallelOptions::with_workers(workers);
+        let mut best = Duration::MAX;
+        let mut print = String::new();
+        for _ in 0..iterations {
+            let (elapsed, tables) = run_sweep(&cases, loads, &lib, &opts, &par);
+            best = best.min(elapsed);
+            print = fingerprint(&tables);
+        }
+        let status = if let Some(reference) = &serial_print {
+            if *reference == print {
+                "identical"
+            } else {
+                workers_diverged = true;
+                "DIVERGED"
+            }
+        } else {
+            serial_best = best;
+            serial_print = Some(print);
+            "reference"
+        };
+        println!(
+            "{workers:<9} {:>9.1}ms {:>8.2}x  {status}",
+            best.as_secs_f64() * 1e3,
+            serial_best.as_secs_f64() / best.as_secs_f64(),
+        );
+    }
+
+    // --- Memoization speedup (serial, shared cache) -------------------
+    // A datapath instantiates the same macro at many sweep points; the
+    // second pass replays every GP/STA solve from the cache.
+    let cache = Arc::new(SizingCache::new());
+    let mut cached_opts = opts.clone();
+    cached_opts.cache = Some(Arc::clone(&cache));
+    let par = ParallelOptions::serial();
+    let (cold, cold_tables) = run_sweep(&cases, loads, &lib, &cached_opts, &par);
+    let (warm, warm_tables) = run_sweep(&cases, loads, &lib, &cached_opts, &par);
+    let (hits, misses) = cache.stats();
+    println!("\n{:<9} {:>10} {:>9}  hit-rate", "cache", "wall", "speedup");
+    println!(
+        "{:<9} {:>9.1}ms {:>8.2}x  {}",
+        "cold",
+        cold.as_secs_f64() * 1e3,
+        1.0,
+        "-"
+    );
+    println!(
+        "{:<9} {:>9.1}ms {:>8.2}x  {:.0}% ({hits} hits / {misses} misses lifetime)",
+        "warm",
+        warm.as_secs_f64() * 1e3,
+        cold.as_secs_f64() / warm.as_secs_f64().max(1e-9),
+        100.0 * warm_tables
+            .iter()
+            .map(|t| t.cache_hits)
+            .sum::<usize>() as f64
+            / warm_tables
+                .iter()
+                .map(|t| t.cache_hits + t.cache_misses)
+                .sum::<usize>()
+                .max(1) as f64,
+    );
+    let agree = fingerprint(&cold_tables) == fingerprint(&warm_tables);
+    println!(
+        "\n(warm tables {} the cold tables; thread speedup is capped by the\n\
+         host's cores — the cache row is the machine-independent evidence.)",
+        if agree { "replay exactly" } else { "DIVERGED from" }
+    );
+    if !agree || workers_diverged {
+        std::process::exit(1);
+    }
+}

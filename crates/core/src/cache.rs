@@ -1,0 +1,316 @@
+//! Sizing memoization — reuse of GP solutions across sweep points.
+//!
+//! Multi-macro sweeps (the Table-2-style comparisons) size the *same
+//! topology* many times: every sweep point re-explores the full
+//! alternative set, and most candidates recur with identical instance
+//! conditions. The cache keys a completed [`SizingOutcome`] on everything
+//! that determines it —
+//!
+//! * the netlist's [`Circuit::structural_hash`] (devices, connectivity,
+//!   labels, wire caps, ports),
+//! * the quantized delay spec (ps budgets rounded to a 2⁻¹² ps grid, far
+//!   below timing meaning, so float noise from spec arithmetic cannot
+//!   split otherwise-identical entries),
+//! * the boundary conditions (exact bit patterns, sorted by port name),
+//! * a fingerprint of every [`SizingOptions`] knob that can change the
+//!   solution (cost metric, iteration caps, tolerances, pins, OTB,
+//!   dominance mode, relaxation ladder, warm start) — deliberately
+//!   *excluding* the resource budget, which can only abort a solve, never
+//!   steer a successful one.
+//!
+//! Only successful outcomes are stored: failures may be budget- or
+//! timing-dependent and must be re-derived. Because the whole flow is
+//! deterministic, a hit is byte-identical to the cold solve it replaces —
+//! the cache-correctness test suite asserts exactly that.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use smart_netlist::{Circuit, StableHasher};
+use smart_sta::Boundary;
+
+use crate::sizing::SizingOutcome;
+use crate::{CostMetric, DelaySpec, SizingOptions};
+
+/// Cache key: every input that determines a sizing outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`Circuit::structural_hash`] of the candidate netlist.
+    pub structure: u64,
+    /// Quantized data-phase budget.
+    pub spec_data: u64,
+    /// Quantized precharge budget (`u64::MAX` = unset, distinct from any
+    /// quantized value by construction).
+    pub spec_precharge: u64,
+    /// Fingerprint of the boundary conditions.
+    pub boundary: u64,
+    /// Fingerprint of the outcome-relevant sizing options.
+    pub options: u64,
+}
+
+/// Spec budgets land on a 2⁻¹² ps grid: coarse enough to absorb float
+/// noise from spec arithmetic, ~5 orders of magnitude below any timing
+/// budget's meaningful resolution.
+fn quantize_ps(x: f64) -> u64 {
+    // Specs are validated finite and positive before keys are built; the
+    // saturating cast keeps a pathological value from wrapping.
+    let q = (x * 4096.0).round();
+    if q >= u64::MAX as f64 {
+        u64::MAX - 1
+    } else if q.is_finite() && q > 0.0 {
+        q as u64
+    } else {
+        0
+    }
+}
+
+fn boundary_fingerprint(boundary: &Boundary) -> u64 {
+    let mut h = StableHasher::new();
+    // HashMap iteration order is per-instance; sort by name so equal
+    // boundaries built in different orders fingerprint equally.
+    let mut loads: Vec<(&str, f64)> = boundary
+        .output_loads
+        .iter()
+        .map(|(k, &v)| (k.as_str(), v))
+        .collect();
+    loads.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    h.write_usize(loads.len());
+    for (name, v) in loads {
+        h.write_str(name);
+        h.write_f64_bits(v);
+    }
+    let mut times: Vec<(&str, (f64, f64))> = boundary
+        .input_times
+        .iter()
+        .map(|(k, &v)| (k.as_str(), v))
+        .collect();
+    times.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    h.write_usize(times.len());
+    for (name, (t, s)) in times {
+        h.write_str(name);
+        h.write_f64_bits(t);
+        h.write_f64_bits(s);
+    }
+    match boundary.default_slope {
+        Some(s) => {
+            h.write_bool(true);
+            h.write_f64_bits(s);
+        }
+        None => h.write_bool(false),
+    }
+    h.finish()
+}
+
+fn options_fingerprint(opts: &SizingOptions) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u8(match opts.cost {
+        CostMetric::Width => 0,
+        CostMetric::Power => 1,
+    });
+    h.write_usize(opts.max_outer_iters);
+    h.write_f64_bits(opts.timing_tolerance);
+    h.write_f64_bits(opts.slope_max);
+    let mut pinned: Vec<(&str, f64)> = opts
+        .pinned
+        .iter()
+        .map(|(k, &v)| (k.as_str(), v))
+        .collect();
+    pinned.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    h.write_usize(pinned.len());
+    for (name, w) in pinned {
+        h.write_str(name);
+        h.write_f64_bits(w);
+    }
+    h.write_usize(opts.path_limit);
+    h.write_bool(opts.noise_constraints);
+    h.write_bool(opts.otb);
+    h.write_bool(opts.heuristic_dominance);
+    h.write_usize(opts.gp_retries);
+    h.write_usize(opts.relaxation.len());
+    for &r in &opts.relaxation {
+        h.write_f64_bits(r);
+    }
+    match &opts.warm_start {
+        Some(s) => {
+            h.write_bool(true);
+            h.write_usize(s.len());
+            for &w in s.as_slice() {
+                h.write_f64_bits(w);
+            }
+        }
+        None => h.write_bool(false),
+    }
+    // opts.budget intentionally excluded: budgets abort solves (which are
+    // never cached), they cannot change a successful outcome.
+    h.finish()
+}
+
+/// Builds the memoization key for one sizing invocation.
+pub fn cache_key(
+    circuit: &Circuit,
+    boundary: &Boundary,
+    spec: &DelaySpec,
+    opts: &SizingOptions,
+) -> CacheKey {
+    CacheKey {
+        structure: circuit.structural_hash(),
+        spec_data: quantize_ps(spec.data),
+        spec_precharge: spec.precharge.map_or(u64::MAX, quantize_ps),
+        boundary: boundary_fingerprint(boundary),
+        options: options_fingerprint(opts),
+    }
+}
+
+/// A thread-safe memoization store for successful sizing outcomes, shared
+/// via `Arc` in [`SizingOptions::cache`].
+///
+/// Hit/miss counters are monotonic over the cache's lifetime; exploration
+/// snapshots them around a sweep to report per-sweep rates.
+#[derive(Debug, Default)]
+pub struct SizingCache {
+    map: Mutex<HashMap<CacheKey, SizingOutcome>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl SizingCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn guard(&self) -> std::sync::MutexGuard<'_, HashMap<CacheKey, SizingOutcome>> {
+        // A poisoned mutex only means a panicking thread died mid-insert;
+        // the map itself holds plain owned data and stays valid.
+        match self.map.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Looks up `key`, counting the hit or miss.
+    pub fn lookup(&self, key: &CacheKey) -> Option<SizingOutcome> {
+        let found = self.guard().get(key).cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Stores a successful outcome under `key`. Concurrent inserts of the
+    /// same key are benign: the flow is deterministic, so both threads
+    /// computed the same value.
+    pub fn insert(&self, key: CacheKey, outcome: SizingOutcome) {
+        self.guard().insert(key, outcome);
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.guard().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime `(hits, misses)` counters.
+    pub fn stats(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        self.guard().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn circuit() -> Circuit {
+        use smart_macros::{MacroSpec, MuxTopology};
+        MacroSpec::Mux {
+            topology: MuxTopology::StronglyMutexedPass,
+            width: 4,
+        }
+        .generate()
+    }
+
+    fn boundary(load: f64) -> Boundary {
+        let mut b = Boundary::default();
+        b.output_loads.insert("y".into(), load);
+        b
+    }
+
+    #[test]
+    fn equal_inputs_equal_keys() {
+        let c = circuit();
+        let opts = SizingOptions::default();
+        let k1 = cache_key(&c, &boundary(15.0), &DelaySpec::uniform(300.0), &opts);
+        let k2 = cache_key(&c, &boundary(15.0), &DelaySpec::uniform(300.0), &opts);
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn every_key_dimension_separates() {
+        let c = circuit();
+        let opts = SizingOptions::default();
+        let base = cache_key(&c, &boundary(15.0), &DelaySpec::uniform(300.0), &opts);
+
+        let other_spec = cache_key(&c, &boundary(15.0), &DelaySpec::uniform(301.0), &opts);
+        assert_ne!(base, other_spec, "spec must separate");
+
+        let other_load = cache_key(&c, &boundary(16.0), &DelaySpec::uniform(300.0), &opts);
+        assert_ne!(base, other_load, "boundary must separate");
+
+        let mut o2 = SizingOptions::default();
+        o2.otb = false;
+        let other_opts = cache_key(&c, &boundary(15.0), &DelaySpec::uniform(300.0), &o2);
+        assert_ne!(base, other_opts, "options must separate");
+
+        let precharge = cache_key(
+            &c,
+            &boundary(15.0),
+            &DelaySpec {
+                data: 300.0,
+                precharge: Some(300.0),
+            },
+            &opts,
+        );
+        assert_ne!(base, precharge, "explicit precharge must separate");
+    }
+
+    #[test]
+    fn budget_does_not_split_keys() {
+        let c = circuit();
+        let mut tight = SizingOptions::default();
+        tight.budget.max_gp_iters = Some(1);
+        let a = cache_key(&c, &boundary(15.0), &DelaySpec::uniform(300.0), &SizingOptions::default());
+        let b = cache_key(&c, &boundary(15.0), &DelaySpec::uniform(300.0), &tight);
+        assert_eq!(a, b, "budgets abort, they never steer; keys must agree");
+    }
+
+    #[test]
+    fn boundary_insertion_order_is_irrelevant() {
+        let c = circuit();
+        let opts = SizingOptions::default();
+        let mut b1 = Boundary::default();
+        b1.output_loads.insert("y".into(), 10.0);
+        b1.input_times.insert("a".into(), (0.0, 30.0));
+        b1.input_times.insert("b".into(), (5.0, 40.0));
+        let mut b2 = Boundary::default();
+        b2.input_times.insert("b".into(), (5.0, 40.0));
+        b2.input_times.insert("a".into(), (0.0, 30.0));
+        b2.output_loads.insert("y".into(), 10.0);
+        let spec = DelaySpec::uniform(300.0);
+        assert_eq!(cache_key(&c, &b1, &spec, &opts), cache_key(&c, &b2, &spec, &opts));
+    }
+}

@@ -9,6 +9,15 @@
 //! that panics, a GP that diverges) becomes one [`FlowError::Internal`]
 //! table row instead of killing the whole exploration. Candidate-count
 //! budgets ([`crate::FlowBudget::max_candidates`]) are also enforced here.
+//!
+//! The sweep is also *candidate-parallel*: every candidate's work is a
+//! pure function of its index (same spec list, same read-only library /
+//! boundary / options), so [`explore_parallel`] fans candidates across the
+//! [`crate::pool`] worker pool and reassembles the table in index order —
+//! byte-identical to the serial table, a property the differential test
+//! suite (`tests/parallel_equivalence.rs`) enforces. The plain [`explore`]
+//! / [`explore_with`] entry points read [`ParallelOptions::from_env`], so
+//! `SMART_WORKERS=4` parallelizes every existing caller unchanged.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -19,6 +28,7 @@ use smart_sta::Boundary;
 
 use smart_macros::MacroSpec;
 
+use crate::pool::{run_indexed, ParallelOptions};
 use crate::sizing::{size_circuit, SizingOutcome};
 use crate::{DelaySpec, FlowError, SizingOptions};
 
@@ -54,6 +64,12 @@ pub struct Candidate {
 pub struct Exploration {
     /// All candidates in database order (requested topology first).
     pub candidates: Vec<Candidate>,
+    /// Sizing-cache hits attributable to this sweep (`0` without a cache):
+    /// the delta of [`crate::SizingCache::stats`] across the sweep.
+    pub cache_hits: usize,
+    /// Sizing-cache misses attributable to this sweep (`0` without a
+    /// cache).
+    pub cache_misses: usize,
 }
 
 impl Exploration {
@@ -89,13 +105,18 @@ impl Exploration {
 }
 
 /// Minimum over the feasible candidates on `key`, NaN-tolerant
-/// (`f64::total_cmp` ranks NaN above every real value).
+/// (`f64::total_cmp` ranks NaN above every real value). Ties break toward
+/// the lower candidate index *explicitly*: database order is a designer
+/// preference (requested topology first), and the winner must not depend
+/// on iterator internals — the differential harness compares winners by
+/// index across worker counts.
 fn best_by(candidates: &[Candidate], key: impl Fn(&CandidateMetrics) -> f64) -> Option<&Candidate> {
     candidates
         .iter()
-        .filter_map(|c| c.result.as_ref().ok().map(|m| (c, key(m))))
-        .min_by(|(_, a), (_, b)| a.total_cmp(b))
-        .map(|(c, _)| c)
+        .enumerate()
+        .filter_map(|(i, c)| c.result.as_ref().ok().map(|m| (i, c, key(m))))
+        .min_by(|(ia, _, a), (ib, _, b)| a.total_cmp(b).then(ia.cmp(ib)))
+        .map(|(_, c, _)| c)
 }
 
 /// Sizes one elaborated circuit and collects its metrics.
@@ -128,12 +149,91 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// The complete, self-contained evaluation of candidate `idx`: budget
+/// gates, elaboration boundary, sizing boundary. Everything a row depends
+/// on is in the arguments — no sweep-global mutable state — which is what
+/// lets the parallel sweep run candidates on any worker and still match
+/// the serial table byte for byte.
+fn run_candidate<F>(
+    idx: usize,
+    alt: &MacroSpec,
+    generate: &F,
+    lib: &ModelLibrary,
+    boundary: &Boundary,
+    spec: &DelaySpec,
+    opts: &SizingOptions,
+) -> Candidate
+where
+    F: Fn(&MacroSpec) -> Circuit,
+{
+    if let Some(cap) = opts.budget.max_candidates {
+        if idx >= cap {
+            return Candidate {
+                spec: alt.clone(),
+                circuit: None,
+                result: Err(FlowError::BudgetExceeded {
+                    what: "candidates",
+                    detail: format!("candidate {} beyond cap {cap}", idx + 1),
+                }),
+            };
+        }
+    }
+    // A sweep-wide cancellation (shared token tripped before this
+    // candidate started) skips elaboration entirely; the row mirrors the
+    // candidate-cap row above. A token that trips *mid*-candidate is
+    // caught by the flow/GP-level checks inside `size_and_measure`.
+    if opts.budget.is_cancelled() {
+        return Candidate {
+            spec: alt.clone(),
+            circuit: None,
+            result: Err(FlowError::BudgetExceeded {
+                what: "cancelled",
+                detail: format!("sweep cancelled before candidate {}", idx + 1),
+            }),
+        };
+    }
+    // Elaboration boundary: a panicking generator yields an error row.
+    let circuit = match catch_unwind(AssertUnwindSafe(|| generate(alt))) {
+        Ok(c) => c,
+        Err(payload) => {
+            return Candidate {
+                result: Err(FlowError::Internal {
+                    candidate: alt.to_string(),
+                    panic_msg: panic_message(payload),
+                }),
+                spec: alt.clone(),
+                circuit: None,
+            };
+        }
+    };
+    // Sizing boundary: a panic anywhere in compaction / GP / STA /
+    // power for this candidate is contained the same way.
+    let result = match catch_unwind(AssertUnwindSafe(|| {
+        size_and_measure(&circuit, lib, boundary, spec, opts)
+    })) {
+        Ok(r) => r,
+        Err(payload) => Err(FlowError::Internal {
+            candidate: alt.to_string(),
+            panic_msg: panic_message(payload),
+        }),
+    };
+    Candidate {
+        spec: alt.clone(),
+        circuit: Some(circuit),
+        result,
+    }
+}
+
 /// Runs the Fig.-1 exploration: every database alternative of `request`
 /// is elaborated, sized under the same instance constraints and measured.
 ///
 /// Never panics on a bad candidate and never returns early: the table
 /// always has one row per alternative, failed rows carrying the typed
 /// error that disqualified them.
+///
+/// Parallelism comes from the environment ([`ParallelOptions::from_env`]:
+/// `SMART_WORKERS` / `SMART_CHUNK`); use [`explore_parallel`] to set it
+/// explicitly.
 pub fn explore(
     request: &MacroSpec,
     lib: &ModelLibrary,
@@ -141,18 +241,36 @@ pub fn explore(
     spec: &DelaySpec,
     opts: &SizingOptions,
 ) -> Exploration {
+    explore_parallel(request, lib, boundary, spec, opts, &ParallelOptions::from_env())
+}
+
+/// [`explore`] with explicit parallelism. The result is byte-identical
+/// for every `par` (see DESIGN.md §9 for the determinism contract).
+pub fn explore_parallel(
+    request: &MacroSpec,
+    lib: &ModelLibrary,
+    boundary: &Boundary,
+    spec: &DelaySpec,
+    opts: &SizingOptions,
+    par: &ParallelOptions,
+) -> Exploration {
     // Requested topology first, then the alternatives.
     let mut alts = request.alternatives();
     if let Some(pos) = alts.iter().position(|s| s == request) {
         alts.swap(0, pos);
     }
-    explore_with(alts, MacroSpec::generate, lib, boundary, spec, opts)
+    explore_with_parallel(alts, MacroSpec::generate, lib, boundary, spec, opts, par)
 }
 
 /// The exploration engine behind [`explore`], with an injectable
 /// elaborator. Designer databases with custom generators (paper §3(i))
 /// plug in here; tests use it to inject pathological candidates and prove
 /// the sweep survives them.
+///
+/// Parallelism comes from the environment ([`ParallelOptions::from_env`]);
+/// use [`explore_with_parallel`] to set it explicitly. The generator must
+/// be `Sync` because workers share it — generators are pure spec→netlist
+/// elaborators, so this is no burden in practice.
 pub fn explore_with<F>(
     specs: Vec<MacroSpec>,
     generate: F,
@@ -162,54 +280,60 @@ pub fn explore_with<F>(
     opts: &SizingOptions,
 ) -> Exploration
 where
-    F: Fn(&MacroSpec) -> Circuit,
+    F: Fn(&MacroSpec) -> Circuit + Sync,
 {
-    let mut candidates = Vec::new();
-    for (idx, alt) in specs.into_iter().enumerate() {
-        if let Some(cap) = opts.budget.max_candidates {
-            if idx >= cap {
-                candidates.push(Candidate {
-                    spec: alt,
-                    circuit: None,
-                    result: Err(FlowError::BudgetExceeded {
-                        what: "candidates",
-                        detail: format!("candidate {} beyond cap {cap}", idx + 1),
-                    }),
-                });
-                continue;
-            }
-        }
-        // Elaboration boundary: a panicking generator yields an error row.
-        let circuit = match catch_unwind(AssertUnwindSafe(|| generate(&alt))) {
-            Ok(c) => c,
-            Err(payload) => {
-                candidates.push(Candidate {
-                    result: Err(FlowError::Internal {
-                        candidate: alt.to_string(),
-                        panic_msg: panic_message(payload),
-                    }),
-                    spec: alt,
-                    circuit: None,
-                });
-                continue;
-            }
-        };
-        // Sizing boundary: a panic anywhere in compaction / GP / STA /
-        // power for this candidate is contained the same way.
-        let result = match catch_unwind(AssertUnwindSafe(|| {
-            size_and_measure(&circuit, lib, boundary, spec, opts)
-        })) {
-            Ok(r) => r,
-            Err(payload) => Err(FlowError::Internal {
-                candidate: alt.to_string(),
-                panic_msg: panic_message(payload),
-            }),
-        };
-        candidates.push(Candidate {
-            spec: alt,
-            circuit: Some(circuit),
-            result,
-        });
+    explore_with_parallel(
+        specs,
+        generate,
+        lib,
+        boundary,
+        spec,
+        opts,
+        &ParallelOptions::from_env(),
+    )
+}
+
+/// [`explore_with`] with explicit parallelism: candidates fan out across
+/// the worker pool and the table is reassembled in candidate-index order,
+/// byte-identical to the serial sweep.
+#[allow(clippy::too_many_arguments)]
+pub fn explore_with_parallel<F>(
+    specs: Vec<MacroSpec>,
+    generate: F,
+    lib: &ModelLibrary,
+    boundary: &Boundary,
+    spec: &DelaySpec,
+    opts: &SizingOptions,
+    par: &ParallelOptions,
+) -> Exploration
+where
+    F: Fn(&MacroSpec) -> Circuit + Sync,
+{
+    let stats_before = opts.cache.as_ref().map_or((0, 0), |c| c.stats());
+    let rows = run_indexed(specs.len(), par, |i| {
+        run_candidate(i, &specs[i], &generate, lib, boundary, spec, opts)
+    });
+    let candidates = rows
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            // `run_candidate` already contains every panic inside the row,
+            // so an empty slot means the pool worker itself was killed —
+            // keep the one-row-per-alternative invariant regardless.
+            slot.unwrap_or_else(|| Candidate {
+                spec: specs[i].clone(),
+                circuit: None,
+                result: Err(FlowError::Internal {
+                    candidate: specs[i].to_string(),
+                    panic_msg: "exploration worker lost".to_owned(),
+                }),
+            })
+        })
+        .collect();
+    let stats_after = opts.cache.as_ref().map_or((0, 0), |c| c.stats());
+    Exploration {
+        candidates,
+        cache_hits: stats_after.0 - stats_before.0,
+        cache_misses: stats_after.1 - stats_before.1,
     }
-    Exploration { candidates }
 }

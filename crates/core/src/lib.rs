@@ -59,24 +59,29 @@
 #![warn(missing_docs)]
 
 mod baseline;
+pub mod cache;
 pub mod compact;
 pub mod constraints;
 mod error;
 mod explore;
 mod noise;
+pub mod pool;
 mod report;
 mod sizing;
 mod spec;
 pub mod tune;
 
 pub use baseline::{baseline_sizing, BaselineMargins};
+pub use cache::{cache_key, CacheKey, SizingCache};
 pub use compact::{compact, CapVec, Compaction, PathClass};
 pub use error::FlowError;
 pub use explore::{
-    explore, explore_with, size_and_measure, Candidate, CandidateMetrics, Exploration,
+    explore, explore_parallel, explore_with, explore_with_parallel, size_and_measure, Candidate,
+    CandidateMetrics, Exploration,
 };
 pub use noise::{analyze_noise, DynamicNodeNoise, NoiseReport};
-pub use report::sizing_report;
+pub use pool::{run_indexed, ParallelOptions};
+pub use report::{exploration_report, sizing_report};
 pub use sizing::{compaction_stats, measure_phase_delays, minimize_delay, size_circuit, SizingOutcome};
 pub use spec::{CostMetric, DelaySpec, FlowBudget, SizingOptions};
 pub use tune::{tune_comparator_grouping, tune_partition_point, TuneCandidate, TuneSweep};

@@ -1,0 +1,213 @@
+//! A zero-dependency scoped worker pool for candidate-parallel sweeps.
+//!
+//! The Fig.-4 SMART loop sizes every candidate topology independently, so
+//! the exploration sweep is embarrassingly parallel — but parallelism must
+//! not change results. The pool therefore has exactly one job shape:
+//! evaluate `job(i)` for `i in 0..n` and return the results **in index
+//! order**, regardless of which worker ran which index or when it
+//! finished. Determinism falls out of three properties:
+//!
+//! 1. every job's inputs are index-determined (workers share only
+//!    read-only references plus one atomic claim counter);
+//! 2. results are written into a pre-sized slot table by index, never
+//!    appended in completion order;
+//! 3. a panicking job yields `None` in its own slot — the same containment
+//!    a serial run gets from its own `catch_unwind` — and can never poison
+//!    a sibling.
+//!
+//! Workers claim indices in `chunk`-sized batches from a shared atomic
+//! counter (dynamic self-scheduling), so a single slow candidate — one
+//! giant GP — does not strand the work behind it the way static
+//! striping would.
+//!
+//! Threads come from [`std::thread::scope`]: no channels, no external
+//! crates, workers joined before the function returns.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Parallelism knobs for [`crate::explore`] / [`crate::explore_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelOptions {
+    /// Worker threads to fan candidates across. `0` and `1` both mean
+    /// serial in-place execution (no threads are spawned); the pool never
+    /// spawns more workers than there are jobs.
+    pub workers: usize,
+    /// Indices a worker claims per visit to the shared counter. `1` (the
+    /// default) is right for exploration, where one candidate is a whole
+    /// GP/STA run and claim overhead is noise; raise it only for very
+    /// cheap jobs.
+    pub chunk: usize,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions {
+            workers: 1,
+            chunk: 1,
+        }
+    }
+}
+
+impl ParallelOptions {
+    /// Serial execution (the historical behavior).
+    pub fn serial() -> Self {
+        Self::default()
+    }
+
+    /// `workers` threads with single-index claiming.
+    pub fn with_workers(workers: usize) -> Self {
+        ParallelOptions { workers, chunk: 1 }
+    }
+
+    /// Reads `SMART_WORKERS` (worker count) and `SMART_CHUNK` (claim
+    /// batch) from the environment; unset or unparsable values fall back
+    /// to serial defaults. This is how `explore`/`explore_with` pick up
+    /// parallelism without an API change — CI runs the whole test suite
+    /// under both `SMART_WORKERS=1` and `SMART_WORKERS=4`.
+    pub fn from_env() -> Self {
+        let parse = |name: &str, default: usize| -> usize {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(default)
+        };
+        ParallelOptions {
+            workers: parse("SMART_WORKERS", 1),
+            chunk: parse("SMART_CHUNK", 1),
+        }
+    }
+
+    /// Workers actually used for `n` jobs (≥ 1, ≤ `n`).
+    pub fn effective_workers(&self, n: usize) -> usize {
+        self.workers.max(1).min(n.max(1))
+    }
+}
+
+/// Evaluates `job(i)` for every `i in 0..n` across the configured workers
+/// and returns the results indexed by `i`.
+///
+/// A slot is `None` only if its job panicked (the payload is swallowed —
+/// callers that need the message must `catch_unwind` inside `job`, as the
+/// exploration runtime does) or if a pool worker died, which the
+/// per-slot accounting converts into the same per-index `None` rather
+/// than a lost sweep.
+pub fn run_indexed<T, F>(n: usize, par: &ParallelOptions, job: F) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = par.effective_workers(n);
+    let chunk = par.chunk.max(1);
+    if workers <= 1 {
+        // Serial reference path: same containment, same slot semantics,
+        // strictly ascending order.
+        return (0..n)
+            .map(|i| catch_unwind(AssertUnwindSafe(|| job(i))).ok())
+            .collect();
+    }
+
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let next = AtomicUsize::new(0);
+    let job = &job;
+    let next_ref = &next;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(move || {
+                let mut batch: Vec<(usize, Option<T>)> = Vec::new();
+                loop {
+                    let start = next_ref.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(n) {
+                        batch.push((i, catch_unwind(AssertUnwindSafe(|| job(i))).ok()));
+                    }
+                }
+                batch
+            }));
+        }
+        for handle in handles {
+            // A worker can only fail to join if the runtime killed it;
+            // its claimed-but-unreported indices stay `None`, which the
+            // caller treats like a contained panic.
+            if let Ok(batch) = handle.join() {
+                for (i, result) in batch {
+                    slots[i] = result;
+                }
+            }
+        }
+    });
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_in_order_and_value() {
+        let job = |i: usize| i * i;
+        let serial = run_indexed(37, &ParallelOptions::serial(), job);
+        for workers in [2, 4, 8] {
+            let par = run_indexed(37, &ParallelOptions::with_workers(workers), job);
+            assert_eq!(serial, par, "workers={workers}");
+        }
+        assert_eq!(serial[6], Some(36));
+    }
+
+    #[test]
+    fn chunked_claiming_covers_every_index_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        for chunk in [1, 3, 16, 100] {
+            let calls = AtomicUsize::new(0);
+            let out = run_indexed(
+                50,
+                &ParallelOptions { workers: 4, chunk },
+                |i| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    i
+                },
+            );
+            assert_eq!(calls.load(Ordering::Relaxed), 50, "chunk={chunk}");
+            assert_eq!(out, (0..50).map(Some).collect::<Vec<_>>(), "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn panicking_job_yields_none_in_its_own_slot_only() {
+        for workers in [1, 4] {
+            let out = run_indexed(9, &ParallelOptions::with_workers(workers), |i| {
+                if i == 4 {
+                    panic!("job 4 is broken");
+                }
+                i + 1
+            });
+            for (i, slot) in out.iter().enumerate() {
+                if i == 4 {
+                    assert!(slot.is_none(), "workers={workers}");
+                } else {
+                    assert_eq!(*slot, Some(i + 1), "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_jobs_and_zero_workers_are_fine() {
+        let empty: Vec<Option<usize>> = run_indexed(0, &ParallelOptions::with_workers(8), |i| i);
+        assert!(empty.is_empty());
+        let degenerate = run_indexed(3, &ParallelOptions { workers: 0, chunk: 0 }, |i| i);
+        assert_eq!(degenerate, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn effective_workers_never_exceeds_jobs() {
+        let p = ParallelOptions::with_workers(8);
+        assert_eq!(p.effective_workers(3), 3);
+        assert_eq!(p.effective_workers(0), 1);
+        assert_eq!(ParallelOptions::serial().effective_workers(100), 1);
+    }
+}

@@ -8,7 +8,7 @@ use smart_models::ModelLibrary;
 use smart_netlist::Circuit;
 use smart_sta::{analyze, Boundary};
 
-use crate::{FlowError, SizingOutcome};
+use crate::{Exploration, FlowError, SizingOutcome};
 
 /// Renders a plain-text advisory report for a completed sizing run.
 ///
@@ -110,6 +110,71 @@ pub fn sizing_report(
     Ok(out)
 }
 
+/// Renders the Fig.-1 exploration table as a designer-facing summary:
+/// one row per candidate in database order (width / power / delay for
+/// feasible rows, the failure taxonomy tag otherwise), the best-by-width
+/// and best-by-power winners, and the sweep's sizing-cache statistics.
+pub fn exploration_report(table: &Exploration) -> String {
+    let mut out = String::new();
+    let best_w = table.best_by_width().map(|c| c as *const _);
+    let best_p = table.best_by_power().map(|c| c as *const _);
+    let _ = writeln!(
+        out,
+        "== SMART exploration: {} candidate(s), {} feasible ==",
+        table.candidates.len(),
+        table.feasible_count()
+    );
+    let _ = writeln!(
+        out,
+        "{:<4} {:<34} {:>9} {:>9} {:>9}  notes",
+        "#", "candidate", "width", "power", "delay"
+    );
+    for (i, c) in table.candidates.iter().enumerate() {
+        let mut notes = Vec::new();
+        if best_w == Some(c as *const _) {
+            notes.push("best width");
+        }
+        if best_p == Some(c as *const _) {
+            notes.push("best power");
+        }
+        match &c.result {
+            Ok(m) => {
+                let _ = writeln!(
+                    out,
+                    "{i:<4} {:<34} {:>9.1} {:>9.1} {:>7.1}ps  {}",
+                    c.spec.to_string(),
+                    m.outcome.total_width,
+                    m.power.total(),
+                    m.outcome.measured_delay,
+                    notes.join(", ")
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(
+                    out,
+                    "{i:<4} {:<34} {:>9} {:>9} {:>9}  {}",
+                    c.spec.to_string(),
+                    "-",
+                    "-",
+                    "-",
+                    e.taxonomy()
+                );
+            }
+        }
+    }
+    if !table.failure_taxonomy().is_empty() {
+        let _ = writeln!(out, "failures  : {:?}", table.failure_taxonomy());
+    }
+    if table.cache_hits + table.cache_misses > 0 {
+        let _ = writeln!(
+            out,
+            "cache     : {} hit(s), {} miss(es) this sweep",
+            table.cache_hits, table.cache_misses
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +213,34 @@ mod tests {
             .filter_map(|v| v.parse::<f64>().ok())
             .sum();
         assert!((total - 100.0).abs() < 1.0, "shares sum to {total}");
+    }
+
+    #[test]
+    fn exploration_report_lists_rows_winners_and_cache_stats() {
+        use std::sync::Arc;
+        let request = MacroSpec::Mux {
+            topology: MuxTopology::StronglyMutexedPass,
+            width: 4,
+        };
+        let lib = ModelLibrary::reference();
+        let mut boundary = Boundary::default();
+        boundary.output_loads.insert("y".into(), 15.0);
+        let mut opts = SizingOptions::default();
+        opts.cache = Some(Arc::new(crate::SizingCache::new()));
+        let table = crate::explore_parallel(
+            &request,
+            &lib,
+            &boundary,
+            &DelaySpec::uniform(400.0),
+            &opts,
+            &crate::ParallelOptions::serial(),
+        );
+        let text = exploration_report(&table);
+        assert!(text.contains("SMART exploration"));
+        assert!(text.contains("best width"), "{text}");
+        assert!(text.contains("cache     :"), "{text}");
+        for c in &table.candidates {
+            assert!(text.contains(&c.spec.to_string()), "{text}");
+        }
     }
 }

@@ -24,8 +24,9 @@ use crate::compact::{compact, Compaction};
 use crate::constraints::{boundary_extra_loads, build_min_delay_gp, build_sizing_gp};
 use crate::{DelaySpec, FlowError, SizingOptions};
 
-/// Outcome of one sizing run.
-#[derive(Debug)]
+/// Outcome of one sizing run. `Clone` so the memoization cache
+/// ([`crate::SizingCache`]) can hand out copies of a stored outcome.
+#[derive(Debug, Clone)]
 pub struct SizingOutcome {
     /// The optimized widths.
     pub sizing: Sizing,
@@ -119,6 +120,7 @@ fn solve_with_retries(
         initial_x: Some(x0),
         deadline,
         max_total_newton: opts.budget.max_gp_iters,
+        cancel: opts.budget.cancel.clone(),
         ..Default::default()
     };
     let mut attempt = 0usize;
@@ -175,6 +177,22 @@ pub fn size_circuit(
 ) -> Result<SizingOutcome, FlowError> {
     let deadline = opts.budget.wall_clock.map(|d| Instant::now() + d);
     validate_spec(spec)?;
+    check_cancelled(opts, "sizing entry")?;
+
+    // Memoization: identical (structure, spec, boundary, options) inputs
+    // produce identical outcomes — the whole flow is deterministic — so a
+    // hit replays the stored result without touching GP or STA. Only
+    // successful outcomes are cached (failures can be budget-dependent).
+    let memo = opts
+        .cache
+        .as_ref()
+        .map(|cache| (cache, crate::cache::cache_key(circuit, boundary, spec, opts)));
+    if let Some((cache, key)) = &memo {
+        if let Some(outcome) = cache.lookup(key) {
+            return Ok(outcome);
+        }
+    }
+
     let prepared = prepare(circuit, lib, boundary, opts)?;
 
     let mut last_err = None;
@@ -183,6 +201,9 @@ pub fn size_circuit(
         match size_to_spec(circuit, lib, boundary, &target, opts, &prepared, deadline) {
             Ok(mut outcome) => {
                 outcome.spec_relaxation = rel;
+                if let Some((cache, key)) = &memo {
+                    cache.insert(*key, outcome.clone());
+                }
                 return Ok(outcome);
             }
             Err(e) if relaxable(&e) => last_err = Some(e),
@@ -191,6 +212,18 @@ pub fn size_circuit(
     }
     // The rung-0 attempt always ran, so an error is recorded.
     Err(last_err.unwrap_or(FlowError::NoEndpoints))
+}
+
+/// Cooperative cancellation check at flow-level checkpoints (the GP's
+/// Newton loop has its own per-step check via [`SolverOptions::cancel`]).
+fn check_cancelled(opts: &SizingOptions, at: &str) -> Result<(), FlowError> {
+    if opts.budget.is_cancelled() {
+        return Err(FlowError::BudgetExceeded {
+            what: "cancelled",
+            detail: format!("cancellation token fired at {at}"),
+        });
+    }
+    Ok(())
 }
 
 /// The delay spec enters the GP as constraint coefficients, so a
@@ -273,6 +306,7 @@ fn size_to_spec(
                 });
             }
         }
+        check_cancelled(opts, "outer iteration")?;
         let built = build_sizing_gp(
             circuit,
             lib,

@@ -2,9 +2,13 @@
 //! constraints like delays, slopes and loads" (paper §3).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
+use smart_gp::CancelToken;
 use smart_netlist::Sizing;
+
+use crate::cache::SizingCache;
 
 /// Cost metric the sizer minimizes after the timing constraints are met
 /// (paper Fig. 1: "specified cost function (area, power)").
@@ -58,7 +62,7 @@ impl DelaySpec {
 /// [`SizingOptions`] down into the GP solver's iteration loop (cooperative
 /// cancellation) and across the exploration sweep. `None` everywhere —
 /// the default — means unlimited, preserving historical behavior.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct FlowBudget {
     /// Wall-clock allowance for one `size_circuit` run (spec retargeting,
     /// retries and the relaxation ladder all share it). Checked between
@@ -71,12 +75,41 @@ pub struct FlowBudget {
     /// Cap on candidates sized by one [`crate::explore`] sweep; candidates
     /// beyond it still appear in the table, as budget-exceeded error rows.
     pub max_candidates: Option<usize>,
+    /// Shared cooperative cancellation token. Unlike the per-candidate
+    /// `wall_clock`, one token is held by every candidate of a sweep (and
+    /// every GP Newton loop inside them), so a single
+    /// [`CancelToken::cancel`] — or the token's own deadline — stops all
+    /// in-flight work promptly with budget-exceeded rows. Mid-flight
+    /// cancellation is inherently timing-dependent; the determinism
+    /// contract of parallel exploration (DESIGN.md §9) only covers tokens
+    /// that are stable for the whole sweep (never cancelled, or cancelled
+    /// before it starts).
+    pub cancel: Option<Arc<CancelToken>>,
 }
 
 impl FlowBudget {
     /// A budget with no limits (the default).
     pub fn unlimited() -> Self {
         FlowBudget::default()
+    }
+
+    /// Whether the shared cancellation token (if any) has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
+    }
+}
+
+impl PartialEq for FlowBudget {
+    /// Tokens compare by identity (same shared token), limits by value.
+    fn eq(&self, other: &Self) -> bool {
+        self.wall_clock == other.wall_clock
+            && self.max_gp_iters == other.max_gp_iters
+            && self.max_candidates == other.max_candidates
+            && match (&self.cancel, &other.cancel) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
     }
 }
 
@@ -134,6 +167,14 @@ pub struct SizingOptions {
     pub relaxation: Vec<f64>,
     /// Resource budgets (wall clock, GP iterations, candidate count).
     pub budget: FlowBudget,
+    /// Optional sizing memoization cache, shared across runs (and across
+    /// the threads of a parallel sweep) via `Arc`. When set,
+    /// [`crate::size_circuit`] first looks up the (structural hash,
+    /// quantized spec, boundary, options) key and returns the cached
+    /// [`crate::SizingOutcome`] on a hit — repeated topologies across
+    /// sweep points skip the whole GP/STA loop. `None` (the default)
+    /// disables memoization.
+    pub cache: Option<Arc<SizingCache>>,
 }
 
 impl Default for SizingOptions {
@@ -152,6 +193,7 @@ impl Default for SizingOptions {
             gp_retries: 2,
             relaxation: Vec::new(),
             budget: FlowBudget::default(),
+            cache: None,
         }
     }
 }

@@ -1,0 +1,265 @@
+//! Cache-correctness suite for the sizing memoization layer: a memoized
+//! result must be bitwise-identical to the cold solve it replaces,
+//! distinct inputs must never alias, and a cache shared across the
+//! threads of a parallel sweep must leave the exploration table
+//! byte-identical to the cache-free serial run.
+
+use std::sync::Arc;
+
+use smart_core::{
+    cache_key, explore_with_parallel, size_circuit, DelaySpec, ParallelOptions, SizingCache,
+    SizingOptions, SizingOutcome,
+};
+use smart_macros::{MacroSpec, MuxTopology};
+use smart_models::ModelLibrary;
+use smart_sta::Boundary;
+
+fn mux(topology: MuxTopology) -> MacroSpec {
+    MacroSpec::Mux { topology, width: 4 }
+}
+
+fn boundary(load: f64) -> Boundary {
+    let mut b = Boundary::default();
+    b.output_loads.insert("y".into(), load);
+    b
+}
+
+fn with_cache(cache: &Arc<SizingCache>) -> SizingOptions {
+    let mut opts = SizingOptions::default();
+    opts.cache = Some(Arc::clone(cache));
+    opts
+}
+
+/// Field-by-field bitwise equality of two outcomes (f64 compared on bit
+/// patterns, so `-0.0 != 0.0` and NaN payloads count — the cache must
+/// replay the cold solve exactly, not approximately).
+fn assert_bitwise_equal(a: &SizingOutcome, b: &SizingOutcome, what: &str) {
+    assert_eq!(a.sizing.len(), b.sizing.len(), "{what}: width count");
+    for (i, (x, y)) in a
+        .sizing
+        .as_slice()
+        .iter()
+        .zip(b.sizing.as_slice())
+        .enumerate()
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: width[{i}]");
+    }
+    assert_eq!(
+        a.measured_delay.to_bits(),
+        b.measured_delay.to_bits(),
+        "{what}: measured_delay"
+    );
+    assert_eq!(
+        a.measured_precharge.to_bits(),
+        b.measured_precharge.to_bits(),
+        "{what}: measured_precharge"
+    );
+    assert_eq!(
+        a.total_width.to_bits(),
+        b.total_width.to_bits(),
+        "{what}: total_width"
+    );
+    assert_eq!(a.iterations, b.iterations, "{what}: iterations");
+    assert_eq!(a.constraint_paths, b.constraint_paths, "{what}: constraint_paths");
+    assert_eq!(a.raw_paths, b.raw_paths, "{what}: raw_paths");
+    assert_eq!(
+        a.spec_relaxation.to_bits(),
+        b.spec_relaxation.to_bits(),
+        "{what}: spec_relaxation"
+    );
+    assert_eq!(a.gp_restarts, b.gp_restarts, "{what}: gp_restarts");
+}
+
+#[test]
+fn memoized_outcome_is_bitwise_identical_to_cold_solve() {
+    let circuit = mux(MuxTopology::StronglyMutexedPass).generate();
+    let lib = ModelLibrary::reference();
+    let b = boundary(15.0);
+    let spec = DelaySpec::uniform(400.0);
+
+    let cold = size_circuit(&circuit, &lib, &b, &spec, &SizingOptions::default())
+        .expect("cold solve");
+
+    let cache = Arc::new(SizingCache::new());
+    let opts = with_cache(&cache);
+    let first = size_circuit(&circuit, &lib, &b, &spec, &opts).expect("miss + solve");
+    let second = size_circuit(&circuit, &lib, &b, &spec, &opts).expect("hit");
+
+    assert_bitwise_equal(&cold, &first, "cold vs populating run");
+    assert_bitwise_equal(&cold, &second, "cold vs memoized run");
+    assert_eq!(cache.stats(), (1, 1), "one miss then one hit");
+    assert_eq!(cache.len(), 1);
+}
+
+#[test]
+fn distinct_specs_boundaries_and_topologies_never_alias() {
+    let lib = ModelLibrary::reference();
+    let cache = Arc::new(SizingCache::new());
+    let opts = with_cache(&cache);
+
+    // Three deliberately-close configurations: same topology at two
+    // specs, and a second topology at the first spec.
+    let pass = mux(MuxTopology::StronglyMutexedPass).generate();
+    let tri = mux(MuxTopology::Tristate).generate();
+    let runs: [(&smart_netlist::Circuit, f64, f64); 4] = [
+        (&pass, 400.0, 15.0),
+        (&pass, 401.0, 15.0), // spec differs by 1 ps
+        (&pass, 400.0, 16.0), // load differs by 1 unit
+        (&tri, 400.0, 15.0),  // topology differs
+    ];
+    let mut outcomes = Vec::new();
+    for (circuit, ps, load) in runs {
+        let out = size_circuit(&circuit, &lib, &boundary(load), &DelaySpec::uniform(ps), &opts)
+            .expect("feasible");
+        outcomes.push((circuit, ps, load, out));
+    }
+    assert_eq!(cache.stats().1, 4, "four distinct keys, four misses");
+    assert_eq!(cache.len(), 4, "no entry aliased another");
+
+    // Replaying each run hits its own entry and replays its own outcome.
+    for (circuit, ps, load, cold) in &outcomes {
+        let replay =
+            size_circuit(circuit, &lib, &boundary(*load), &DelaySpec::uniform(*ps), &opts)
+                .expect("hit");
+        assert_bitwise_equal(cold, &replay, &format!("replay ps={ps} load={load}"));
+    }
+    assert_eq!(cache.stats(), (4, 4));
+}
+
+#[test]
+fn cache_keys_distinguish_options_that_steer_the_solution() {
+    let circuit = mux(MuxTopology::StronglyMutexedPass).generate();
+    let b = boundary(15.0);
+    let spec = DelaySpec::uniform(400.0);
+    let base = SizingOptions::default();
+    let mut other = SizingOptions::default();
+    other.cost = smart_core::CostMetric::Power;
+    assert_ne!(
+        cache_key(&circuit, &b, &spec, &base),
+        cache_key(&circuit, &b, &spec, &other),
+        "cost metric steers the GP objective and must split keys"
+    );
+
+    // The cache handle itself is not part of the key: two option sets
+    // differing only in `cache` must collide (that is what makes a shared
+    // cache useful across callers with their own option clones).
+    let mut with_handle = SizingOptions::default();
+    with_handle.cache = Some(Arc::new(SizingCache::new()));
+    assert_eq!(
+        cache_key(&circuit, &b, &spec, &base),
+        cache_key(&circuit, &b, &spec, &with_handle),
+    );
+}
+
+#[test]
+fn exploration_reports_sweep_attributed_cache_stats() {
+    // Distinct feasible topologies so every candidate runs the sizer.
+    let specs = vec![
+        mux(MuxTopology::StronglyMutexedPass),
+        mux(MuxTopology::Tristate),
+        mux(MuxTopology::WeaklyMutexedPass),
+    ];
+    let lib = ModelLibrary::reference();
+    let b = boundary(15.0);
+    let delay = DelaySpec::uniform(400.0);
+    let cache = Arc::new(SizingCache::new());
+    let opts = with_cache(&cache);
+
+    let first = explore_with_parallel(
+        specs.clone(),
+        MacroSpec::generate,
+        &lib,
+        &b,
+        &delay,
+        &opts,
+        &ParallelOptions::serial(),
+    );
+    assert_eq!(first.feasible_count(), specs.len(), "fixture must be feasible");
+    assert_eq!(first.cache_hits, 0, "cold sweep has no hits");
+    assert_eq!(first.cache_misses, specs.len());
+
+    let second = explore_with_parallel(
+        specs.clone(),
+        MacroSpec::generate,
+        &lib,
+        &b,
+        &delay,
+        &opts,
+        &ParallelOptions::serial(),
+    );
+    assert_eq!(second.cache_hits, specs.len(), "warm sweep replays every row");
+    assert_eq!(second.cache_misses, 0);
+
+    // The memoized table carries the same outcomes as the cold one.
+    for (a, c) in first.candidates.iter().zip(&second.candidates) {
+        let (a, c) = (a.result.as_ref().expect("ok"), c.result.as_ref().expect("ok"));
+        assert_bitwise_equal(&a.outcome, &c.outcome, "cold vs warm sweep row");
+    }
+}
+
+#[test]
+fn shared_cache_under_parallel_sweep_preserves_the_serial_table() {
+    // The strongest interaction case: 4 workers populating one cache
+    // concurrently, then a warm parallel sweep running from hits — both
+    // must carry outcomes bitwise-equal to the cache-free serial sweep.
+    let specs = vec![
+        mux(MuxTopology::StronglyMutexedPass),
+        mux(MuxTopology::Tristate),
+        mux(MuxTopology::WeaklyMutexedPass),
+        mux(MuxTopology::StronglyMutexedPass), // duplicate: may hit a
+                                               // sibling's insert mid-sweep
+    ];
+    let lib = ModelLibrary::reference();
+    let b = boundary(15.0);
+    let delay = DelaySpec::uniform(400.0);
+
+    let reference = explore_with_parallel(
+        specs.clone(),
+        MacroSpec::generate,
+        &lib,
+        &b,
+        &delay,
+        &SizingOptions::default(),
+        &ParallelOptions::serial(),
+    );
+
+    let cache = Arc::new(SizingCache::new());
+    let opts = with_cache(&cache);
+    for round in 0..2 {
+        let table = explore_with_parallel(
+            specs.clone(),
+            MacroSpec::generate,
+            &lib,
+            &b,
+            &delay,
+            &opts,
+            &ParallelOptions::with_workers(4),
+        );
+        assert_eq!(table.candidates.len(), reference.candidates.len());
+        for (i, (r, t)) in reference.candidates.iter().zip(&table.candidates).enumerate() {
+            assert_eq!(r.spec, t.spec, "round {round} row {i}");
+            let (r, t) = (
+                r.result.as_ref().expect("reference ok"),
+                t.result.as_ref().expect("cached ok"),
+            );
+            assert_bitwise_equal(&r.outcome, &t.outcome, &format!("round {round} row {i}"));
+            assert_eq!(r.devices, t.devices, "round {round} row {i}: devices");
+            assert_eq!(
+                r.clock_load.to_bits(),
+                t.clock_load.to_bits(),
+                "round {round} row {i}: clock load"
+            );
+            assert_eq!(
+                r.power.total().to_bits(),
+                t.power.total().to_bits(),
+                "round {round} row {i}: power"
+            );
+        }
+    }
+    // After two sweeps of 4 candidates over 3 distinct keys, the cache
+    // holds exactly the distinct keys and every lookup was accounted.
+    assert_eq!(cache.len(), 3);
+    let (hits, misses) = cache.stats();
+    assert_eq!(hits + misses, 8, "every candidate consulted the cache once");
+    assert!(hits >= 4, "warm sweep alone contributes 4 hits (got {hits})");
+}

@@ -1,0 +1,330 @@
+//! Differential harness: parallel exploration must be **byte-identical**
+//! to the serial flow. Every sweep is rendered to a canonical string —
+//! every float as its exact bit pattern, every error via `Debug`, winners
+//! by candidate index — and the render at 2/4/8 workers is compared to
+//! workers = 1. Covers healthy sweeps over seeded random macro sets,
+//! panic injection, expired budgets, candidate caps and pre-cancelled
+//! tokens (the stable-token cases of the DESIGN.md §9 determinism
+//! contract).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use smart_core::{
+    explore_with_parallel, size_circuit, Candidate, DelaySpec, Exploration, FlowError,
+    ParallelOptions, SizingOptions,
+};
+use smart_gp::CancelToken;
+use smart_macros::{MacroSpec, MuxTopology, ZeroDetectStyle};
+use smart_models::ModelLibrary;
+use smart_prng::Prng;
+use smart_sta::Boundary;
+
+fn bits(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// Canonical, lossless rendering of one exploration table. Two tables
+/// render equally iff they are bitwise-equal in every candidate field,
+/// every failure row, the taxonomy and both winners.
+fn render(table: &Exploration) -> String {
+    let mut out = String::new();
+    for (i, c) in table.candidates.iter().enumerate() {
+        out.push_str(&format!("[{i}] spec={}", c.spec));
+        match &c.circuit {
+            Some(circ) => out.push_str(&format!(" circuit={:016x}", circ.structural_hash())),
+            None => out.push_str(" circuit=none"),
+        }
+        match &c.result {
+            Ok(m) => {
+                out.push_str(&format!(
+                    " ok delay={} pre={} width={} iters={} paths={} raw={} relax={} restarts={} clk={} pdyn={} pclk={} dev={} widths=",
+                    bits(m.outcome.measured_delay),
+                    bits(m.outcome.measured_precharge),
+                    bits(m.outcome.total_width),
+                    m.outcome.iterations,
+                    m.outcome.constraint_paths,
+                    m.outcome.raw_paths,
+                    bits(m.outcome.spec_relaxation),
+                    m.outcome.gp_restarts,
+                    bits(m.clock_load),
+                    bits(m.power.dynamic),
+                    bits(m.power.clock),
+                    m.devices,
+                ));
+                for w in m.outcome.sizing.as_slice() {
+                    out.push_str(&bits(*w));
+                    out.push(',');
+                }
+            }
+            Err(e) => out.push_str(&format!(" err={e:?}")),
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("taxonomy={:?}\n", table.failure_taxonomy()));
+    out.push_str(&format!("feasible={}\n", table.feasible_count()));
+    out.push_str(&format!(
+        "best_width={:?} best_power={:?}\n",
+        table.best_by_width().map(|c| index_of(table, c)),
+        table.best_by_power().map(|c| index_of(table, c)),
+    ));
+    out
+}
+
+fn index_of(table: &Exploration, c: &Candidate) -> usize {
+    table
+        .candidates
+        .iter()
+        .position(|x| std::ptr::eq(x, c))
+        .expect("winner comes from the table")
+}
+
+/// A seeded random candidate list. Candidates in one sweep must share a
+/// port interface (exploration sizes alternatives of the *same function*
+/// under one boundary), so each seed draws a single family — width-4 mux
+/// topologies, or zero-detect style/width variants — with duplicates
+/// allowed (they exercise memoization-free recomputation and exact ties).
+fn random_specs(seed: u64, n: usize) -> Vec<MacroSpec> {
+    let mut r = Prng::new(seed);
+    if r.u64_below(2) == 0 {
+        let topos: Vec<MuxTopology> = MuxTopology::all()
+            .into_iter()
+            .filter(|t| t.supports_width(4))
+            .collect();
+        (0..n)
+            .map(|_| MacroSpec::Mux {
+                topology: topos[r.u64_below(topos.len() as u64) as usize],
+                width: 4,
+            })
+            .collect()
+    } else {
+        (0..n)
+            .map(|_| MacroSpec::ZeroDetect {
+                width: r.u64_in(4, 8) as usize,
+                style: if r.u64_below(2) == 0 {
+                    ZeroDetectStyle::Static
+                } else {
+                    ZeroDetectStyle::Domino
+                },
+            })
+            .collect()
+    }
+}
+
+/// A boundary loading every output port of every listed spec (all specs
+/// of a sweep share a port interface).
+fn boundary_for(specs: &[MacroSpec], load: f64) -> Boundary {
+    let mut b = Boundary::default();
+    for spec in specs {
+        for port in spec.generate().output_ports() {
+            b.output_loads.insert(port.name.clone(), load);
+        }
+    }
+    b
+}
+
+fn sweep(
+    specs: &[MacroSpec],
+    generate: impl Fn(&MacroSpec) -> smart_netlist::Circuit + Sync,
+    boundary: &Boundary,
+    spec: &DelaySpec,
+    opts: &SizingOptions,
+    workers: usize,
+) -> Exploration {
+    explore_with_parallel(
+        specs.to_vec(),
+        generate,
+        &ModelLibrary::reference(),
+        boundary,
+        spec,
+        opts,
+        &ParallelOptions::with_workers(workers),
+    )
+}
+
+/// The core differential assertion: render at `workers = 1` equals the
+/// render at every other worker count.
+fn assert_worker_invariant(
+    specs: &[MacroSpec],
+    generate: impl Fn(&MacroSpec) -> smart_netlist::Circuit + Sync,
+    boundary: &Boundary,
+    spec: &DelaySpec,
+    opts: &SizingOptions,
+    worker_counts: &[usize],
+    label: &str,
+) -> String {
+    let reference = render(&sweep(specs, &generate, boundary, spec, opts, 1));
+    for &workers in worker_counts {
+        let parallel = render(&sweep(specs, &generate, boundary, spec, opts, workers));
+        assert_eq!(
+            reference, parallel,
+            "{label}: table at {workers} workers diverged from serial"
+        );
+    }
+    reference
+}
+
+#[test]
+fn seeded_random_sweeps_are_worker_count_invariant() {
+    for seed in [3, 20] {
+        let specs = random_specs(seed, 5);
+        let boundary = boundary_for(&specs, 12.0);
+        let table = assert_worker_invariant(
+            &specs,
+            MacroSpec::generate,
+            &boundary,
+            &DelaySpec::uniform(380.0),
+            &SizingOptions::default(),
+            &[2, 4, 8],
+            &format!("seed {seed}"),
+        );
+        // The sweep must have produced real work, not trivially-empty
+        // agreement.
+        assert!(table.contains(" ok "), "seed {seed}: no feasible rows\n{table}");
+    }
+}
+
+#[test]
+fn panic_injection_is_worker_count_invariant() {
+    // The second candidate's generator panics; the table must carry the
+    // identical Internal row at every worker count, with the siblings
+    // unaffected.
+    let specs = vec![
+        MacroSpec::Mux { topology: MuxTopology::StronglyMutexedPass, width: 4 },
+        MacroSpec::Mux { topology: MuxTopology::UnsplitDomino, width: 4 },
+        MacroSpec::Mux { topology: MuxTopology::Tristate, width: 4 },
+    ];
+    let boundary = boundary_for(&specs, 15.0);
+    let table = assert_worker_invariant(
+        &specs,
+        |s| {
+            if matches!(s, MacroSpec::Mux { topology: MuxTopology::UnsplitDomino, .. }) {
+                panic!("deliberately broken generator");
+            }
+            s.generate()
+        },
+        &boundary,
+        &DelaySpec::uniform(400.0),
+        &SizingOptions::default(),
+        &[2, 4, 8],
+        "panic injection",
+    );
+    assert!(table.contains("deliberately broken generator"), "{table}");
+    assert!(table.contains("(\"panic\", 1)"), "{table}");
+}
+
+#[test]
+fn expired_wall_clock_budget_is_worker_count_invariant() {
+    // A zero wall-clock budget turns every candidate into the same
+    // deterministic budget row (the deadline is checked before any
+    // iteration work).
+    let specs = random_specs(11, 4);
+    let boundary = boundary_for(&specs, 12.0);
+    let mut opts = SizingOptions::default();
+    opts.budget.wall_clock = Some(Duration::ZERO);
+    let table = assert_worker_invariant(
+        &specs,
+        MacroSpec::generate,
+        &boundary,
+        &DelaySpec::uniform(380.0),
+        &opts,
+        &[2, 4],
+        "zero wall clock",
+    );
+    assert!(table.contains("feasible=0"), "{table}");
+    assert!(table.contains("(\"budget\", 4)"), "{table}");
+}
+
+#[test]
+fn candidate_cap_is_worker_count_invariant() {
+    let specs = random_specs(5, 5);
+    let boundary = boundary_for(&specs, 12.0);
+    let mut opts = SizingOptions::default();
+    opts.budget.max_candidates = Some(2);
+    let table = assert_worker_invariant(
+        &specs,
+        MacroSpec::generate,
+        &boundary,
+        &DelaySpec::uniform(380.0),
+        &opts,
+        &[2, 4],
+        "candidate cap",
+    );
+    // Three rows beyond the cap, uniformly classified, at every count.
+    assert!(table.contains("beyond cap 2"), "{table}");
+}
+
+#[test]
+fn pre_cancelled_token_is_worker_count_invariant() {
+    // A token cancelled *before* the sweep is a stable state: every
+    // candidate must produce the identical "cancelled" row regardless of
+    // which worker would have run it.
+    let specs = random_specs(9, 4);
+    let boundary = boundary_for(&specs, 12.0);
+    let token = Arc::new(CancelToken::new());
+    token.cancel();
+    let mut opts = SizingOptions::default();
+    opts.budget.cancel = Some(token);
+    let table = assert_worker_invariant(
+        &specs,
+        MacroSpec::generate,
+        &boundary,
+        &DelaySpec::uniform(380.0),
+        &opts,
+        &[2, 4, 8],
+        "pre-cancelled token",
+    );
+    assert!(table.contains("sweep cancelled before candidate"), "{table}");
+    assert!(table.contains("(\"budget\", 4)"), "{table}");
+    assert!(table.contains("feasible=0"), "{table}");
+}
+
+#[test]
+fn cancelled_token_also_stops_a_direct_sizing_call() {
+    // Flow-level coverage of the cancellation protocol outside the sweep:
+    // size_circuit observes the token at entry.
+    let spec = MacroSpec::Mux { topology: MuxTopology::StronglyMutexedPass, width: 4 };
+    let circuit = spec.generate();
+    let boundary = boundary_for(std::slice::from_ref(&spec), 15.0);
+    let token = Arc::new(CancelToken::new());
+    token.cancel();
+    let mut opts = SizingOptions::default();
+    opts.budget.cancel = Some(token);
+    let err = size_circuit(
+        &circuit,
+        &ModelLibrary::reference(),
+        &boundary,
+        &DelaySpec::uniform(400.0),
+        &opts,
+    )
+    .unwrap_err();
+    match &err {
+        FlowError::BudgetExceeded { what, .. } => assert_eq!(*what, "cancelled"),
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+    assert_eq!(err.taxonomy(), "budget");
+}
+
+#[test]
+fn ties_break_toward_the_lower_candidate_index() {
+    // Three *identical* specs produce three bitwise-identical outcomes: a
+    // guaranteed tie on both width and power. The winner must be index 0
+    // (database order is a designer preference), not an iterator accident
+    // — `Iterator::min_by` alone returns the *last* minimum.
+    let spec = MacroSpec::Mux { topology: MuxTopology::StronglyMutexedPass, width: 4 };
+    let specs = vec![spec.clone(), spec.clone(), spec];
+    let boundary = boundary_for(&specs, 15.0);
+    let table = sweep(
+        &specs,
+        MacroSpec::generate,
+        &boundary,
+        &DelaySpec::uniform(400.0),
+        &SizingOptions::default(),
+        1,
+    );
+    assert_eq!(table.feasible_count(), 3);
+    let w = table.best_by_width().expect("feasible");
+    let p = table.best_by_power().expect("feasible");
+    assert_eq!(index_of(&table, w), 0, "width tie must break to index 0");
+    assert_eq!(index_of(&table, p), 0, "power tie must break to index 0");
+}

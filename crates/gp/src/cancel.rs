@@ -1,0 +1,92 @@
+//! Cooperative cancellation for in-flight solves.
+//!
+//! An exploration sweep fans candidates out across worker threads; when
+//! the sweep-level budget expires (or a caller abandons the request), the
+//! workers' GP solves must stop *promptly* without any preemption
+//! machinery. A [`CancelToken`] is the shared flag that makes that work:
+//! the sweep holds one `Arc<CancelToken>`, every solver checks it once
+//! per Newton step (the same cadence as the deadline check), and a single
+//! `cancel()` store reaches every thread on its next step.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// A shared, thread-safe cancellation flag with an optional built-in
+/// deadline.
+///
+/// Checking is lock-free (one relaxed atomic load, plus an `Instant`
+/// comparison when a deadline is set). The token is *sticky*: once
+/// cancelled it stays cancelled.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally auto-cancels once `deadline` passes —
+    /// the shared sweep-level wall clock of a parallel exploration (as
+    /// opposed to the per-candidate wall clock of
+    /// `SolverOptions::deadline`).
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            cancelled: AtomicBool::new(false),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Requests cancellation; every holder observes it on its next check.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation was requested or the deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn starts_clear_and_sticks_once_cancelled() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(t.is_cancelled(), "cancellation is sticky");
+    }
+
+    #[test]
+    fn expired_deadline_cancels_without_a_call() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        let future = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!future.is_cancelled());
+    }
+
+    #[test]
+    fn visible_across_threads() {
+        let t = Arc::new(CancelToken::new());
+        let t2 = Arc::clone(&t);
+        std::thread::spawn(move || t2.cancel())
+            .join()
+            .expect("cancelling thread");
+        assert!(t.is_cancelled());
+    }
+}

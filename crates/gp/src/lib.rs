@@ -43,12 +43,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod error;
 mod kkt;
 pub mod linalg;
 mod problem;
 mod solver;
 
+pub use cancel::CancelToken;
 pub use error::GpError;
 pub use kkt::KktReport;
 pub use problem::{GpConstraint, GpProblem};

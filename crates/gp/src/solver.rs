@@ -8,12 +8,13 @@
 //! Vandenberghe, ch. 11; this mirrors the "GP solver" box of the paper's
 //! Fig. 4.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use smart_posy::LogPosynomial;
 
 use crate::linalg::{axpy, dot, norm, solve_spd_ridged};
-use crate::{GpError, GpProblem, KktReport};
+use crate::{CancelToken, GpError, GpProblem, KktReport};
 
 /// Tuning knobs for the barrier solver. The defaults solve every sizing
 /// problem in this repository; they are exposed for stress tests.
@@ -44,6 +45,12 @@ pub struct SolverOptions {
     /// Cap on total Newton steps across both phases; `None` is unlimited.
     /// Exceeding it yields [`GpError::BudgetExceeded`].
     pub max_total_newton: Option<usize>,
+    /// Shared cooperative cancellation token, checked once per Newton step
+    /// alongside the deadline. A parallel exploration sweep hands every
+    /// in-flight solve the same token so one `cancel()` stops them all;
+    /// tripping yields [`GpError::BudgetExceeded`] with budget
+    /// `"cancelled"`.
+    pub cancel: Option<Arc<CancelToken>>,
 }
 
 impl Default for SolverOptions {
@@ -58,6 +65,7 @@ impl Default for SolverOptions {
             initial_x: None,
             deadline: None,
             max_total_newton: None,
+            cancel: None,
         }
     }
 }
@@ -84,6 +92,15 @@ fn check_budget(
             return Err(GpError::BudgetExceeded {
                 stage,
                 budget: "wall-clock",
+                spent_newton,
+            });
+        }
+    }
+    if let Some(token) = &opts.cancel {
+        if token.is_cancelled() {
+            return Err(GpError::BudgetExceeded {
+                stage,
+                budget: "cancelled",
                 spent_newton,
             });
         }

@@ -438,6 +438,64 @@ impl Circuit {
     }
 
     // ------------------------------------------------------------------
+    // Identity
+    // ------------------------------------------------------------------
+
+    /// A stable 64-bit fingerprint of the circuit's full structure: nets
+    /// (name, kind, wire cap), labels, components (path, kind with all
+    /// parameters, pin connections, label bindings) and ports.
+    ///
+    /// Two circuits built by the same deterministic generator always agree;
+    /// any structural difference — a rewired pin, a swapped label binding,
+    /// a changed wire cap — changes the hash. The sizing memoization cache
+    /// keys on this, so the encoding length-prefixes every variable-length
+    /// field (no concatenation-boundary collisions) and hashes exact `f64`
+    /// bit patterns.
+    ///
+    /// The hash is order-sensitive: it fingerprints the elaborated netlist
+    /// as built, not a graph-isomorphism class. That is the right identity
+    /// for memoization because generators are deterministic — equal specs
+    /// produce byte-equal build sequences.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = crate::StableHasher::new();
+        h.write_str(&self.name);
+        h.write_usize(self.nets.len());
+        for net in &self.nets {
+            h.write_str(&net.name);
+            h.write_str(&format!("{:?}", net.kind));
+            h.write_f64_bits(net.wire_cap);
+        }
+        h.write_usize(self.labels.len());
+        for (_, name) in self.labels.iter() {
+            h.write_str(name);
+        }
+        h.write_usize(self.components.len());
+        for c in &self.components {
+            h.write_str(&c.path);
+            // The Debug form of a kind covers every parameter (skew,
+            // fan-in, network shape, ...) unambiguously.
+            h.write_str(&format!("{:?}", c.kind));
+            h.write_usize(c.conns.len());
+            for n in &c.conns {
+                h.write_u32(n.0);
+            }
+            let bindings = c.label_bindings();
+            h.write_usize(bindings.len());
+            for (role, label) in bindings {
+                h.write_str(&format!("{role:?}"));
+                h.write_u32(label.0);
+            }
+        }
+        h.write_usize(self.ports.len());
+        for p in &self.ports {
+            h.write_str(&p.name);
+            h.write_u32(p.net.0);
+            h.write_bool(p.dir == PortDir::Output);
+        }
+        h.finish()
+    }
+
+    // ------------------------------------------------------------------
     // Lint
     // ------------------------------------------------------------------
 

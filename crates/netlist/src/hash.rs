@@ -1,0 +1,131 @@
+//! A stable, dependency-free 64-bit hasher for structural fingerprints.
+//!
+//! `std::collections::hash_map::DefaultHasher` is randomized per process
+//! in spirit (its algorithm is explicitly unspecified and may change
+//! between Rust releases), which makes it unusable for cache keys that
+//! must agree across builds, platforms and toolchain updates. This is a
+//! plain FNV-1a 64 with explicit length prefixes on variable-length
+//! input, so `"ab" + "c"` and `"a" + "bc"` can never produce the same
+//! stream — the classic concatenation-boundary collision.
+
+/// FNV-1a 64-bit incremental hasher with length-prefixed writes.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs raw bytes (no length prefix — callers framing
+    /// variable-length data should use [`StableHasher::write_str`] or
+    /// prefix with [`StableHasher::write_usize`] themselves).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Absorbs a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` widened to 64 bits, so 32- and 64-bit platforms
+    /// hash identically.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs a boolean as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Absorbs the raw bit pattern of an `f64` (distinguishes `-0.0` from
+    /// `0.0` and every NaN payload — exactness is what a cache key wants).
+    pub fn write_f64_bits(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorbs a string with a length prefix.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(f: impl FnOnce(&mut StableHasher)) -> u64 {
+        let mut h = StableHasher::new();
+        f(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_value_sensitive() {
+        let a = hash_of(|h| h.write_str("hello"));
+        let b = hash_of(|h| h.write_str("hello"));
+        let c = hash_of(|h| h.write_str("hellp"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn concatenation_boundaries_do_not_collide() {
+        let ab_c = hash_of(|h| {
+            h.write_str("ab");
+            h.write_str("c");
+        });
+        let a_bc = hash_of(|h| {
+            h.write_str("a");
+            h.write_str("bc");
+        });
+        assert_ne!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn float_bits_distinguish_zero_signs() {
+        let pos = hash_of(|h| h.write_f64_bits(0.0));
+        let neg = hash_of(|h| h.write_f64_bits(-0.0));
+        assert_ne!(pos, neg);
+    }
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c — pins the algorithm so a
+        // refactor cannot silently change every persisted fingerprint.
+        assert_eq!(hash_of(|h| h.write_bytes(b"a")), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -58,6 +58,7 @@ mod compose;
 pub mod drc;
 mod component;
 mod error;
+mod hash;
 mod kind;
 mod label;
 mod net;
@@ -69,6 +70,7 @@ pub use circuit::{Circuit, LintIssue};
 pub use drc::{methodology_check, DrcIssue};
 pub use component::{CompId, Component};
 pub use error::NetlistError;
+pub use hash::StableHasher;
 pub use kind::{ComponentKind, DeviceRole, LoadKind, LogicFamily, Mos, PinLoad, RoleSpec, Skew};
 pub use label::{LabelId, LabelPool, Sizing};
 pub use net::{Net, NetId, NetKind, Port, PortDir};

@@ -1,0 +1,211 @@
+//! Adversarial tests for [`Circuit::structural_hash`], the identity half
+//! of the sizing-memoization cache key: identical builds must agree, and
+//! every structural difference a designer could introduce — including the
+//! classic concatenation-boundary string tricks — must separate.
+
+use smart_netlist::{Circuit, ComponentKind, DeviceRole, NetKind, Skew};
+
+/// A two-inverter chain, parameterized so tests can perturb one detail at
+/// a time: `in -(u0)-> mid -(u1)-> out`.
+struct Build<'a> {
+    name: &'a str,
+    net_names: [&'a str; 3],
+    labels: [&'a str; 4],
+    wire_cap: f64,
+    mid_kind: NetKind,
+    expose_out: bool,
+}
+
+impl Default for Build<'_> {
+    fn default() -> Self {
+        Build {
+            name: "pair",
+            net_names: ["in", "mid", "out"],
+            labels: ["P0", "N0", "P1", "N1"],
+            wire_cap: 0.0,
+            mid_kind: NetKind::Signal,
+            expose_out: true,
+        }
+    }
+}
+
+fn build(b: &Build) -> Circuit {
+    let mut c = Circuit::new(b.name);
+    let a = c.add_net(b.net_names[0]).unwrap();
+    let mid = c.add_net_kind(b.net_names[1], b.mid_kind).unwrap();
+    let y = c.add_net(b.net_names[2]).unwrap();
+    if b.wire_cap > 0.0 {
+        c.set_wire_cap(mid, b.wire_cap);
+    }
+    let inv = ComponentKind::Inverter { skew: Skew::Balanced };
+    let (p0, n0) = (c.label(b.labels[0]), c.label(b.labels[1]));
+    let (p1, n1) = (c.label(b.labels[2]), c.label(b.labels[3]));
+    c.add(
+        "u0",
+        inv.clone(),
+        &[a, mid],
+        &[(DeviceRole::PullUp, p0), (DeviceRole::PullDown, n0)],
+    )
+    .unwrap();
+    c.add(
+        "u1",
+        inv,
+        &[mid, y],
+        &[(DeviceRole::PullUp, p1), (DeviceRole::PullDown, n1)],
+    )
+    .unwrap();
+    c.expose_input(b.net_names[0], a);
+    if b.expose_out {
+        c.expose_output(b.net_names[2], y);
+    }
+    c
+}
+
+#[test]
+fn identical_builds_hash_identically() {
+    let b = Build::default();
+    assert_eq!(build(&b).structural_hash(), build(&b).structural_hash());
+}
+
+#[test]
+fn every_structural_dimension_separates() {
+    let base = build(&Build::default()).structural_hash();
+    let variants: Vec<(&str, Build)> = vec![
+        ("circuit name", Build { name: "pair2", ..Build::default() }),
+        (
+            "net rename",
+            Build { net_names: ["in", "mid2", "out"], ..Build::default() },
+        ),
+        (
+            "net kind",
+            Build { mid_kind: NetKind::Clock, ..Build::default() },
+        ),
+        ("wire cap", Build { wire_cap: 1.5, ..Build::default() }),
+        (
+            "label rename",
+            Build { labels: ["P0", "N0", "P1", "NX"], ..Build::default() },
+        ),
+        ("port removal", Build { expose_out: false, ..Build::default() }),
+    ];
+    for (what, b) in &variants {
+        assert_ne!(
+            base,
+            build(b).structural_hash(),
+            "{what} must change the structural hash"
+        );
+    }
+}
+
+#[test]
+fn label_binding_swap_separates() {
+    // Same nets, same components, same label *set* — but u1's pull-up and
+    // pull-down labels are exchanged. The sized netlists would differ, so
+    // the hashes must too.
+    let normal = build(&Build::default());
+    let mut swapped = Circuit::new("pair");
+    let a = swapped.add_net("in").unwrap();
+    let mid = swapped.add_net("mid").unwrap();
+    let y = swapped.add_net("out").unwrap();
+    let inv = ComponentKind::Inverter { skew: Skew::Balanced };
+    let (p0, n0) = (swapped.label("P0"), swapped.label("N0"));
+    let (p1, n1) = (swapped.label("P1"), swapped.label("N1"));
+    swapped
+        .add(
+            "u0",
+            inv.clone(),
+            &[a, mid],
+            &[(DeviceRole::PullUp, p0), (DeviceRole::PullDown, n0)],
+        )
+        .unwrap();
+    swapped
+        .add(
+            "u1",
+            inv,
+            &[mid, y],
+            // the swap: P1 drives the pull-down role, N1 the pull-up
+            &[(DeviceRole::PullUp, n1), (DeviceRole::PullDown, p1)],
+        )
+        .unwrap();
+    swapped.expose_input("in", a);
+    swapped.expose_output("out", y);
+    assert_ne!(normal.structural_hash(), swapped.structural_hash());
+}
+
+#[test]
+fn rewired_pin_separates() {
+    // u1 reads `in` instead of `mid`: identical component list, identical
+    // nets, one connection index changed.
+    let normal = build(&Build::default());
+    let mut rewired = Circuit::new("pair");
+    let a = rewired.add_net("in").unwrap();
+    let _mid = rewired.add_net("mid").unwrap();
+    let y = rewired.add_net("out").unwrap();
+    let inv = ComponentKind::Inverter { skew: Skew::Balanced };
+    let (p0, n0) = (rewired.label("P0"), rewired.label("N0"));
+    let (p1, n1) = (rewired.label("P1"), rewired.label("N1"));
+    rewired
+        .add(
+            "u0",
+            inv.clone(),
+            &[a, _mid],
+            &[(DeviceRole::PullUp, p0), (DeviceRole::PullDown, n0)],
+        )
+        .unwrap();
+    rewired
+        .add(
+            "u1",
+            inv,
+            &[a, y],
+            &[(DeviceRole::PullUp, p1), (DeviceRole::PullDown, n1)],
+        )
+        .unwrap();
+    rewired.expose_input("in", a);
+    rewired.expose_output("out", y);
+    assert_ne!(normal.structural_hash(), rewired.structural_hash());
+}
+
+#[test]
+fn concatenation_boundary_names_do_not_collide() {
+    // The classic collision attack on naive concatenation hashing: the
+    // byte streams "ab"+"c" and "a"+"bc" are identical, so a hasher
+    // without length prefixes would merge these circuits. The net names
+    // are the only difference between the two builds.
+    let h1 = build(&Build {
+        net_names: ["ab", "c", "out"],
+        ..Build::default()
+    })
+    .structural_hash();
+    let h2 = build(&Build {
+        net_names: ["a", "bc", "out"],
+        ..Build::default()
+    })
+    .structural_hash();
+    assert_ne!(h1, h2, "length-prefixed hashing must separate ab|c from a|bc");
+}
+
+#[test]
+fn port_direction_separates() {
+    // Same net set, same single component — but the second port is an
+    // input in one build and an output in the other.
+    fn one(dir_out: bool) -> Circuit {
+        let mut c = Circuit::new("dir");
+        let a = c.add_net("a").unwrap();
+        let y = c.add_net("y").unwrap();
+        let (p, n) = (c.label("P"), c.label("N"));
+        c.add(
+            "u0",
+            ComponentKind::Inverter { skew: Skew::Balanced },
+            &[a, y],
+            &[(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)],
+        )
+        .unwrap();
+        c.expose_input("a", a);
+        if dir_out {
+            c.expose_output("y", y);
+        } else {
+            c.expose_input("y", y);
+        }
+        c
+    }
+    assert_ne!(one(true).structural_hash(), one(false).structural_hash());
+}
