@@ -8,6 +8,10 @@
 //!
 //! * the netlist's [`Circuit::structural_hash`] (devices, connectivity,
 //!   labels, wire caps, ports),
+//! * the process corner ([`smart_models::Process::fingerprint`] of the
+//!   [`ModelLibrary`] — every model coefficient, so a cache shared across
+//!   sweeps at different corners can never replay the wrong corner's
+//!   solution),
 //! * the quantized delay spec (ps budgets rounded to a 2⁻¹² ps grid, far
 //!   below timing meaning, so float noise from spec arithmetic cannot
 //!   split otherwise-identical entries),
@@ -20,13 +24,18 @@
 //!
 //! Only successful outcomes are stored: failures may be budget- or
 //! timing-dependent and must be re-derived. Because the whole flow is
-//! deterministic, a hit is byte-identical to the cold solve it replaces —
-//! the cache-correctness test suite asserts exactly that.
+//! deterministic, a hit is byte-identical to the cold solve it replaces
+//! for any inputs that map to the same key — which, given the spec
+//! quantization, means specs equal after rounding to the 2⁻¹² ps grid
+//! (sub-quantum spec differences are below any timing meaning by
+//! construction). The cache-correctness test suite asserts the bitwise
+//! replay.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use smart_models::ModelLibrary;
 use smart_netlist::{Circuit, StableHasher};
 use smart_sta::Boundary;
 
@@ -38,6 +47,10 @@ use crate::{CostMetric, DelaySpec, SizingOptions};
 pub struct CacheKey {
     /// [`Circuit::structural_hash`] of the candidate netlist.
     pub structure: u64,
+    /// [`smart_models::Process::fingerprint`] of the model library's
+    /// process corner: every delay/slope/power coefficient feeds the GP
+    /// and STA, so corners must never share entries.
+    pub process: u64,
     /// Quantized data-phase budget.
     pub spec_data: u64,
     /// Quantized precharge budget (`u64::MAX` = unset, distinct from any
@@ -149,12 +162,14 @@ fn options_fingerprint(opts: &SizingOptions) -> u64 {
 /// Builds the memoization key for one sizing invocation.
 pub fn cache_key(
     circuit: &Circuit,
+    lib: &ModelLibrary,
     boundary: &Boundary,
     spec: &DelaySpec,
     opts: &SizingOptions,
 ) -> CacheKey {
     CacheKey {
         structure: circuit.structural_hash(),
+        process: lib.process().fingerprint(),
         spec_data: quantize_ps(spec.data),
         spec_precharge: spec.precharge.map_or(u64::MAX, quantize_ps),
         boundary: boundary_fingerprint(boundary),
@@ -250,12 +265,16 @@ mod tests {
         b
     }
 
+    fn lib() -> ModelLibrary {
+        ModelLibrary::reference()
+    }
+
     #[test]
     fn equal_inputs_equal_keys() {
         let c = circuit();
         let opts = SizingOptions::default();
-        let k1 = cache_key(&c, &boundary(15.0), &DelaySpec::uniform(300.0), &opts);
-        let k2 = cache_key(&c, &boundary(15.0), &DelaySpec::uniform(300.0), &opts);
+        let k1 = cache_key(&c, &lib(), &boundary(15.0), &DelaySpec::uniform(300.0), &opts);
+        let k2 = cache_key(&c, &lib(), &boundary(15.0), &DelaySpec::uniform(300.0), &opts);
         assert_eq!(k1, k2);
     }
 
@@ -263,21 +282,22 @@ mod tests {
     fn every_key_dimension_separates() {
         let c = circuit();
         let opts = SizingOptions::default();
-        let base = cache_key(&c, &boundary(15.0), &DelaySpec::uniform(300.0), &opts);
+        let base = cache_key(&c, &lib(), &boundary(15.0), &DelaySpec::uniform(300.0), &opts);
 
-        let other_spec = cache_key(&c, &boundary(15.0), &DelaySpec::uniform(301.0), &opts);
+        let other_spec = cache_key(&c, &lib(), &boundary(15.0), &DelaySpec::uniform(301.0), &opts);
         assert_ne!(base, other_spec, "spec must separate");
 
-        let other_load = cache_key(&c, &boundary(16.0), &DelaySpec::uniform(300.0), &opts);
+        let other_load = cache_key(&c, &lib(), &boundary(16.0), &DelaySpec::uniform(300.0), &opts);
         assert_ne!(base, other_load, "boundary must separate");
 
         let mut o2 = SizingOptions::default();
         o2.otb = false;
-        let other_opts = cache_key(&c, &boundary(15.0), &DelaySpec::uniform(300.0), &o2);
+        let other_opts = cache_key(&c, &lib(), &boundary(15.0), &DelaySpec::uniform(300.0), &o2);
         assert_ne!(base, other_opts, "options must separate");
 
         let precharge = cache_key(
             &c,
+            &lib(),
             &boundary(15.0),
             &DelaySpec {
                 data: 300.0,
@@ -289,12 +309,37 @@ mod tests {
     }
 
     #[test]
+    fn process_corners_never_share_keys() {
+        use smart_models::Process;
+        let c = circuit();
+        let opts = SizingOptions::default();
+        let b = boundary(15.0);
+        let spec = DelaySpec::uniform(300.0);
+        let typ = cache_key(&c, &ModelLibrary::reference(), &b, &spec, &opts);
+        let slow = cache_key(&c, &ModelLibrary::new(Process::slow_corner()), &b, &spec, &opts);
+        let fast = cache_key(&c, &ModelLibrary::new(Process::fast_corner()), &b, &spec, &opts);
+        assert_ne!(typ, slow, "slow corner must separate from reference");
+        assert_ne!(typ, fast, "fast corner must separate from reference");
+        assert_ne!(slow, fast, "slow and fast corners must separate");
+        // Equal corners built independently still share the key — the
+        // fingerprint is over coefficient values, not library identity.
+        let typ2 = cache_key(&c, &ModelLibrary::new(Process::reference()), &b, &spec, &opts);
+        assert_eq!(typ, typ2);
+    }
+
+    #[test]
     fn budget_does_not_split_keys() {
         let c = circuit();
         let mut tight = SizingOptions::default();
         tight.budget.max_gp_iters = Some(1);
-        let a = cache_key(&c, &boundary(15.0), &DelaySpec::uniform(300.0), &SizingOptions::default());
-        let b = cache_key(&c, &boundary(15.0), &DelaySpec::uniform(300.0), &tight);
+        let a = cache_key(
+            &c,
+            &lib(),
+            &boundary(15.0),
+            &DelaySpec::uniform(300.0),
+            &SizingOptions::default(),
+        );
+        let b = cache_key(&c, &lib(), &boundary(15.0), &DelaySpec::uniform(300.0), &tight);
         assert_eq!(a, b, "budgets abort, they never steer; keys must agree");
     }
 
@@ -311,6 +356,9 @@ mod tests {
         b2.input_times.insert("a".into(), (0.0, 30.0));
         b2.output_loads.insert("y".into(), 10.0);
         let spec = DelaySpec::uniform(300.0);
-        assert_eq!(cache_key(&c, &b1, &spec, &opts), cache_key(&c, &b2, &spec, &opts));
+        assert_eq!(
+            cache_key(&c, &lib(), &b1, &spec, &opts),
+            cache_key(&c, &lib(), &b2, &spec, &opts)
+        );
     }
 }

@@ -66,9 +66,16 @@ pub struct Exploration {
     pub candidates: Vec<Candidate>,
     /// Sizing-cache hits attributable to this sweep (`0` without a cache):
     /// the delta of [`crate::SizingCache::stats`] across the sweep.
+    ///
+    /// Attribution assumes one sweep at a time per cache: the delta is
+    /// taken over the cache's *global* counters, so two sweeps running
+    /// concurrently on the same `Arc<SizingCache>` each absorb the other's
+    /// lookups into their own hit/miss numbers. The candidate table is
+    /// unaffected either way — only these two statistics blur.
     pub cache_hits: usize,
     /// Sizing-cache misses attributable to this sweep (`0` without a
-    /// cache).
+    /// cache). Same single-sweep-at-a-time attribution caveat as
+    /// [`Exploration::cache_hits`].
     pub cache_misses: usize,
 }
 
@@ -333,7 +340,10 @@ where
     let stats_after = opts.cache.as_ref().map_or((0, 0), |c| c.stats());
     Exploration {
         candidates,
-        cache_hits: stats_after.0 - stats_before.0,
-        cache_misses: stats_after.1 - stats_before.1,
+        // Saturating: a sibling sweep on the same cache (see the field
+        // docs) could in principle skew the counters; stats must never
+        // take the whole table down with an underflow panic.
+        cache_hits: stats_after.0.saturating_sub(stats_before.0),
+        cache_misses: stats_after.1.saturating_sub(stats_before.1),
     }
 }

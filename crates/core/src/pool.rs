@@ -98,7 +98,11 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let workers = par.effective_workers(n);
-    let chunk = par.chunk.max(1);
+    // Clamp to `n`: a chunk larger than the job count (e.g. a huge
+    // SMART_CHUNK from the environment) buys nothing, and an extreme one
+    // would wrap the claim counter's `fetch_add` past `usize::MAX`,
+    // letting indices be claimed twice.
+    let chunk = par.chunk.clamp(1, n.max(1));
     if workers <= 1 {
         // Serial reference path: same containment, same slot semantics,
         // strictly ascending order.
@@ -192,6 +196,22 @@ mod tests {
                     assert_eq!(*slot, Some(i + 1), "workers={workers}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn pathological_chunk_never_claims_an_index_twice() {
+        // A huge SMART_CHUNK (e.g. usize::MAX) must not wrap the claim
+        // counter and re-execute indices: each job must run exactly once.
+        use std::sync::atomic::AtomicUsize;
+        for chunk in [usize::MAX, usize::MAX / 2, 1 << 63] {
+            let calls = AtomicUsize::new(0);
+            let out = run_indexed(23, &ParallelOptions { workers: 4, chunk }, |i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                i
+            });
+            assert_eq!(calls.load(Ordering::Relaxed), 23, "chunk={chunk}");
+            assert_eq!(out, (0..23).map(Some).collect::<Vec<_>>(), "chunk={chunk}");
         }
     }
 

@@ -179,14 +179,14 @@ pub fn size_circuit(
     validate_spec(spec)?;
     check_cancelled(opts, "sizing entry")?;
 
-    // Memoization: identical (structure, spec, boundary, options) inputs
-    // produce identical outcomes — the whole flow is deterministic — so a
+    // Memoization: identical (structure, corner, spec, boundary, options)
+    // inputs produce identical outcomes — the flow is deterministic — so a
     // hit replays the stored result without touching GP or STA. Only
     // successful outcomes are cached (failures can be budget-dependent).
     let memo = opts
         .cache
         .as_ref()
-        .map(|cache| (cache, crate::cache::cache_key(circuit, boundary, spec, opts)));
+        .map(|cache| (cache, crate::cache::cache_key(circuit, lib, boundary, spec, opts)));
     if let Some((cache, key)) = &memo {
         if let Some(outcome) = cache.lookup(key) {
             return Ok(outcome);

@@ -131,12 +131,13 @@ fn cache_keys_distinguish_options_that_steer_the_solution() {
     let circuit = mux(MuxTopology::StronglyMutexedPass).generate();
     let b = boundary(15.0);
     let spec = DelaySpec::uniform(400.0);
+    let lib = ModelLibrary::reference();
     let base = SizingOptions::default();
     let mut other = SizingOptions::default();
     other.cost = smart_core::CostMetric::Power;
     assert_ne!(
-        cache_key(&circuit, &b, &spec, &base),
-        cache_key(&circuit, &b, &spec, &other),
+        cache_key(&circuit, &lib, &b, &spec, &base),
+        cache_key(&circuit, &lib, &b, &spec, &other),
         "cost metric steers the GP objective and must split keys"
     );
 
@@ -146,9 +147,47 @@ fn cache_keys_distinguish_options_that_steer_the_solution() {
     let mut with_handle = SizingOptions::default();
     with_handle.cache = Some(Arc::new(SizingCache::new()));
     assert_eq!(
-        cache_key(&circuit, &b, &spec, &base),
-        cache_key(&circuit, &b, &spec, &with_handle),
+        cache_key(&circuit, &lib, &b, &spec, &base),
+        cache_key(&circuit, &lib, &b, &spec, &with_handle),
     );
+}
+
+#[test]
+fn shared_cache_across_process_corners_never_replays_the_wrong_corner() {
+    use smart_models::Process;
+    // One cache, two sweeps at different corners over the same topology,
+    // spec and boundary: the corner dimension of the key must force a
+    // fresh solve (a replay would carry the other corner's widths).
+    let circuit = mux(MuxTopology::StronglyMutexedPass).generate();
+    let b = boundary(15.0);
+    let spec = DelaySpec::uniform(400.0);
+    let typ = ModelLibrary::reference();
+    let slow = ModelLibrary::new(Process::slow_corner());
+
+    assert_ne!(
+        cache_key(&circuit, &typ, &b, &spec, &SizingOptions::default()),
+        cache_key(&circuit, &slow, &b, &spec, &SizingOptions::default()),
+        "corners must key separately"
+    );
+
+    let cache = Arc::new(SizingCache::new());
+    let opts = with_cache(&cache);
+    let typ_cold = size_circuit(&circuit, &typ, &b, &spec, &opts).expect("typical solve");
+    let slow_cold = size_circuit(&circuit, &slow, &b, &spec, &opts).expect("slow solve");
+    assert_eq!(cache.stats(), (0, 2), "second corner must miss, not hit");
+    assert_eq!(cache.len(), 2, "each corner holds its own entry");
+    assert_ne!(
+        typ_cold.total_width.to_bits(),
+        slow_cold.total_width.to_bits(),
+        "fixture: corners must actually size differently for this test to bite"
+    );
+
+    // Replaying each corner hits its own entry and replays its own solve.
+    let typ_warm = size_circuit(&circuit, &typ, &b, &spec, &opts).expect("typical hit");
+    let slow_warm = size_circuit(&circuit, &slow, &b, &spec, &opts).expect("slow hit");
+    assert_eq!(cache.stats(), (2, 2));
+    assert_bitwise_equal(&typ_cold, &typ_warm, "typical corner replay");
+    assert_bitwise_equal(&slow_cold, &slow_warm, "slow corner replay");
 }
 
 #[test]

@@ -7,6 +7,8 @@
 //! a late-1990s high-performance process (τ ≈ 12 ps FO1 inverter delay
 //! scale, PMOS mobility ≈ ½ NMOS).
 
+use smart_netlist::StableHasher;
+
 /// Technology constants used by every delay/slope/power model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Process {
@@ -59,6 +61,46 @@ impl Process {
     /// The reference (typical) process used across the repository.
     pub fn reference() -> Self {
         Self::default()
+    }
+
+    /// Stable 64-bit fingerprint over every coefficient (exact f64 bit
+    /// patterns, FNV-1a via [`StableHasher`]), for cache keys that must
+    /// separate process corners. The exhaustive destructuring makes adding
+    /// a `Process` field without extending the fingerprint a compile
+    /// error, so the fingerprint can never silently under-key.
+    pub fn fingerprint(&self) -> u64 {
+        let Process {
+            tau,
+            diff_factor,
+            p_mobility,
+            pass_drive,
+            intrinsic,
+            slope_to_delay,
+            slope_gain,
+            slope_min,
+            vdd,
+            default_activity,
+            w_min,
+            w_max,
+        } = *self;
+        let mut h = StableHasher::new();
+        for v in [
+            tau,
+            diff_factor,
+            p_mobility,
+            pass_drive,
+            intrinsic,
+            slope_to_delay,
+            slope_gain,
+            slope_min,
+            vdd,
+            default_activity,
+            w_min,
+            w_max,
+        ] {
+            h.write_f64_bits(v);
+        }
+        h.finish()
     }
 
     /// Slow corner: weak devices, soggy edges — what worst-case signoff
@@ -121,5 +163,23 @@ mod corner_tests {
         assert_eq!(slow.w_min, typ.w_min);
         assert_eq!(fast.w_max, typ.w_max);
         assert_eq!(slow.p_mobility, typ.p_mobility);
+    }
+
+    #[test]
+    fn fingerprint_separates_corners_and_is_stable() {
+        let (slow, typ, fast) = (
+            Process::slow_corner(),
+            Process::reference(),
+            Process::fast_corner(),
+        );
+        assert_eq!(typ.fingerprint(), Process::reference().fingerprint());
+        assert_ne!(slow.fingerprint(), typ.fingerprint());
+        assert_ne!(fast.fingerprint(), typ.fingerprint());
+        assert_ne!(slow.fingerprint(), fast.fingerprint());
+
+        // Any single-coefficient change must separate.
+        let mut tweaked = Process::reference();
+        tweaked.default_activity += 0.01;
+        assert_ne!(tweaked.fingerprint(), typ.fingerprint());
     }
 }
