@@ -25,8 +25,14 @@ SMART_WORKERS=4 cargo test -q --offline --workspace
 echo "== explore_scaling smoke (parallel + memoized sweeps) =="
 cargo run -q --offline --release -p smart-bench --bin explore_scaling -- --smoke
 
+# The database must be lint-clean at Error severity: the example exits
+# non-zero on any Error-severity finding across the representative
+# database sweep (rule engine + monotonicity dataflow, DESIGN.md §10).
+echo "== lint-database (Error severity gates the build) =="
+cargo run -q --offline --release --example lint -- --only-dirty
+
 echo "== clippy (no unwrap/expect in flow crates, pool/cache included) =="
-cargo clippy -q --offline -p smart-core -p smart-gp -- \
+cargo clippy -q --offline -p smart-core -p smart-gp -p smart-lint -- \
   -D clippy::unwrap_used -D clippy::expect_used
 
 echo "CI OK"

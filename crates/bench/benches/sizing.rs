@@ -123,6 +123,27 @@ fn bench_simulation() {
     });
 }
 
+fn bench_lint() {
+    // Lint throughput on the 64-bit adder — the largest database macro —
+    // reported as findings scanned per second so the rule engine's cost
+    // relative to one GP solve stays visible.
+    let circuit = MacroSpec::ClaAdder { width: 64 }.generate();
+    let t0 = Instant::now();
+    let findings = smart_lint::lint_circuit(&circuit).findings.len();
+    let cold = t0.elapsed();
+    bench("lint_cla64_full_engine", || {
+        smart_lint::lint_circuit(black_box(&circuit)).findings.len()
+    });
+    bench("lint_cla64_dataflow_only", || {
+        smart_lint::dataflow::MonotonicityAnalysis::run(black_box(&circuit)).iterations()
+    });
+    let per_sec = findings as f64 / cold.as_secs_f64();
+    println!(
+        "lint_cla64 throughput: {findings} findings in {cold:.1?} cold \
+         ({per_sec:.0} findings/s)"
+    );
+}
+
 fn main() {
     let lib = ModelLibrary::reference();
     let opts = SizingOptions::default();
@@ -130,4 +151,5 @@ fn main() {
     bench_compaction(&lib, &opts);
     bench_sta(&lib);
     bench_simulation();
+    bench_lint();
 }

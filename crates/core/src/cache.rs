@@ -156,6 +156,9 @@ fn options_fingerprint(opts: &SizingOptions) -> u64 {
     }
     // opts.budget intentionally excluded: budgets abort solves (which are
     // never cached), they cannot change a successful outcome.
+    // opts.lint likewise: the exploration lint gate rejects a candidate
+    // before its first cache lookup, so gating can never steer an outcome
+    // that reaches the cache.
     h.finish()
 }
 

@@ -49,6 +49,18 @@ pub enum FlowError {
         /// The captured panic payload, when it was a string.
         panic_msg: String,
     },
+    /// The candidate violated `Error`-severity electrical rules and the
+    /// exploration lint gate ([`crate::LintGate::Errors`]) rejected it
+    /// before any sizing work was spent on it.
+    Lint {
+        /// Display form of the rejected candidate.
+        candidate: String,
+        /// Number of `Error`-severity findings.
+        errors: usize,
+        /// Rendered `Error`-severity findings, in the lint report's
+        /// canonical order.
+        findings: Vec<String>,
+    },
     /// A flow budget ([`crate::FlowBudget`]) expired: the wall clock ran
     /// out, the GP burned its Newton-step allowance, or the exploration hit
     /// its candidate cap.
@@ -64,7 +76,8 @@ pub enum FlowError {
 impl FlowError {
     /// Short stable failure-taxonomy tag for reports and sweep tables
     /// (`infeasible`, `unbounded`, `numerical`, `non-finite`, `budget`,
-    /// `panic`, `sta`, `paths`, `no-convergence`, `no-endpoints`, `pin`).
+    /// `panic`, `lint`, `sta`, `paths`, `no-convergence`, `no-endpoints`,
+    /// `pin`).
     pub fn taxonomy(&self) -> &'static str {
         match self {
             FlowError::Gp(GpError::Infeasible { .. }) => "infeasible",
@@ -78,6 +91,7 @@ impl FlowError {
             FlowError::NoEndpoints => "no-endpoints",
             FlowError::UnknownPin { .. } => "pin",
             FlowError::Internal { .. } => "panic",
+            FlowError::Lint { .. } => "lint",
             FlowError::BudgetExceeded { .. } => "budget",
         }
     }
@@ -107,6 +121,24 @@ impl fmt::Display for FlowError {
                 f,
                 "candidate '{candidate}' panicked (contained): {panic_msg}"
             ),
+            FlowError::Lint {
+                candidate,
+                errors,
+                findings,
+            } => {
+                write!(
+                    f,
+                    "candidate '{candidate}' rejected by lint: {errors} error finding(s)"
+                )?;
+                if let Some(first) = findings.first() {
+                    write!(f, " ({first}")?;
+                    if findings.len() > 1 {
+                        write!(f, "; +{} more", findings.len() - 1)?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
             FlowError::BudgetExceeded { what, detail } => {
                 write!(f, "{what} budget exceeded: {detail}")
             }

@@ -30,6 +30,7 @@ use smart_macros::MacroSpec;
 
 use crate::pool::{run_indexed, ParallelOptions};
 use crate::sizing::{size_circuit, SizingOutcome};
+use crate::spec::LintGate;
 use crate::{DelaySpec, FlowError, SizingOptions};
 
 /// Quality metrics of one sized candidate.
@@ -145,6 +146,31 @@ pub fn size_and_measure(
     })
 }
 
+/// The exploration lint gate: electrically illegal candidates are
+/// rejected *before* any GP solve or cache lookup, so no sizing effort —
+/// not even a memoization probe — is spent on them. Pure function of the
+/// candidate circuit, so it cannot perturb the parallel determinism
+/// contract (DESIGN.md §9).
+fn lint_gate(circuit: &Circuit, alt: &MacroSpec, opts: &SizingOptions) -> Result<(), FlowError> {
+    if opts.lint == LintGate::Off {
+        return Ok(());
+    }
+    let report = smart_lint::lint_circuit(circuit);
+    if report.has_errors() {
+        return Err(FlowError::Lint {
+            candidate: alt.to_string(),
+            errors: report.errors(),
+            findings: report
+                .findings
+                .iter()
+                .filter(|f| f.severity == smart_lint::Severity::Error)
+                .map(|f| f.to_string())
+                .collect(),
+        });
+    }
+    Ok(())
+}
+
 /// Extracts a human-readable message from a caught panic payload.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -213,10 +239,14 @@ where
             };
         }
     };
-    // Sizing boundary: a panic anywhere in compaction / GP / STA /
-    // power for this candidate is contained the same way.
+    // Sizing boundary: a panic anywhere in lint / compaction / GP / STA /
+    // power for this candidate is contained the same way. The lint gate
+    // runs first, inside the boundary, so an illegal candidate is a typed
+    // `FlowError::Lint` row and zero sizing work (no GP iterations, no
+    // cache lookups) is spent on it.
     let result = match catch_unwind(AssertUnwindSafe(|| {
-        size_and_measure(&circuit, lib, boundary, spec, opts)
+        lint_gate(&circuit, alt, opts)
+            .and_then(|()| size_and_measure(&circuit, lib, boundary, spec, opts))
     })) {
         Ok(r) => r,
         Err(payload) => Err(FlowError::Internal {

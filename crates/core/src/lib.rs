@@ -83,5 +83,5 @@ pub use noise::{analyze_noise, DynamicNodeNoise, NoiseReport};
 pub use pool::{run_indexed, ParallelOptions};
 pub use report::{exploration_report, sizing_report};
 pub use sizing::{compaction_stats, measure_phase_delays, minimize_delay, size_circuit, SizingOutcome};
-pub use spec::{CostMetric, DelaySpec, FlowBudget, SizingOptions};
+pub use spec::{CostMetric, DelaySpec, FlowBudget, LintGate, SizingOptions};
 pub use tune::{tune_comparator_grouping, tune_partition_point, TuneCandidate, TuneSweep};

@@ -113,6 +113,21 @@ impl PartialEq for FlowBudget {
     }
 }
 
+/// How the exploration sweep applies the `smart-lint` electrical-rule
+/// engine to candidates before sizing them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LintGate {
+    /// Candidates with `Error`-severity findings are rejected before any
+    /// GP solve, as [`crate::FlowError::Lint`] rows (the default — an
+    /// electrically illegal topology must not consume sizing effort or
+    /// be reported as a viable alternative).
+    #[default]
+    Errors,
+    /// No lint gating; every candidate proceeds to sizing. For ablation
+    /// and for intentionally-illegal experiments.
+    Off,
+}
+
 /// Options controlling one sizing run.
 #[derive(Debug, Clone)]
 pub struct SizingOptions {
@@ -175,6 +190,11 @@ pub struct SizingOptions {
     /// sweep points skip the whole GP/STA loop. `None` (the default)
     /// disables memoization.
     pub cache: Option<Arc<SizingCache>>,
+    /// Lint gating of exploration candidates (default: reject on
+    /// `Error`-severity findings before sizing). Applies to the
+    /// [`crate::explore`] family only; direct [`crate::size_circuit`]
+    /// calls are not gated.
+    pub lint: LintGate,
 }
 
 impl Default for SizingOptions {
@@ -194,6 +214,7 @@ impl Default for SizingOptions {
             relaxation: Vec::new(),
             budget: FlowBudget::default(),
             cache: None,
+            lint: LintGate::default(),
         }
     }
 }

@@ -1,0 +1,42 @@
+//! Compatibility shim for the deprecated `smart_netlist::drc` API.
+//!
+//! The old checker's logic now lives in [`crate::rules::legacy`] (shared
+//! with rules `SL001`–`SL004`); this module re-expresses those structured
+//! issues as the historical `DrcIssue` values — same findings, same
+//! order, so existing callers can migrate by swapping the import.
+//!
+//! (The delegation is inverted relative to the issue's phrasing — the
+//! netlist crate cannot depend on this crate without a Cargo cycle, so
+//! the deprecated `smart_netlist::drc::methodology_check` keeps its
+//! frozen implementation and *this* function is the maintained one. The
+//! parity test in `tests/compat.rs` pins the two together.)
+
+#![allow(deprecated)]
+
+use smart_netlist::{Circuit, DrcIssue};
+
+use crate::engine::LintConfig;
+use crate::rules::legacy::{legacy_issues, LegacyIssue};
+
+/// Drop-in replacement for the deprecated
+/// `smart_netlist::drc::methodology_check`, backed by the rule engine's
+/// shared legacy pass. Uses the default pass-chain limit; run
+/// [`crate::lint_circuit_with`] for configurable severities, waivers and
+/// the full rule set.
+pub fn methodology_check(circuit: &Circuit) -> Vec<DrcIssue> {
+    legacy_issues(circuit, LintConfig::default().pass_chain_limit)
+        .into_iter()
+        .map(|issue| match issue {
+            LegacyIssue::ClockWiring { comp, path, net } => {
+                DrcIssue::ClockWiring { comp, path, net }
+            }
+            LegacyIssue::DynamicMarking { net, name } => DrcIssue::DynamicMarking { net, name },
+            LegacyIssue::Unfooted { comp, path, input } => {
+                DrcIssue::UnfootedInputDiscipline { comp, path, input }
+            }
+            LegacyIssue::PassChain { net, depth, limit } => {
+                DrcIssue::PassChainTooDeep { net, depth, limit }
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,220 @@
+//! `SL102`–`SL106`: electrical graph-reachability rules over the
+//! connectivity indices — sneak paths, contention, mutual exclusion,
+//! level degradation, charge sharing.
+
+use smart_netlist::{Circuit, ComponentKind, NetId};
+
+use crate::engine::{Finding, LintConfig, Severity};
+
+/// Is the component a restoring (always-on, rail-connected) driver?
+fn is_restoring(kind: &ComponentKind) -> bool {
+    !kind.is_shared_driver()
+}
+
+/// `SL102`: a net driven by both restoring and pass/tri-state drivers.
+/// When the shared driver conducts it connects the net to another driven
+/// node; the two restoring endpoints then fight through the pass network
+/// — a DC path from VDD to GND.
+pub(crate) fn check_sneak_paths(circuit: &Circuit, _cfg: &LintConfig, out: &mut Vec<Finding>) {
+    for (id, net) in circuit.nets() {
+        let drivers = circuit.drivers_of(id);
+        let shared = drivers
+            .iter()
+            .filter(|&&d| circuit.comp(d).kind.is_shared_driver())
+            .count();
+        let restoring = drivers.len() - shared;
+        if shared > 0 && restoring > 0 {
+            // Anchor on the lexicographically first restoring driver so the
+            // finding is invariant under component reordering.
+            let path = drivers
+                .iter()
+                .filter(|&&d| is_restoring(&circuit.comp(d).kind))
+                .map(|&d| circuit.comp(d).path.as_str())
+                .min()
+                .unwrap_or("")
+                .to_owned();
+            out.push(Finding {
+                rule: "SL102",
+                severity: Severity::Error,
+                path,
+                nets: vec![net.name.clone()],
+                message: format!(
+                    "net '{}' mixes {restoring} restoring driver(s) with {shared} \
+                     pass/tri-state driver(s): a conducting pass network shorts the \
+                     restoring output to another driven node (VDD\u{2192}GND sneak path)",
+                    net.name
+                ),
+            });
+        }
+    }
+}
+
+/// Shared drivers of `net` as `(comp index, data net, select/enable net,
+/// path)`, for the pairwise rules. Pin 1 is the select (pass gate) or
+/// enable (tri-state); pin 0 the data.
+fn shared_drivers(circuit: &Circuit, net: NetId) -> Vec<(NetId, NetId, String)> {
+    circuit
+        .drivers_of(net)
+        .iter()
+        .filter_map(|&d| {
+            let comp = circuit.comp(d);
+            comp.kind
+                .is_shared_driver()
+                .then(|| (comp.conns[0], comp.conns[1], comp.path.clone()))
+        })
+        .collect()
+}
+
+/// `SL103`: two shared drivers with the *same* select/enable net but
+/// different data nets conduct simultaneously whenever that select is
+/// active — guaranteed contention, not a mutual-exclusion question.
+pub(crate) fn check_contention(circuit: &Circuit, _cfg: &LintConfig, out: &mut Vec<Finding>) {
+    for (id, net) in circuit.nets() {
+        let drivers = shared_drivers(circuit, id);
+        for i in 0..drivers.len() {
+            for j in i + 1..drivers.len() {
+                let (data_a, sel_a, path_a) = &drivers[i];
+                let (data_b, sel_b, path_b) = &drivers[j];
+                if sel_a == sel_b && data_a != data_b {
+                    let (first, second) = if path_a <= path_b {
+                        (path_a, path_b)
+                    } else {
+                        (path_b, path_a)
+                    };
+                    let sel = circuit.net(*sel_a).name.clone();
+                    out.push(Finding {
+                        rule: "SL103",
+                        severity: Severity::Error,
+                        path: first.clone(),
+                        nets: vec![net.name.clone(), sel.clone()],
+                        message: format!(
+                            "'{first}' and '{second}' drive net '{}' from different \
+                             data with the same select '{sel}': both conduct whenever \
+                             '{sel}' is active",
+                            net.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Are `a` and `b` provably complementary — one the inverter image of
+/// the other?
+fn complementary(circuit: &Circuit, a: NetId, b: NetId) -> bool {
+    let inverts = |src: NetId, dst: NetId| {
+        circuit.drivers_of(dst).iter().any(|&d| {
+            let comp = circuit.comp(d);
+            matches!(comp.kind, ComponentKind::Inverter { .. }) && comp.conns[0] == src
+        })
+    };
+    inverts(a, b) || inverts(b, a)
+}
+
+/// `SL104`: multiple shared drivers whose enables the linter cannot prove
+/// mutually exclusive. Enable pairs that are inverter complements (an
+/// encoded select, `s` / `!s`) are proven; identical enables are `SL103`
+/// territory (contention if the data differs, harmless if not); anything
+/// else — one-hot decoders, independent primary selects — is legal but
+/// rests on a dynamic invariant the netlist cannot exhibit, so it is
+/// surfaced as a warning.
+pub(crate) fn check_mutex(circuit: &Circuit, _cfg: &LintConfig, out: &mut Vec<Finding>) {
+    for (id, net) in circuit.nets() {
+        let drivers = shared_drivers(circuit, id);
+        if drivers.len() < 2 {
+            continue;
+        }
+        let unproven = (0..drivers.len()).any(|i| {
+            (i + 1..drivers.len()).any(|j| {
+                let (_, sel_a, _) = drivers[i];
+                let (_, sel_b, _) = drivers[j];
+                sel_a != sel_b && !complementary(circuit, sel_a, sel_b)
+            })
+        });
+        if unproven {
+            out.push(Finding {
+                rule: "SL104",
+                severity: Severity::Warning,
+                path: String::new(),
+                nets: vec![net.name.clone()],
+                message: format!(
+                    "{} pass/tri-state drivers share net '{}' without statically \
+                     provable mutually-exclusive enables (proof requires a one-hot \
+                     or complementary select structure)",
+                    drivers.len(),
+                    net.name
+                ),
+            });
+        }
+    }
+}
+
+/// `SL105`: a pass-gate-driven level feeding a non-restoring load — a
+/// further pass data pin (the degraded level propagates) or a domino
+/// data input (a weak high on the pull-down gate leaks charge off the
+/// dynamic node). Restoring static loads re-buffer the level and are
+/// fine.
+pub(crate) fn check_threshold_drops(circuit: &Circuit, _cfg: &LintConfig, out: &mut Vec<Finding>) {
+    for (id, net) in circuit.nets() {
+        let drivers = circuit.drivers_of(id);
+        if drivers.is_empty()
+            || !drivers
+                .iter()
+                .all(|&d| matches!(circuit.comp(d).kind, ComponentKind::PassGate))
+        {
+            continue;
+        }
+        for &(load, pin) in circuit.loads_of(id) {
+            let comp = circuit.comp(load);
+            let non_restoring = match &comp.kind {
+                ComponentKind::PassGate => pin == 0,
+                ComponentKind::Domino { .. } => pin != 0,
+                _ => false,
+            };
+            if non_restoring {
+                out.push(Finding {
+                    rule: "SL105",
+                    severity: Severity::Warning,
+                    path: comp.path.clone(),
+                    nets: vec![net.name.clone()],
+                    message: format!(
+                        "pass-driven net '{}' feeds the non-restoring input \
+                         '{}' of '{}'; insert a restoring buffer before \
+                         propagating a degraded level",
+                        net.name,
+                        comp.kind.pin_name(pin),
+                        comp.path
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `SL106`: domino pull-down stacks at or beyond the configured depth.
+/// Internal stack nodes retain charge from previous cycles; when the
+/// stack partially conducts, that charge redistributes onto the dynamic
+/// node and can flip the output inverter.
+pub(crate) fn check_charge_sharing(circuit: &Circuit, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    for (_, comp) in circuit.components() {
+        if let ComponentKind::Domino { network, .. } = &comp.kind {
+            let depth = network.max_stack_depth();
+            if depth >= cfg.charge_share_depth {
+                let name = circuit.net(comp.output_net()).name.clone();
+                out.push(Finding {
+                    rule: "SL106",
+                    severity: Severity::Warning,
+                    path: comp.path.clone(),
+                    nets: vec![name.clone()],
+                    message: format!(
+                        "domino pull-down stack depth {depth} (threshold {}) exposes \
+                         dynamic node '{name}' to internal-node charge sharing; \
+                         consider precharging internal nodes or splitting the stack",
+                        cfg.charge_share_depth
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! `SL001`–`SL004`: the four methodology DRC checks that predate the
+//! rule engine, ported verbatim from `smart_netlist::drc`.
+//!
+//! The detection logic lives here in one shared pass ([`legacy_issues`])
+//! consumed two ways: the `SL00x` rules translate the structured issues
+//! into [`Finding`]s, and [`crate::compat::methodology_check`] translates
+//! the *same* issues into the deprecated `DrcIssue` values — exact parity
+//! with the historical checker by construction, in content and in order.
+
+use smart_netlist::{Circuit, CompId, ComponentKind, NetId, NetKind};
+
+use crate::engine::{Finding, LintConfig, Severity};
+
+/// One issue in the legacy DRC's vocabulary.
+pub(crate) enum LegacyIssue {
+    /// Domino clock pin off-clock, or a non-clock input pin on a clock net.
+    ClockWiring { comp: CompId, path: String, net: NetId },
+    /// `NetKind::Dynamic` marking and domino drivers disagree.
+    DynamicMarking { net: NetId, name: String },
+    /// D2 data input not provably low during precharge.
+    Unfooted { comp: CompId, path: String, input: String },
+    /// Series pass chain beyond the depth limit.
+    PassChain { net: NetId, depth: usize, limit: usize },
+}
+
+/// Runs the four legacy checks in their historical order.
+pub(crate) fn legacy_issues(circuit: &Circuit, pass_chain_limit: usize) -> Vec<LegacyIssue> {
+    let mut issues = Vec::new();
+
+    // Clock wiring + dynamic marking, in component order.
+    for (id, comp) in circuit.components() {
+        match &comp.kind {
+            ComponentKind::Domino { .. } => {
+                let clk = comp.conns[0];
+                if circuit.net(clk).kind != NetKind::Clock {
+                    issues.push(LegacyIssue::ClockWiring {
+                        comp: id,
+                        path: comp.path.clone(),
+                        net: clk,
+                    });
+                }
+                let out = comp.output_net();
+                if circuit.net(out).kind != NetKind::Dynamic {
+                    issues.push(LegacyIssue::DynamicMarking {
+                        net: out,
+                        name: circuit.net(out).name.clone(),
+                    });
+                }
+            }
+            _ => {
+                for (pin, net) in comp.input_nets() {
+                    if circuit.net(net).kind == NetKind::Clock && !comp.kind.is_clock_pin(pin)
+                    {
+                        issues.push(LegacyIssue::ClockWiring {
+                            comp: id,
+                            path: comp.path.clone(),
+                            net,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // Dynamic nets must be domino-driven.
+    for (id, net) in circuit.nets() {
+        if net.kind == NetKind::Dynamic {
+            let domino_driven = circuit
+                .drivers_of(id)
+                .iter()
+                .any(|&d| matches!(circuit.comp(d).kind, ComponentKind::Domino { .. }));
+            if !domino_driven {
+                issues.push(LegacyIssue::DynamicMarking {
+                    net: id,
+                    name: net.name.clone(),
+                });
+            }
+        }
+    }
+
+    // D2 input discipline.
+    for (id, comp) in circuit.components() {
+        if let ComponentKind::Domino { clocked_eval: false, .. } = comp.kind {
+            for (pin, net) in comp.input_nets() {
+                if pin == 0 {
+                    continue; // clock pin
+                }
+                if !is_monotone_low_in_precharge(circuit, net, 0) {
+                    issues.push(LegacyIssue::Unfooted {
+                        comp: id,
+                        path: comp.path.clone(),
+                        input: circuit.net(net).name.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Pass-chain depth (memoized DFS over pass-gate data edges).
+    let mut depth = vec![None::<usize>; circuit.net_count()];
+    for (id, _) in circuit.nets() {
+        let d = pass_depth(circuit, id, &mut depth, 0);
+        if d > pass_chain_limit {
+            issues.push(LegacyIssue::PassChain {
+                net: id,
+                depth: d,
+                limit: pass_chain_limit,
+            });
+        }
+    }
+
+    issues
+}
+
+/// A net is safe for a D2 data pin if every driver is an inverter whose
+/// input is itself safe-inverted — i.e. the signal is provably low during
+/// precharge. An inverter ON a dynamic node outputs low during precharge;
+/// an inverter on THAT is high again, so polarity is tracked two levels
+/// at a time. (Verbatim port of the `smart_netlist::drc` predicate.)
+fn is_monotone_low_in_precharge(circuit: &Circuit, net: NetId, depth: usize) -> bool {
+    if depth > 8 {
+        return false;
+    }
+    let drivers = circuit.drivers_of(net);
+    if drivers.is_empty() {
+        return false; // primary input: static, undisciplined
+    }
+    drivers.iter().all(|&d| {
+        let comp = circuit.comp(d);
+        match &comp.kind {
+            // The dynamic node itself is high during precharge — a data
+            // pin wired straight to it would conduct.
+            ComponentKind::Domino { .. } => false,
+            ComponentKind::Inverter { .. } => {
+                let src = comp.conns[0];
+                if circuit.net(src).kind == NetKind::Dynamic {
+                    true
+                } else {
+                    circuit.drivers_of(src).iter().all(|&dd| {
+                        let inner = circuit.comp(dd);
+                        matches!(inner.kind, ComponentKind::Inverter { .. })
+                            && is_monotone_low_in_precharge(circuit, inner.conns[0], depth + 2)
+                    })
+                }
+            }
+            _ => false,
+        }
+    })
+}
+
+/// Longest chain of pass gates ending at `net`.
+fn pass_depth(circuit: &Circuit, net: NetId, memo: &mut Vec<Option<usize>>, guard: usize) -> usize {
+    if guard > circuit.net_count() {
+        return 0; // cycle guard
+    }
+    if let Some(d) = memo[net.index()] {
+        return d;
+    }
+    memo[net.index()] = Some(0); // break cycles
+    let mut best = 0;
+    for &d in circuit.drivers_of(net) {
+        let comp = circuit.comp(d);
+        if matches!(comp.kind, ComponentKind::PassGate) {
+            let upstream = comp.conns[0]; // data pin
+            best = best.max(1 + pass_depth(circuit, upstream, memo, guard + 1));
+        }
+    }
+    memo[net.index()] = Some(best);
+    best
+}
+
+pub(crate) fn check_clock_wiring(circuit: &Circuit, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    for issue in legacy_issues(circuit, cfg.pass_chain_limit) {
+        if let LegacyIssue::ClockWiring { comp, path, net } = issue {
+            let name = circuit.net(net).name.clone();
+            let message = if matches!(circuit.comp(comp).kind, ComponentKind::Domino { .. }) {
+                format!("domino clock pin wired to non-clock net '{name}'")
+            } else {
+                format!("non-clock input pin reads clock net '{name}'")
+            };
+            out.push(Finding {
+                rule: "SL001",
+                severity: Severity::Error,
+                path,
+                nets: vec![name],
+                message,
+            });
+        }
+    }
+}
+
+pub(crate) fn check_dynamic_marking(circuit: &Circuit, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    for issue in legacy_issues(circuit, cfg.pass_chain_limit) {
+        if let LegacyIssue::DynamicMarking { name, .. } = issue {
+            out.push(Finding {
+                rule: "SL002",
+                severity: Severity::Error,
+                path: String::new(),
+                nets: vec![name.clone()],
+                message: format!(
+                    "net '{name}': NetKind::Dynamic marking and domino drivers disagree \
+                     (dynamic nets must be domino-driven, domino outputs must be dynamic)"
+                ),
+            });
+        }
+    }
+}
+
+pub(crate) fn check_unfooted_inputs(circuit: &Circuit, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    for issue in legacy_issues(circuit, cfg.pass_chain_limit) {
+        if let LegacyIssue::Unfooted { path, input, .. } = issue {
+            out.push(Finding {
+                rule: "SL003",
+                severity: Severity::Error,
+                path,
+                nets: vec![input.clone()],
+                message: format!(
+                    "unfooted (D2) data input '{input}' is not provably low during \
+                     precharge; it can crowbar the uncut pull-down"
+                ),
+            });
+        }
+    }
+}
+
+pub(crate) fn check_pass_chains(circuit: &Circuit, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    for issue in legacy_issues(circuit, cfg.pass_chain_limit) {
+        if let LegacyIssue::PassChain { net, depth, limit } = issue {
+            let name = circuit.net(net).name.clone();
+            out.push(Finding {
+                rule: "SL004",
+                severity: Severity::Error,
+                path: String::new(),
+                nets: vec![name.clone()],
+                message: format!(
+                    "series pass chain of depth {depth} ends at net '{name}' \
+                     (methodology limit {limit})"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Parity between the deprecated `smart_netlist::drc::methodology_check`
+//! (frozen implementation) and its maintained replacement,
+//! `smart_lint::compat::methodology_check`: identical issues, identical
+//! order, on clean macros and on circuits that trip every legacy check.
+
+#![allow(deprecated)]
+
+use smart_macros::representative_database;
+use smart_netlist::{Circuit, ComponentKind, DeviceRole, NetKind, Network, Skew};
+
+fn assert_parity(c: &Circuit) {
+    let old = smart_netlist::methodology_check(c);
+    let new = smart_lint::compat::methodology_check(c);
+    assert_eq!(old, new, "parity broke on '{}'", c.name());
+}
+
+#[test]
+fn parity_on_every_database_macro() {
+    for spec in representative_database() {
+        assert_parity(&spec.generate());
+    }
+}
+
+#[test]
+fn parity_on_a_circuit_violating_every_legacy_check() {
+    let mut c = Circuit::new("all_violations");
+    let clk = c.add_net_kind("clk", NetKind::Clock).unwrap();
+    let notclk = c.add_net("notclk").unwrap();
+    let a = c.add_net("a").unwrap();
+    let p = c.label("P1");
+    let n = c.label("N1");
+
+    // ClockWiring + DynamicMarking: clock pin off-clock, output unmarked.
+    let y1 = c.add_net("y1").unwrap();
+    c.add(
+        "d_badclk",
+        ComponentKind::Domino { network: Network::Input(0), clocked_eval: true },
+        &[notclk, a, y1],
+        &[
+            (DeviceRole::Precharge, p),
+            (DeviceRole::DataN, n),
+            (DeviceRole::Evaluate, n),
+        ],
+    )
+    .unwrap();
+    // ClockWiring the other way: static input reads the clock.
+    let y2 = c.add_net("y2").unwrap();
+    c.add(
+        "i_onclk",
+        ComponentKind::Inverter { skew: Skew::Balanced },
+        &[clk, y2],
+        &[(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)],
+    )
+    .unwrap();
+    // UnfootedInputDiscipline: D2 data wired to a primary input.
+    let dyn2 = c.add_net_kind("dyn2", NetKind::Dynamic).unwrap();
+    c.add(
+        "d2_bad",
+        ComponentKind::Domino { network: Network::Input(0), clocked_eval: false },
+        &[clk, a, dyn2],
+        &[(DeviceRole::Precharge, p), (DeviceRole::DataN, n)],
+    )
+    .unwrap();
+    // PassChainTooDeep: four series pass gates.
+    let s = c.add_net("s").unwrap();
+    let l = c.label("N2");
+    let mut prev = c.add_net("p0").unwrap();
+    c.expose_input("p0", prev);
+    for i in 0..4 {
+        let next = c.add_net(format!("p{}", i + 1)).unwrap();
+        c.add(
+            format!("pg{i}"),
+            ComponentKind::PassGate,
+            &[prev, s, next],
+            &[
+                (DeviceRole::PassN, l),
+                (DeviceRole::PassP, l),
+                (DeviceRole::PassInv, l),
+            ],
+        )
+        .unwrap();
+        prev = next;
+    }
+    c.expose_input("clk", clk);
+    c.expose_input("notclk", notclk);
+    c.expose_input("a", a);
+    c.expose_input("s", s);
+    c.expose_output("y1", y1);
+    c.expose_output("y2", y2);
+    c.expose_output("dyn2", dyn2);
+    c.expose_output("tail", prev);
+
+    let issues = smart_netlist::methodology_check(&c);
+    let kinds: Vec<&str> = issues
+        .iter()
+        .map(|i| match i {
+            smart_netlist::DrcIssue::ClockWiring { .. } => "clock",
+            smart_netlist::DrcIssue::DynamicMarking { .. } => "dyn",
+            smart_netlist::DrcIssue::UnfootedInputDiscipline { .. } => "unfooted",
+            smart_netlist::DrcIssue::PassChainTooDeep { .. } => "pass",
+            _ => "other",
+        })
+        .collect();
+    for expected in ["clock", "dyn", "unfooted", "pass"] {
+        assert!(kinds.contains(&expected), "{expected} missing from {kinds:?}");
+    }
+    assert_parity(&c);
+}
+
+#[test]
+fn sl00x_findings_match_legacy_issue_count() {
+    // The SL001-SL004 rules consume the same shared pass as the compat
+    // shim, so per-circuit their finding count equals the issue count
+    // (modulo engine-level dedup, which the legacy checker never needed).
+    for spec in representative_database() {
+        let c = spec.generate();
+        let legacy = smart_lint::compat::methodology_check(&c).len();
+        let findings = smart_lint::lint_circuit(&c)
+            .findings
+            .iter()
+            .filter(|f| f.rule < "SL100")
+            .count();
+        assert_eq!(legacy, findings, "{spec}");
+    }
+}

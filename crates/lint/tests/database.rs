@@ -1,0 +1,52 @@
+//! Database-wide acceptance: every macro the generators produce is
+//! lint-clean at `Error` severity, and the monotonicity dataflow reaches
+//! its fixpoint on each of them (ISSUE PR 3 acceptance criteria).
+
+use smart_lint::dataflow::MonotonicityAnalysis;
+use smart_lint::{lint_circuit, Severity};
+use smart_macros::representative_database;
+
+#[test]
+fn every_database_macro_is_error_clean() {
+    let specs = representative_database();
+    assert!(specs.len() >= 25, "representative sweep looks truncated");
+    for spec in specs {
+        let c = spec.generate();
+        let report = lint_circuit(&c);
+        let errors: Vec<String> = report
+            .findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .map(|f| f.to_string())
+            .collect();
+        assert!(errors.is_empty(), "{spec} has lint errors: {errors:#?}");
+    }
+}
+
+#[test]
+fn dataflow_reaches_fixpoint_on_every_database_macro() {
+    for spec in representative_database() {
+        let c = spec.generate();
+        let m = MonotonicityAnalysis::run(&c);
+        assert!(
+            m.converged(),
+            "{spec}: {} worklist pops exceed the {}-event domain",
+            m.iterations(),
+            m.node_count()
+        );
+    }
+}
+
+#[test]
+fn unrouted_variants_are_error_clean_too() {
+    // Lint must not depend on parasitic annotation.
+    for spec in representative_database() {
+        let c = spec.generate_unrouted();
+        let report = lint_circuit(&c);
+        assert!(
+            !report.has_errors(),
+            "{spec} (unrouted) has lint errors: {:?}",
+            report.findings
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Acceptance tests for the monotonicity dataflow (ISSUE PR 3):
+//! the analysis flags the deliberately broken circuit (inverting static
+//! logic between domino stages), proves the legal two-stage D1→inv→D2
+//! comparator monotone, and reaches its fixpoint within the iteration
+//! bound on real macros.
+
+use smart_lint::dataflow::{Monotonicity, MonotonicityAnalysis};
+use smart_lint::lint_circuit;
+use smart_macros::{ComparatorVariant, MacroSpec};
+use smart_netlist::{Circuit, ComponentKind, DeviceRole, NetKind, Network, Skew};
+
+fn inv(c: &mut Circuit, path: &str, a: smart_netlist::NetId, y: smart_netlist::NetId) {
+    let p = c.label("P1");
+    let n = c.label("N1");
+    c.add(
+        path,
+        ComponentKind::Inverter { skew: Skew::Balanced },
+        &[a, y],
+        &[(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)],
+    )
+    .unwrap();
+}
+
+/// The ISSUE's canonical broken circuit: D1 stage, then an *extra*
+/// inverting static gate, then a second domino stage reading the now
+/// monotone-falling signal.
+fn broken_pipeline() -> Circuit {
+    let mut c = Circuit::new("broken");
+    let clk = c.add_net_kind("clk", NetKind::Clock).unwrap();
+    let a = c.add_net("a").unwrap();
+    let dyn1 = c.add_net_kind("dyn1", NetKind::Dynamic).unwrap();
+    let q = c.add_net("q").unwrap();
+    let qb = c.add_net("qb").unwrap();
+    let dyn2 = c.add_net_kind("dyn2", NetKind::Dynamic).unwrap();
+    let out = c.add_net("out").unwrap();
+    let p = c.label("P1");
+    let n = c.label("N1");
+    c.add(
+        "d1",
+        ComponentKind::Domino { network: Network::Input(0), clocked_eval: true },
+        &[clk, a, dyn1],
+        &[
+            (DeviceRole::Precharge, p),
+            (DeviceRole::DataN, n),
+            (DeviceRole::Evaluate, n),
+        ],
+    )
+    .unwrap();
+    inv(&mut c, "h1", dyn1, q);
+    inv(&mut c, "bad", q, qb);
+    c.add(
+        "d2",
+        ComponentKind::Domino { network: Network::Input(0), clocked_eval: true },
+        &[clk, qb, dyn2],
+        &[
+            (DeviceRole::Precharge, p),
+            (DeviceRole::DataN, n),
+            (DeviceRole::Evaluate, n),
+        ],
+    )
+    .unwrap();
+    inv(&mut c, "h2", dyn2, out);
+    c.expose_input("clk", clk);
+    c.expose_input("a", a);
+    c.expose_output("out", out);
+    c
+}
+
+#[test]
+fn broken_pipeline_lattice_values() {
+    let c = broken_pipeline();
+    let m = MonotonicityAnalysis::run(&c);
+    assert!(m.converged());
+    let net = |n: &str| c.find_net(n).unwrap();
+    assert_eq!(m.of(net("clk")), Monotonicity::RisingMonotone);
+    assert_eq!(m.of(net("dyn1")), Monotonicity::FallingMonotone);
+    assert_eq!(m.of(net("q")), Monotonicity::RisingMonotone);
+    // The extra inversion flips the monotone direction...
+    assert_eq!(m.of(net("qb")), Monotonicity::FallingMonotone);
+    // ...which is exactly what a domino data pin must never see.
+}
+
+#[test]
+fn broken_pipeline_is_rejected_by_sl101() {
+    let report = lint_circuit(&broken_pipeline());
+    assert!(report.has_errors());
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "SL101")
+        .expect("the broken pipeline must produce an SL101 finding");
+    assert_eq!(f.path, "d2");
+    assert_eq!(f.nets, vec!["qb".to_owned()]);
+    assert!(f.message.contains("monotone-falling"));
+}
+
+#[test]
+fn legal_comparator_is_monotone_and_clean() {
+    // The Merced-style D1→inverter→D2 comparator of paper Fig. 7 is the
+    // legal counterpart of the broken pipeline: domino, static inverter,
+    // domino — but the inverter sits on a dynamic (falling) node, so the
+    // D2 data inputs are monotone-rising.
+    let spec = MacroSpec::Comparator { width: 32, variant: ComparatorVariant::merced() };
+    let c = spec.generate();
+    let m = MonotonicityAnalysis::run(&c);
+    assert!(m.converged());
+    for (id, _) in c.components() {
+        let comp = c.comp(id);
+        if let ComponentKind::Domino { .. } = comp.kind {
+            for (pin, net) in comp.input_nets() {
+                if pin == 0 {
+                    continue; // clock
+                }
+                let mono = m.of(net);
+                assert!(
+                    matches!(mono, Monotonicity::RisingMonotone | Monotonicity::Static),
+                    "domino data net '{}' is {mono}",
+                    c.net(net).name
+                );
+            }
+        }
+    }
+    let report = lint_circuit(&c);
+    assert!(
+        !report.has_errors(),
+        "legal comparator must lint clean: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn fixpoint_bound_holds_on_real_macros() {
+    for spec in [
+        MacroSpec::Comparator { width: 64, variant: ComparatorVariant::merced() },
+        MacroSpec::ClaAdder { width: 16 },
+        MacroSpec::ZeroDetect { width: 32, style: smart_macros::ZeroDetectStyle::Domino },
+    ] {
+        let c = spec.generate();
+        let m = MonotonicityAnalysis::run(&c);
+        assert!(m.converged(), "{spec}: {} pops > {} nodes", m.iterations(), m.node_count());
+        assert!(m.iterations() > 0, "{spec}: clocked macro must propagate");
+    }
+}
+
+#[test]
+fn primary_inputs_stay_static_during_evaluate() {
+    let c = MacroSpec::ClaAdder { width: 8 }.generate();
+    let m = MonotonicityAnalysis::run(&c);
+    for p in c.input_ports() {
+        if c.net(p.net).kind == NetKind::Clock {
+            continue;
+        }
+        assert_eq!(
+            m.of(p.net),
+            Monotonicity::Static,
+            "primary input '{}' must hold during evaluate",
+            p.name
+        );
+    }
+}

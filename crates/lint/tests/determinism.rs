@@ -1,0 +1,206 @@
+//! The determinism contract: equal circuits produce byte-equal JSON
+//! reports — across repeated runs, across threads, and (the property
+//! test) across arbitrary net/component insertion orders, because
+//! findings are name-based and canonically sorted.
+
+use std::thread;
+
+use smart_lint::lint_circuit;
+use smart_macros::{MacroSpec, MuxTopology};
+use smart_netlist::{Circuit, ComponentKind, DeviceRole, NetId, NetKind, Network, Skew};
+use smart_prng::Prng;
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let c = MacroSpec::ClaAdder { width: 8 }.generate();
+    let first = lint_circuit(&c).to_json();
+    for _ in 0..5 {
+        assert_eq!(lint_circuit(&c).to_json(), first);
+    }
+}
+
+#[test]
+fn reports_are_byte_identical_across_thread_counts() {
+    let dirty = dirty_circuit(&identity_order());
+    let reference = lint_circuit(&dirty).to_json();
+    for workers in [1usize, 4] {
+        let results: Vec<String> = thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| s.spawn(|| lint_circuit(&dirty_circuit(&identity_order())).to_json()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for json in results {
+            assert_eq!(json, reference, "worker-count {workers} diverged");
+        }
+    }
+}
+
+/// Net creation ops of the dirty circuit, by (name, kind).
+const NETS: &[(&str, NetKind)] = &[
+    ("clk", NetKind::Clock),
+    ("a", NetKind::Signal),
+    ("dyn1", NetKind::Dynamic),
+    ("q", NetKind::Signal),
+    ("qb", NetKind::Signal),
+    ("dyn2", NetKind::Dynamic),
+    ("out", NetKind::Signal),
+    ("s0", NetKind::Signal),
+    ("s1", NetKind::Signal),
+    ("d0", NetKind::Signal),
+    ("d1", NetKind::Signal),
+    ("d2", NetKind::Signal),
+    ("shared", NetKind::Signal),
+    ("float_in", NetKind::Signal),
+    ("float_y", NetKind::Signal),
+    ("dangling", NetKind::Signal),
+];
+
+/// Component add ops, as (path, builder) so the insertion order can be
+/// permuted while each op resolves its nets by *name*.
+fn components() -> Vec<(&'static str, fn(&mut Circuit))> {
+    fn net(c: &Circuit, name: &str) -> NetId {
+        c.find_net(name).unwrap()
+    }
+    fn inv(c: &mut Circuit, path: &str, a: &str, y: &str) {
+        let p = c.label("P1");
+        let n = c.label("N1");
+        let (a, y) = (net(c, a), net(c, y));
+        c.add(
+            path,
+            ComponentKind::Inverter { skew: Skew::Balanced },
+            &[a, y],
+            &[(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)],
+        )
+        .unwrap();
+    }
+    fn pass(c: &mut Circuit, path: &str, d: &str, s: &str, y: &str) {
+        let l = c.label("N2");
+        let (d, s, y) = (net(c, d), net(c, s), net(c, y));
+        c.add(
+            path,
+            ComponentKind::PassGate,
+            &[d, s, y],
+            &[
+                (DeviceRole::PassN, l),
+                (DeviceRole::PassP, l),
+                (DeviceRole::PassInv, l),
+            ],
+        )
+        .unwrap();
+    }
+    fn domino(c: &mut Circuit, path: &str, network: Network, clk: &str, d: &str, y: &str) {
+        let p = c.label("P1");
+        let n = c.label("N1");
+        let (clk, d, y) = (net(c, clk), net(c, d), net(c, y));
+        c.add(
+            path,
+            ComponentKind::Domino { network, clocked_eval: true },
+            &[clk, d, y],
+            &[
+                (DeviceRole::Precharge, p),
+                (DeviceRole::DataN, n),
+                (DeviceRole::Evaluate, n),
+            ],
+        )
+        .unwrap();
+    }
+    vec![
+        // Broken domino pipeline: SL101 on qb (plus the legal stage).
+        ("d1", |c| domino(c, "d1", Network::Input(0), "clk", "a", "dyn1")),
+        ("h1", |c| inv(c, "h1", "dyn1", "q")),
+        ("bad", |c| inv(c, "bad", "q", "qb")),
+        ("d2", |c| domino(c, "d2", Network::Input(0), "clk", "qb", "dyn2")),
+        ("h2", |c| inv(c, "h2", "dyn2", "out")),
+        // Contention cluster on 'shared': same select s0 with different
+        // data (SL103), an independent select s1 (SL104), and a restoring
+        // driver mixed in (SL102).
+        ("pg0", |c| pass(c, "pg0", "d0", "s0", "shared")),
+        ("pg1", |c| pass(c, "pg1", "d1", "s0", "shared")),
+        ("pg2", |c| pass(c, "pg2", "d2", "s1", "shared")),
+        ("mix", |c| inv(c, "mix", "a", "shared")),
+        // Floating net with a real load (SL107).
+        ("fl", |c| inv(c, "fl", "float_in", "float_y")),
+    ]
+}
+
+fn identity_order() -> (Vec<usize>, Vec<usize>) {
+    ((0..NETS.len()).collect(), (0..components().len()).collect())
+}
+
+/// Builds the dirty circuit with nets created in `order.0` and
+/// components inserted in `order.1`.
+fn dirty_circuit(order: &(Vec<usize>, Vec<usize>)) -> Circuit {
+    let mut c = Circuit::new("dirty");
+    for &i in &order.0 {
+        let (name, kind) = NETS[i];
+        c.add_net_kind(name, kind).unwrap();
+    }
+    let ops = components();
+    for &i in &order.1 {
+        (ops[i].1)(&mut c);
+    }
+    c.label("N99"); // unused label: SL110
+    for name in ["clk", "a", "s0", "s1", "d0", "d1", "d2"] {
+        let n = c.find_net(name).unwrap();
+        c.expose_input(name, n);
+    }
+    for name in ["out", "float_y"] {
+        let n = c.find_net(name).unwrap();
+        c.expose_output(name, n);
+    }
+    let dangling = c.find_net("dangling").unwrap();
+    c.expose_output("dangling", dangling); // SL108
+    c
+}
+
+fn shuffled(rng: &mut Prng, n: usize) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.u64_below(i as u64 + 1) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+#[test]
+fn dirty_circuit_exercises_many_rules() {
+    let report = lint_circuit(&dirty_circuit(&identity_order()));
+    let mut rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    rules.dedup();
+    for expected in ["SL101", "SL102", "SL103", "SL104", "SL107", "SL108", "SL110"] {
+        assert!(rules.contains(&expected), "{expected} missing from {rules:?}");
+    }
+}
+
+/// Property: findings are invariant under net-creation and
+/// component-insertion order. 32 random permutations, fixed seeds.
+#[test]
+fn findings_invariant_under_reordering() {
+    let reference = lint_circuit(&dirty_circuit(&identity_order()));
+    assert!(!reference.findings.is_empty());
+    let ref_json = reference.to_json();
+    let mut rng = Prng::new(0x5eed_1a7e);
+    for trial in 0..32 {
+        let order = (
+            shuffled(&mut rng, NETS.len()),
+            shuffled(&mut rng, components().len()),
+        );
+        let permuted = lint_circuit(&dirty_circuit(&order));
+        assert_eq!(
+            permuted.to_json(),
+            ref_json,
+            "trial {trial} with order {order:?} produced different findings"
+        );
+    }
+}
+
+#[test]
+fn database_macro_reports_equal_across_regeneration() {
+    // Generators are deterministic, so two independent elaborations of
+    // the same spec must lint byte-identically.
+    let spec = MacroSpec::Mux { topology: MuxTopology::Tristate, width: 8 };
+    let a = lint_circuit(&spec.generate()).to_json();
+    let b = lint_circuit(&spec.generate()).to_json();
+    assert_eq!(a, b);
+}

@@ -190,6 +190,59 @@ impl MacroSpec {
     }
 }
 
+/// Representative specs covering every macro family × topology at
+/// characteristic widths — the sweep the lint CI gate and the
+/// database-wide analysis tests run over. Small enough to elaborate
+/// in seconds, broad enough that every generator code path (every
+/// mux topology, both zero-detect styles, all shifter kinds, every
+/// comparator exploration variant) appears at least once.
+pub fn representative_database() -> Vec<MacroSpec> {
+    let mut specs = Vec::new();
+    for topology in MuxTopology::all() {
+        let width = if topology.supports_width(8) { 8 } else { 2 };
+        specs.push(MacroSpec::Mux { topology, width });
+    }
+    specs.push(MacroSpec::Mux {
+        topology: MuxTopology::StronglyMutexedPass,
+        width: 4,
+    });
+    specs.push(MacroSpec::Incrementor { width: 8 });
+    specs.push(MacroSpec::Incrementor { width: 32 });
+    specs.push(MacroSpec::IncrementorCla { width: 8 });
+    specs.push(MacroSpec::IncrementorCla { width: 32 });
+    specs.push(MacroSpec::Decrementor { width: 8 });
+    for style in [ZeroDetectStyle::Static, ZeroDetectStyle::Domino] {
+        specs.push(MacroSpec::ZeroDetect { width: 16, style });
+        specs.push(MacroSpec::ZeroDetect { width: 64, style });
+    }
+    specs.push(MacroSpec::Decoder { in_bits: 3 });
+    specs.push(MacroSpec::Decoder { in_bits: 5 });
+    specs.push(MacroSpec::PriorityEncoder { out_bits: 3 });
+    specs.push(MacroSpec::OnehotEncoder { out_bits: 3 });
+    for variant in ComparatorVariant::exploration_set() {
+        specs.push(MacroSpec::Comparator { width: 32, variant });
+    }
+    specs.push(MacroSpec::Comparator {
+        width: 64,
+        variant: ComparatorVariant::merced(),
+    });
+    specs.push(MacroSpec::ClaAdder { width: 8 });
+    specs.push(MacroSpec::ClaAdder { width: 64 });
+    specs.push(MacroSpec::RegFileRead { words: 16, bits: 8 });
+    for kind in [
+        ShiftKind::LogicalLeft,
+        ShiftKind::LogicalRight,
+        ShiftKind::RotateLeft,
+    ] {
+        specs.push(MacroSpec::BarrelShifter { width: 8, kind });
+    }
+    specs.push(MacroSpec::BarrelShifter {
+        width: 32,
+        kind: ShiftKind::RotateLeft,
+    });
+    specs
+}
+
 impl fmt::Display for MacroSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

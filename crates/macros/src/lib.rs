@@ -46,7 +46,7 @@ pub mod zero_detect;
 
 pub use adder::cla_adder;
 pub use comparator::{comparator, ComparatorVariant};
-pub use database::{Database, MacroFamily, MacroSpec};
+pub use database::{representative_database, Database, MacroFamily, MacroSpec};
 pub use decoder::decoder;
 pub use encoder::{onehot_encoder, priority_encoder};
 pub use incrementor::{decrementor, incrementor, incrementor_cla};

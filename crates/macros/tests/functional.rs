@@ -435,6 +435,9 @@ fn cla_incrementor_matches_ripple() {
 }
 
 #[test]
+// Pins the deprecated shim's behaviour until its removal; the maintained
+// checks live in smart-lint (see crates/lint/tests/database.rs).
+#[allow(deprecated)]
 fn database_macros_pass_methodology_drc() {
     use smart_macros::MacroSpec;
     use smart_netlist::methodology_check;

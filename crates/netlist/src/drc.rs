@@ -6,6 +6,12 @@
 use crate::{Circuit, CompId, ComponentKind, NetId, NetKind};
 
 /// A methodology DRC finding.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the smart-lint rule engine (rules SL001-SL004 cover these \
+            checks; smart_lint::compat::methodology_check returns DrcIssue \
+            values for drop-in migration)"
+)]
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum DrcIssue {
@@ -58,6 +64,17 @@ pub enum DrcIssue {
 const PASS_CHAIN_LIMIT: usize = 3;
 
 /// Runs the methodology checks; empty result = clean.
+///
+/// This implementation is frozen: the maintained checks (plus the
+/// dataflow and reachability rules this one never had) live in the
+/// `smart-lint` rule engine, whose `compat::methodology_check` is a
+/// drop-in replacement with identical findings in identical order.
+#[deprecated(
+    since = "0.1.0",
+    note = "use smart_lint::lint_circuit (or smart_lint::compat::methodology_check \
+            for the DrcIssue API)"
+)]
+#[allow(deprecated)]
 pub fn methodology_check(circuit: &Circuit) -> Vec<DrcIssue> {
     let mut issues = Vec::new();
 
@@ -223,6 +240,7 @@ fn pass_depth(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::{DeviceRole, Network, Skew};

@@ -67,6 +67,7 @@ pub mod spice;
 pub mod text;
 
 pub use circuit::{Circuit, LintIssue};
+#[allow(deprecated)]
 pub use drc::{methodology_check, DrcIssue};
 pub use component::{CompId, Component};
 pub use error::NetlistError;

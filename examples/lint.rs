@@ -1,0 +1,45 @@
+//! Database lint gate: runs the smart-lint rule engine over every macro
+//! in the representative design database and emits one machine-readable
+//! JSON report per circuit. Exits non-zero if any macro carries an
+//! `Error`-severity finding — the CI step that keeps the generators
+//! methodology-clean.
+//!
+//! ```sh
+//! cargo run --example lint            # all reports
+//! cargo run --example lint -- --only-dirty   # reports with findings only
+//! ```
+
+use std::process::ExitCode;
+
+use smart_datapath::lint::{lint_circuit, Severity};
+use smart_datapath::macros::representative_database;
+
+fn main() -> ExitCode {
+    let only_dirty = std::env::args().any(|a| a == "--only-dirty");
+    let mut total_errors = 0usize;
+    let mut total_warnings = 0usize;
+    let mut linted = 0usize;
+    for spec in representative_database() {
+        let circuit = spec.generate();
+        let report = lint_circuit(&circuit);
+        linted += 1;
+        total_errors += report.errors();
+        total_warnings += report.warnings();
+        if !only_dirty || !report.findings.is_empty() {
+            println!("{}", report.to_json());
+        }
+        for finding in &report.findings {
+            if finding.severity == Severity::Error {
+                eprintln!("{}: {finding}", circuit.name());
+            }
+        }
+    }
+    eprintln!(
+        "linted {linted} macros: {total_errors} error(s), {total_warnings} warning(s)"
+    );
+    if total_errors > 0 {
+        eprintln!("database is NOT lint-clean at Error severity");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -11,6 +11,9 @@
 //! * [`models`] — posynomial delay/slope/capacitance model library.
 //! * [`sta`] — static timing (the flow's PathMill role).
 //! * [`sim`] — four-value functional simulator (design-database signoff).
+//! * [`lint`] — the smart-lint electrical-rule engine (monotonicity
+//!   dataflow, sneak-path/contention/charge-share checks) that gates
+//!   exploration.
 //! * [`power`] — switching power estimation (the PowerMill role).
 //! * [`macros`] — the design database: mux/incrementor/zero-detect/
 //!   decoder/encoder/comparator/adder/register-file generators.
@@ -29,6 +32,7 @@ pub use smart_bench as bench;
 pub use smart_blocks as blocks;
 pub use smart_core as core;
 pub use smart_gp as gp;
+pub use smart_lint as lint;
 pub use smart_macros as macros;
 pub use smart_models as models;
 pub use smart_netlist as netlist;

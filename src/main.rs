@@ -179,8 +179,16 @@ fn main() -> ExitCode {
             for issue in circuit.lint() {
                 println!("lint: {issue:?}");
             }
-            for issue in smart_datapath::netlist::methodology_check(&circuit) {
-                println!("drc:  {issue:?}");
+            let report = smart_datapath::lint::lint_circuit(&circuit);
+            for finding in &report.findings {
+                println!("rule: {finding}");
+            }
+            if !report.findings.is_empty() {
+                println!(
+                    "rule summary: {} error(s), {} warning(s)",
+                    report.errors(),
+                    report.warnings()
+                );
             }
             let boundary = Boundary::default();
             match smart_datapath::core::compaction_stats(&circuit, &lib, &boundary, &opts) {
