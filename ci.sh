@@ -25,6 +25,21 @@ SMART_WORKERS=4 cargo test -q --offline --workspace
 echo "== explore_scaling smoke (parallel + memoized sweeps) =="
 cargo run -q --offline --release -p smart-bench --bin explore_scaling -- --smoke
 
+# The trace example runs a traced exploration (cold + warm out of the
+# sizing cache) and prints the stable JSON export. The bytes on stdout
+# must not depend on how the sweep was scheduled: byte-compare the
+# SMART_WORKERS=1 and SMART_WORKERS=4 exports (DESIGN.md §11).
+echo "== trace determinism (stable export, 1 vs 4 workers) =="
+mkdir -p target/ci
+SMART_WORKERS=1 cargo run -q --offline --release --example trace \
+  > target/ci/trace-w1.json 2>/dev/null
+SMART_WORKERS=4 cargo run -q --offline --release --example trace \
+  > target/ci/trace-w4.json 2>/dev/null
+cmp target/ci/trace-w1.json target/ci/trace-w4.json || {
+  echo "trace export diverged between SMART_WORKERS=1 and =4" >&2
+  exit 1
+}
+
 # The database must be lint-clean at Error severity: the example exits
 # non-zero on any Error-severity finding across the representative
 # database sweep (rule engine + monotonicity dataflow, DESIGN.md §10).
@@ -32,7 +47,7 @@ echo "== lint-database (Error severity gates the build) =="
 cargo run -q --offline --release --example lint -- --only-dirty
 
 echo "== clippy (no unwrap/expect in flow crates, pool/cache included) =="
-cargo clippy -q --offline -p smart-core -p smart-gp -p smart-lint -- \
+cargo clippy -q --offline -p smart-core -p smart-gp -p smart-lint -p smart-trace -- \
   -D clippy::unwrap_used -D clippy::expect_used
 
 echo "CI OK"

@@ -201,7 +201,46 @@ fn main() {
          host's cores — the cache row is the machine-independent evidence.)",
         if agree { "replay exactly" } else { "DIVERGED from" }
     );
-    if !agree || workers_diverged {
+
+    // --- Trace overhead (serial, no cache) ----------------------------
+    // The observability layer is off by default; the off row must cost
+    // nothing measurable (<1% is the PR's acceptance criterion — events
+    // behind a disabled trace are a single thread-local read), and the
+    // on row documents what full-fidelity tracing costs.
+    let traced_diverged = {
+        let mut traced_opts = opts.clone();
+        traced_opts.trace = smart_trace::Trace::enabled();
+        let par = ParallelOptions::serial();
+        let mut off = Duration::MAX;
+        let mut on = Duration::MAX;
+        let mut off_print = String::new();
+        let mut on_print = String::new();
+        let mut events = 0usize;
+        for _ in 0..iterations {
+            let (elapsed, tables) = run_sweep(&cases, loads, &lib, &opts, &par);
+            off = off.min(elapsed);
+            off_print = fingerprint(&tables);
+            let (elapsed, tables) = run_sweep(&cases, loads, &lib, &traced_opts, &par);
+            on = on.min(elapsed);
+            on_print = fingerprint(&tables);
+        }
+        events = events.max(traced_opts.trace.collect().stable_event_count());
+        println!("\n{:<9} {:>10} {:>9}  events", "trace", "wall", "overhead");
+        println!("{:<9} {:>9.1}ms {:>9}  -", "off", off.as_secs_f64() * 1e3, "-");
+        println!(
+            "{:<9} {:>9.1}ms {:>8.1}%  {events} stable (all iterations)",
+            "on",
+            on.as_secs_f64() * 1e3,
+            100.0 * (on.as_secs_f64() / off.as_secs_f64().max(1e-9) - 1.0),
+        );
+        println!(
+            "\n(tracing {} the untraced rows; the off row is the product\n\
+             configuration and the one the <1% overhead budget applies to.)",
+            if off_print == on_print { "reproduces" } else { "DIVERGED from" }
+        );
+        off_print != on_print
+    };
+    if !agree || workers_diverged || traced_diverged {
         std::process::exit(1);
     }
 }

@@ -156,6 +156,10 @@ fn options_fingerprint(opts: &SizingOptions) -> u64 {
     }
     // opts.budget intentionally excluded: budgets abort solves (which are
     // never cached), they cannot change a successful outcome.
+    // opts.trace intentionally excluded: observability records what the
+    // flow did, it never changes what the flow computes — keying on it
+    // would needlessly split traced and untraced runs into disjoint
+    // cache populations.
     // opts.lint likewise: the exploration lint gate rejects a candidate
     // before its first cache lookup, so gating can never steer an outcome
     // that reaches the cache.
@@ -210,11 +214,19 @@ impl SizingCache {
     /// Looks up `key`, counting the hit or miss.
     pub fn lookup(&self, key: &CacheKey) -> Option<SizingOutcome> {
         let found = self.guard().get(key).cloned();
-        if found.is_some() {
+        let hit = found.is_some();
+        if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
+        smart_trace::counter(if hit { "cache/hit" } else { "cache/miss" }, 1);
+        smart_trace::emit_with("cache/lookup", || {
+            vec![
+                ("hit", hit.into()),
+                ("structure", format!("{:016x}", key.structure).into()),
+            ]
+        });
         found
     }
 

@@ -164,7 +164,14 @@ impl From<GpError> for FlowError {
 
 impl From<StaError> for FlowError {
     fn from(e: StaError) -> Self {
-        FlowError::Sta(e)
+        match e {
+            // An unmeasurable macro (no reachable output arrival) is a
+            // property of the candidate, not an STA machinery failure —
+            // keep it on its own taxonomy row so sweep tables separate
+            // "broken topology" from "timing analysis broke".
+            StaError::NoEndpoints => FlowError::NoEndpoints,
+            other => FlowError::Sta(other),
+        }
     }
 }
 

@@ -156,6 +156,13 @@ fn lint_gate(circuit: &Circuit, alt: &MacroSpec, opts: &SizingOptions) -> Result
         return Ok(());
     }
     let report = smart_lint::lint_circuit(circuit);
+    smart_trace::emit_with("lint/gate", || {
+        vec![
+            ("findings", report.findings.len().into()),
+            ("errors", report.errors().into()),
+            ("rejected", report.has_errors().into()),
+        ]
+    });
     if report.has_errors() {
         return Err(FlowError::Lint {
             candidate: alt.to_string(),
@@ -187,7 +194,53 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// on is in the arguments — no sweep-global mutable state — which is what
 /// lets the parallel sweep run candidates on any worker and still match
 /// the serial table byte for byte.
+#[allow(clippy::too_many_arguments)]
 fn run_candidate<F>(
+    idx: usize,
+    sweep: u64,
+    alt: &MacroSpec,
+    generate: &F,
+    lib: &ModelLibrary,
+    boundary: &Boundary,
+    spec: &DelaySpec,
+    opts: &SizingOptions,
+) -> Candidate
+where
+    F: Fn(&MacroSpec) -> Circuit,
+{
+    // The candidate scope: a stable identity `(sweep, index)` that every
+    // deeper layer (sizing, cache, GP, STA) records into via the
+    // thread-local context — a candidate runs wholly on one worker. The
+    // scope's identity, not the worker, orders the merged trace, which is
+    // what keeps the export byte-stable across `SMART_WORKERS` settings.
+    let scope = opts.trace.scope("candidate", sweep, idx as u64);
+    let guard = scope.enter();
+    if scope.is_enabled() {
+        scope.begin(
+            "candidate",
+            &[("index", idx.into()), ("spec", alt.to_string().into())],
+        );
+    }
+    let row = run_candidate_inner(idx, alt, generate, lib, boundary, spec, opts);
+    drop(guard);
+    if scope.is_enabled() {
+        let fields: Vec<(&'static str, smart_trace::Value)> = match &row.result {
+            Ok(m) => vec![
+                ("outcome", "ok".into()),
+                ("delay_ps", m.outcome.measured_delay.into()),
+                ("width", m.outcome.total_width.into()),
+                ("iterations", m.outcome.iterations.into()),
+            ],
+            Err(e) => vec![("outcome", e.taxonomy().into())],
+        };
+        scope.end("candidate", &fields);
+    }
+    row
+}
+
+/// The traced body of [`run_candidate`]: budget gates, elaboration
+/// boundary, sizing boundary.
+fn run_candidate_inner<F>(
     idx: usize,
     alt: &MacroSpec,
     generate: &F,
@@ -278,7 +331,23 @@ pub fn explore(
     spec: &DelaySpec,
     opts: &SizingOptions,
 ) -> Exploration {
-    explore_parallel(request, lib, boundary, spec, opts, &ParallelOptions::from_env())
+    explore_parallel(request, lib, boundary, spec, opts, &env_parallel(opts))
+}
+
+/// Resolves environment parallelism for the `from_env` exploration entry
+/// points, recording any set-but-unusable knob (garbage or `0`) into the
+/// options' trace as a `pool/env-fallback` event — a misconfigured
+/// `SMART_WORKERS` must be visible, not silently serial.
+fn env_parallel(opts: &SizingOptions) -> ParallelOptions {
+    let (par, fallbacks) = ParallelOptions::from_env_lookup(|n| std::env::var(n).ok());
+    if opts.trace.is_enabled() && !fallbacks.is_empty() {
+        let scope = opts.trace.scope("pool", opts.trace.next_id(), 0);
+        let _g = scope.enter();
+        for f in &fallbacks {
+            f.emit();
+        }
+    }
+    par
 }
 
 /// [`explore`] with explicit parallelism. The result is byte-identical
@@ -319,15 +388,8 @@ pub fn explore_with<F>(
 where
     F: Fn(&MacroSpec) -> Circuit + Sync,
 {
-    explore_with_parallel(
-        specs,
-        generate,
-        lib,
-        boundary,
-        spec,
-        opts,
-        &ParallelOptions::from_env(),
-    )
+    let par = env_parallel(opts);
+    explore_with_parallel(specs, generate, lib, boundary, spec, opts, &par)
 }
 
 /// [`explore_with`] with explicit parallelism: candidates fan out across
@@ -346,9 +408,19 @@ pub fn explore_with_parallel<F>(
 where
     F: Fn(&MacroSpec) -> Circuit + Sync,
 {
+    // Sweep ids come from the collector's serial id source, allocated
+    // here — before any worker runs — so candidate scope identities are
+    // unique and the merged trace is deterministic (DESIGN.md §9 extended
+    // to observability).
+    let sweep_id = opts.trace.next_id();
+    let sweep = opts.trace.scope("sweep", sweep_id, 0);
+    sweep.begin("sweep", &[("candidates", specs.len().into())]);
+    // Worker count legitimately differs run to run; keep it out of the
+    // byte-stable export.
+    sweep.emit_unstable("sweep/pool", &[("workers", par.workers.into())]);
     let stats_before = opts.cache.as_ref().map_or((0, 0), |c| c.stats());
     let rows = run_indexed(specs.len(), par, |i| {
-        run_candidate(i, &specs[i], &generate, lib, boundary, spec, opts)
+        run_candidate(i, sweep_id, &specs[i], &generate, lib, boundary, spec, opts)
     });
     let candidates = rows
         .into_iter()
@@ -368,12 +440,21 @@ where
         })
         .collect();
     let stats_after = opts.cache.as_ref().map_or((0, 0), |c| c.stats());
-    Exploration {
+    let exploration = Exploration {
         candidates,
         // Saturating: a sibling sweep on the same cache (see the field
         // docs) could in principle skew the counters; stats must never
         // take the whole table down with an underflow panic.
         cache_hits: stats_after.0.saturating_sub(stats_before.0),
         cache_misses: stats_after.1.saturating_sub(stats_before.1),
-    }
+    };
+    sweep.end(
+        "sweep",
+        &[
+            ("feasible", exploration.feasible_count().into()),
+            ("cache_hits", exploration.cache_hits.into()),
+            ("cache_misses", exploration.cache_misses.into()),
+        ],
+    );
+    exploration
 }

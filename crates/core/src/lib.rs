@@ -80,7 +80,7 @@ pub use explore::{
     CandidateMetrics, Exploration,
 };
 pub use noise::{analyze_noise, DynamicNodeNoise, NoiseReport};
-pub use pool::{run_indexed, ParallelOptions};
+pub use pool::{run_indexed, EnvFallback, ParallelOptions};
 pub use report::{exploration_report, sizing_report};
 pub use sizing::{compaction_stats, measure_phase_delays, minimize_delay, size_circuit, SizingOutcome};
 pub use spec::{CostMetric, DelaySpec, FlowBudget, LintGate, SizingOptions};

@@ -61,26 +61,86 @@ impl ParallelOptions {
     }
 
     /// Reads `SMART_WORKERS` (worker count) and `SMART_CHUNK` (claim
-    /// batch) from the environment; unset or unparsable values fall back
-    /// to serial defaults. This is how `explore`/`explore_with` pick up
-    /// parallelism without an API change — CI runs the whole test suite
-    /// under both `SMART_WORKERS=1` and `SMART_WORKERS=4`.
+    /// batch) from the environment; unset values use serial defaults.
+    /// This is how `explore`/`explore_with` pick up parallelism without an
+    /// API change — CI runs the whole test suite under both
+    /// `SMART_WORKERS=1` and `SMART_WORKERS=4`.
+    ///
+    /// A value that is *set but unusable* — unparsable garbage, or `0`
+    /// (which the pool would silently clamp) — falls back to the default
+    /// like before, but no longer silently: each fallback is recorded as
+    /// a `pool/env-fallback` trace event when a trace scope is current.
+    /// Use [`ParallelOptions::from_env_lookup`] to also obtain the
+    /// fallback list programmatically.
     pub fn from_env() -> Self {
-        let parse = |name: &str, default: usize| -> usize {
-            std::env::var(name)
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-                .unwrap_or(default)
+        let (opts, fallbacks) = Self::from_env_lookup(|name| std::env::var(name).ok());
+        for f in &fallbacks {
+            f.emit();
+        }
+        opts
+    }
+
+    /// The pure core of [`ParallelOptions::from_env`], with an injectable
+    /// variable lookup (tests pass a closure over a map instead of racing
+    /// on the process environment). Returns the resolved options together
+    /// with every fallback that was applied to a set-but-unusable value.
+    pub fn from_env_lookup(
+        lookup: impl Fn(&str) -> Option<String>,
+    ) -> (Self, Vec<EnvFallback>) {
+        let mut fallbacks = Vec::new();
+        let mut parse = |name: &'static str, default: usize| -> usize {
+            let Some(raw) = lookup(name) else {
+                return default; // unset is the normal case, not a fallback
+            };
+            match raw.trim().parse::<usize>() {
+                Ok(v) if v >= 1 => v,
+                // 0 would be silently clamped to serial by the pool;
+                // garbage would silently mean "serial". Both are a user
+                // *setting the knob and being ignored* — record it.
+                _ => {
+                    fallbacks.push(EnvFallback { name, raw, default });
+                    default
+                }
+            }
         };
-        ParallelOptions {
+        let opts = ParallelOptions {
             workers: parse("SMART_WORKERS", 1),
             chunk: parse("SMART_CHUNK", 1),
-        }
+        };
+        (opts, fallbacks)
     }
 
     /// Workers actually used for `n` jobs (≥ 1, ≤ `n`).
     pub fn effective_workers(&self, n: usize) -> usize {
         self.workers.max(1).min(n.max(1))
+    }
+}
+
+/// One environment knob that was set to an unusable value (garbage or
+/// `0`) and fell back to its default — produced by
+/// [`ParallelOptions::from_env_lookup`] so the fallback is observable
+/// instead of silent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvFallback {
+    /// The environment variable (`"SMART_WORKERS"` / `"SMART_CHUNK"`).
+    pub name: &'static str,
+    /// The raw value that failed to parse (or parsed to 0).
+    pub raw: String,
+    /// The default that was used instead.
+    pub default: usize,
+}
+
+impl EnvFallback {
+    /// Records this fallback as a `pool/env-fallback` trace event in the
+    /// current trace scope (no-op when no scope is current).
+    pub fn emit(&self) {
+        smart_trace::emit_with("pool/env-fallback", || {
+            vec![
+                ("var", self.name.into()),
+                ("raw", self.raw.as_str().into()),
+                ("fallback", self.default.into()),
+            ]
+        });
     }
 }
 
@@ -221,6 +281,66 @@ mod tests {
         assert!(empty.is_empty());
         let degenerate = run_indexed(3, &ParallelOptions { workers: 0, chunk: 0 }, |i| i);
         assert_eq!(degenerate, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn env_lookup_accepts_valid_values_without_fallbacks() {
+        let (opts, fb) = ParallelOptions::from_env_lookup(|name| match name {
+            "SMART_WORKERS" => Some("4".into()),
+            "SMART_CHUNK" => Some(" 2 ".into()),
+            _ => None,
+        });
+        assert_eq!(opts, ParallelOptions { workers: 4, chunk: 2 });
+        assert!(fb.is_empty());
+    }
+
+    #[test]
+    fn env_lookup_unset_is_a_silent_default() {
+        let (opts, fb) = ParallelOptions::from_env_lookup(|_| None);
+        assert_eq!(opts, ParallelOptions::serial());
+        assert!(fb.is_empty());
+    }
+
+    #[test]
+    fn env_lookup_records_garbage_and_zero_as_fallbacks() {
+        let (opts, fb) = ParallelOptions::from_env_lookup(|name| match name {
+            "SMART_WORKERS" => Some("many".into()),
+            "SMART_CHUNK" => Some("0".into()),
+            _ => None,
+        });
+        assert_eq!(opts, ParallelOptions { workers: 1, chunk: 1 });
+        assert_eq!(
+            fb,
+            vec![
+                EnvFallback {
+                    name: "SMART_WORKERS",
+                    raw: "many".into(),
+                    default: 1
+                },
+                EnvFallback {
+                    name: "SMART_CHUNK",
+                    raw: "0".into(),
+                    default: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn env_fallback_emits_into_the_current_scope() {
+        let t = smart_trace::Trace::enabled();
+        {
+            let s = t.scope("pool", 0, 0);
+            let _g = s.enter();
+            EnvFallback {
+                name: "SMART_WORKERS",
+                raw: "-3".into(),
+                default: 1,
+            }
+            .emit();
+        }
+        let report = t.collect();
+        assert_eq!(report.events_named("pool/env-fallback").count(), 1);
     }
 
     #[test]

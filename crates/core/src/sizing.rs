@@ -62,14 +62,23 @@ pub(crate) fn measure(
     let report = analyze(circuit, lib, sizing, boundary)?;
     let mut data = 0.0f64;
     let mut pre = 0.0f64;
+    let mut data_reached = false;
     for class in &compaction.classes {
         if let Some(a) = report.arrival(class.endpoint.net, class.endpoint.edge) {
             if class.is_precharge {
                 pre = pre.max(a.time);
             } else {
                 data = data.max(a.time);
+                data_reached = true;
             }
         }
+    }
+    if !data_reached {
+        // No data/evaluate endpoint has an arrival: the macro is
+        // unmeasurable (severed net, floating driver). Historically this
+        // fell through as (0.0, 0.0), which trivially "met" any spec and
+        // made the broken candidate win every delay comparison.
+        return Err(FlowError::NoEndpoints);
     }
     Ok((data, pre))
 }
@@ -139,8 +148,10 @@ fn solve_with_retries(
                 // Numerical stall: re-anchor at a jittered point and try
                 // again. Infeasible/unbounded outcomes are *answers*, not
                 // stalls, so they propagate immediately.
-                let _ = e;
                 attempt += 1;
+                smart_trace::emit_with("gp/retry", || {
+                    vec![("attempt", attempt.into()), ("error", e.to_string().into())]
+                });
                 start = perturbed_start(&initial, attempt);
             }
             Err(e) => return Err(e.into()),
@@ -198,16 +209,24 @@ pub fn size_circuit(
     let mut last_err = None;
     for &rel in [0.0].iter().chain(opts.relaxation.iter()) {
         let target = spec.relaxed(rel);
+        smart_trace::begin("size/rung", &[("relaxation", rel.into())]);
         match size_to_spec(circuit, lib, boundary, &target, opts, &prepared, deadline) {
             Ok(mut outcome) => {
+                smart_trace::end("size/rung", &[("outcome", "ok".into())]);
                 outcome.spec_relaxation = rel;
                 if let Some((cache, key)) = &memo {
                     cache.insert(*key, outcome.clone());
                 }
                 return Ok(outcome);
             }
-            Err(e) if relaxable(&e) => last_err = Some(e),
-            Err(e) => return Err(e),
+            Err(e) if relaxable(&e) => {
+                smart_trace::end("size/rung", &[("outcome", e.taxonomy().into())]);
+                last_err = Some(e);
+            }
+            Err(e) => {
+                smart_trace::end("size/rung", &[("outcome", e.taxonomy().into())]);
+                return Err(e);
+            }
         }
     }
     // The rung-0 attempt always ran, so an error is recorded.
@@ -279,6 +298,15 @@ fn prepare(
     let (_, vars) = smart_models::label_vars(circuit);
     let extra = boundary_extra_loads(circuit, boundary);
     let compaction = compact(circuit, lib, &vars, &extra, opts)?;
+    smart_trace::emit_with("size/compact", || {
+        vec![
+            ("classes", compaction.classes.len().into()),
+            (
+                "raw_paths",
+                u64::try_from(compaction.raw_paths).unwrap_or(u64::MAX).into(),
+            ),
+        ]
+    });
     Ok(Prepared { extra, compaction })
 }
 
@@ -335,6 +363,12 @@ fn size_to_spec(
         );
         let (data, pre) = measure(circuit, lib, &sizing, boundary, compaction)?;
         last = (data, pre);
+        smart_trace::emit("size/iteration", &[
+            ("iter", iter.into()),
+            ("data_ps", data.into()),
+            ("precharge_ps", pre.into()),
+            ("restarts", used.into()),
+        ]);
         let data_ok = data <= spec.data * (1.0 + opts.timing_tolerance);
         let pre_ok = pre <= spec.precharge_budget() * (1.0 + opts.timing_tolerance);
         if data_ok && pre_ok {

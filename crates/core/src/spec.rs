@@ -7,6 +7,7 @@ use std::time::Duration;
 
 use smart_gp::CancelToken;
 use smart_netlist::Sizing;
+use smart_trace::Trace;
 
 use crate::cache::SizingCache;
 
@@ -195,6 +196,13 @@ pub struct SizingOptions {
     /// [`crate::explore`] family only; direct [`crate::size_circuit`]
     /// calls are not gated.
     pub lint: LintGate,
+    /// Structured tracing collector for the explore → size → GP → STA
+    /// flow (`smart-trace`). The default reads the `SMART_TRACE`
+    /// environment knob ([`Trace::from_env`]) and is otherwise disabled —
+    /// a disabled trace records nothing and costs one branch per probe.
+    /// Excluded from the sizing-cache fingerprint: observability must
+    /// never change what the cache replays.
+    pub trace: Trace,
 }
 
 impl Default for SizingOptions {
@@ -215,6 +223,7 @@ impl Default for SizingOptions {
             budget: FlowBudget::default(),
             cache: None,
             lint: LintGate::default(),
+            trace: Trace::from_env(),
         }
     }
 }

@@ -7,10 +7,11 @@ use std::time::Duration;
 
 use smart_core::{
     explore, explore_with, minimize_delay, size_circuit, DelaySpec, FlowBudget, FlowError,
-    SizingOptions,
+    LintGate, SizingOptions,
 };
 use smart_macros::{MacroSpec, MuxTopology};
 use smart_models::ModelLibrary;
+use smart_netlist::{Circuit, ComponentKind, DeviceRole, Skew};
 use smart_sta::Boundary;
 
 fn mux(topology: MuxTopology) -> MacroSpec {
@@ -267,6 +268,77 @@ fn exploration_with_all_infeasible_candidates_reports_every_row() {
     assert!(table.best_by_width().is_none());
     let total: usize = table.failure_taxonomy().iter().map(|(_, n)| n).sum();
     assert_eq!(total, table.candidates.len(), "every row classified");
+}
+
+/// Regression: a candidate whose output is reachable only from a net STA
+/// never seeds (a floating driver, never exposed as an input port) used
+/// to measure a 0 ps delay via the silent `unwrap_or(0.0)` fallback —
+/// trivially "meeting" any spec and winning every delay comparison in the
+/// sweep. It must instead be a typed `no-endpoints` taxonomy row.
+#[test]
+fn severed_candidate_is_a_no_endpoints_row_not_a_zero_ps_winner() {
+    let lib = ModelLibrary::reference();
+    // "fl" is never exposed as an input port, so timing analysis never
+    // seeds it and no arrival ever reaches the output.
+    let severed = || {
+        let mut c = Circuit::new("severed");
+        let fl = c.add_net("fl").unwrap();
+        let y = c.add_net("y").unwrap();
+        let bind = vec![
+            (DeviceRole::PullUp, c.label("P")),
+            (DeviceRole::PullDown, c.label("N")),
+        ];
+        c.add(
+            "u0",
+            ComponentKind::Inverter { skew: Skew::Balanced },
+            &[fl, y],
+            &bind,
+        )
+        .unwrap();
+        c.expose_output("y", y);
+        c
+    };
+    let mut opts = SizingOptions::default();
+    // The lint gate would reject the floating driver before sizing; turn
+    // it off so the sweep exercises the measurement path itself.
+    opts.lint = LintGate::Off;
+    let table = explore_with(
+        vec![
+            mux(MuxTopology::StronglyMutexedPass),
+            mux(MuxTopology::Tristate), // becomes the severed circuit
+        ],
+        |s| {
+            if matches!(
+                s,
+                MacroSpec::Mux {
+                    topology: MuxTopology::Tristate,
+                    ..
+                }
+            ) {
+                severed()
+            } else {
+                s.generate()
+            }
+        },
+        &lib,
+        &boundary(15.0),
+        &DelaySpec::uniform(400.0),
+        &opts,
+    );
+    assert_eq!(table.candidates.len(), 2);
+    match &table.candidates[1].result {
+        Err(FlowError::NoEndpoints) => {}
+        other => panic!("expected a NoEndpoints row, got {other:?}"),
+    }
+    assert!(
+        table.failure_taxonomy().contains(&("no-endpoints", 1)),
+        "{:?}",
+        table.failure_taxonomy()
+    );
+    // The severed candidate must never outrank the honest one.
+    assert_eq!(table.feasible_count(), 1);
+    let best = table.best_by_width().expect("healthy candidate sizes");
+    assert_eq!(best.spec, mux(MuxTopology::StronglyMutexedPass));
 }
 
 #[test]

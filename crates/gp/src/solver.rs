@@ -78,34 +78,27 @@ fn check_budget(
     stage: &'static str,
     spent_newton: usize,
 ) -> Result<(), GpError> {
-    if let Some(cap) = opts.max_total_newton {
-        if spent_newton > cap {
-            return Err(GpError::BudgetExceeded {
-                stage,
-                budget: "newton-steps",
-                spent_newton,
-            });
-        }
-    }
-    if let Some(deadline) = opts.deadline {
-        if Instant::now() >= deadline {
-            return Err(GpError::BudgetExceeded {
-                stage,
-                budget: "wall-clock",
-                spent_newton,
-            });
-        }
-    }
-    if let Some(token) = &opts.cancel {
-        if token.is_cancelled() {
-            return Err(GpError::BudgetExceeded {
-                stage,
-                budget: "cancelled",
-                spent_newton,
-            });
-        }
-    }
-    Ok(())
+    let budget = if opts.max_total_newton.is_some_and(|cap| spent_newton > cap) {
+        "newton-steps"
+    } else if opts.deadline.is_some_and(|d| Instant::now() >= d) {
+        "wall-clock"
+    } else if opts.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+        "cancelled"
+    } else {
+        return Ok(());
+    };
+    smart_trace::emit_with("gp/budget", || {
+        vec![
+            ("stage", stage.into()),
+            ("budget", budget.into()),
+            ("spent_newton", spent_newton.into()),
+        ]
+    });
+    Err(GpError::BudgetExceeded {
+        stage,
+        budget,
+        spent_newton,
+    })
 }
 
 /// Largest-magnitude coordinate without relying on a total order over
@@ -245,6 +238,15 @@ impl GpProblem {
             });
         }
         let kkt = KktReport::at_point(&obj, &cons, &y, t_final);
+        smart_trace::emit_with("gp/solve", || {
+            vec![
+                ("dim", dim.into()),
+                ("constraints", cons.len().into()),
+                ("phase1_steps", phase1_steps.into()),
+                ("phase2_steps", phase2_steps.into()),
+                ("objective", objective.into()),
+            ]
+        });
         Ok(GpSolution {
             objective,
             x,
@@ -358,6 +360,15 @@ fn phase1(
                 }
                 alpha *= 0.5;
             }
+            smart_trace::emit_with("gp/newton", || {
+                vec![
+                    ("stage", "phase1".into()),
+                    ("step", (*steps).into()),
+                    ("residual", (decrement2 / 2.0).into()),
+                    ("alpha", alpha.into()),
+                    ("accepted", accepted.into()),
+                ]
+            });
             if !accepted {
                 break; // stalled; outer loop will tighten or fail
             }
@@ -377,10 +388,19 @@ fn phase1(
                 });
             }
             if y.iter().any(|v| v.abs() > Y_BOUND) {
-                if std::env::var("SMART_GP_DEBUG").is_ok() {
+                // Formerly an eprintln! behind SMART_GP_DEBUG: the escape
+                // diagnosis is now a structured trace event, visible in
+                // any traced run instead of a raw stderr side channel.
+                smart_trace::emit_with("gp/escape", || {
                     let (i, v) = max_abs_coord(&y);
-                    eprintln!("phase1 escape: y[{i}] = {v}, s = {s}, t = {t}");
-                }
+                    vec![
+                        ("stage", "phase1".into()),
+                        ("coord", i.into()),
+                        ("value", v.into()),
+                        ("s", s.into()),
+                        ("t", t.into()),
+                    ]
+                });
                 return Err(GpError::Unbounded);
             }
         }
@@ -476,6 +496,15 @@ fn phase2(
                 }
                 alpha *= 0.5;
             }
+            smart_trace::emit_with("gp/newton", || {
+                vec![
+                    ("stage", "phase2".into()),
+                    ("step", (*steps).into()),
+                    ("residual", (decrement2.abs() / 2.0).into()),
+                    ("alpha", alpha.into()),
+                    ("accepted", accepted.into()),
+                ]
+            });
             if !accepted {
                 break;
             }
@@ -486,10 +515,18 @@ fn phase2(
                 });
             }
             if y.iter().any(|v| v.abs() > Y_BOUND) {
-                if std::env::var("SMART_GP_DEBUG").is_ok() {
+                // Formerly an eprintln! behind SMART_GP_DEBUG (see the
+                // phase-1 twin above).
+                smart_trace::emit_with("gp/escape", || {
                     let (i, v) = max_abs_coord(&y);
-                    eprintln!("phase2 escape: y[{i}] = {v}, t = {t}, alpha = {alpha}");
-                }
+                    vec![
+                        ("stage", "phase2".into()),
+                        ("coord", i.into()),
+                        ("value", v.into()),
+                        ("t", t.into()),
+                        ("alpha", alpha.into()),
+                    ]
+                });
                 return Err(GpError::Unbounded);
             }
             if norm(&d) * alpha < 1e-14 {

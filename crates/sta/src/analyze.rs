@@ -36,6 +36,12 @@ pub enum StaError {
         /// Instance path of the component whose arc went non-finite.
         comp: String,
     },
+    /// No output-port arrival exists: the circuit has no output ports, or
+    /// every output is unreachable from the timed inputs (severed net,
+    /// floating driver). Historically this silently reported a 0 ps
+    /// delay — which made a broken candidate *win* every delay
+    /// comparison in exploration — so it is now a typed error.
+    NoEndpoints,
 }
 
 impl fmt::Display for StaError {
@@ -50,6 +56,9 @@ impl fmt::Display for StaError {
             }
             StaError::NonFiniteTiming { comp } => {
                 write!(f, "stage timing through '{comp}' is not finite")
+            }
+            StaError::NoEndpoints => {
+                write!(f, "no output-port arrival: every output is unreachable")
             }
         }
     }
@@ -243,6 +252,12 @@ pub fn analyze(
         }
     }
     let graph = TimingGraph::extract(circuit);
+    smart_trace::emit_with("sta/graph", || {
+        vec![
+            ("nodes", graph.node_count().into()),
+            ("arcs", graph.arcs.len().into()),
+        ]
+    });
     let order = graph.topo_order().ok_or(StaError::CombinationalLoop)?;
     let mut arrivals: Vec<Option<Arrival>> = vec![None; graph.node_count()];
     let mut arc_delays: Vec<Option<f64>> = vec![None; graph.arcs.len()];
@@ -305,6 +320,12 @@ pub fn analyze(
         }
     }
 
+    smart_trace::emit_with("sta/propagate", || {
+        vec![
+            ("reached", arrivals.iter().filter(|a| a.is_some()).count().into()),
+            ("timed_arcs", arc_delays.iter().filter(|d| d.is_some()).count().into()),
+        ]
+    });
     Ok(StaReport {
         arrivals,
         arc_delays,
@@ -314,6 +335,12 @@ pub fn analyze(
 
 /// Convenience: worst data arrival over all output ports (the macro's
 /// propagation delay).
+///
+/// # Errors
+///
+/// Propagates [`analyze`] errors; additionally returns
+/// [`StaError::NoEndpoints`] when no output port has an arrival (the
+/// macro is unmeasurable, not infinitely fast).
 pub fn max_delay(
     circuit: &Circuit,
     lib: &ModelLibrary,
@@ -321,10 +348,10 @@ pub fn max_delay(
     boundary: &Boundary,
 ) -> Result<f64, StaError> {
     let report = analyze(circuit, lib, sizing, boundary)?;
-    Ok(report
+    report
         .worst_over(circuit.output_ports().map(|p| p.net))
         .map(|(_, a)| a.time)
-        .unwrap_or(0.0))
+        .ok_or(StaError::NoEndpoints)
 }
 
 /// Domino phase delays of a clocked macro: worst precharge (output rise at
@@ -341,7 +368,11 @@ pub struct PhaseDelays {
 ///
 /// # Errors
 ///
-/// Propagates [`analyze`] errors.
+/// Propagates [`analyze`] errors; additionally returns
+/// [`StaError::NoEndpoints`] when no output port has an evaluate arrival
+/// (a static macro with no precharge arcs legitimately reports
+/// `precharge == 0.0`, but a missing evaluate arrival means the macro is
+/// unmeasurable).
 pub fn phase_delays(
     circuit: &Circuit,
     lib: &ModelLibrary,
@@ -360,7 +391,7 @@ pub fn phase_delays(
     let evaluate = report
         .worst_over(circuit.output_ports().map(|p| p.net))
         .map(|(_, a)| a.time)
-        .unwrap_or(0.0);
+        .ok_or(StaError::NoEndpoints)?;
     Ok(PhaseDelays {
         precharge,
         evaluate,

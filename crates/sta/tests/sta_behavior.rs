@@ -8,7 +8,7 @@ use smart_models::ModelLibrary;
 use smart_netlist::{
     Circuit, ComponentKind, DeviceRole, NetKind, Network, Sizing, Skew,
 };
-use smart_sta::{analyze, max_delay, phase_delays, Boundary, TimingGraph};
+use smart_sta::{analyze, max_delay, phase_delays, Boundary, StaError, TimingGraph};
 
 fn inv_chain(n: usize, shared_labels: bool) -> Circuit {
     let mut c = Circuit::new("chain");
@@ -207,6 +207,69 @@ fn arrival_map_covers_reachable_nodes_only() {
     let sizing = Sizing::uniform(c.labels(), 1.0);
     let report = analyze(&c, &lib, &sizing, &Boundary::default()).unwrap();
     assert!(report.arrival(orphan, Edge::Rise).is_none());
+}
+
+/// Regression: an output port whose net has no driver used to fall
+/// through `unwrap_or(0.0)` and report a 0 ps "delay" — the fastest
+/// possible macro — instead of an error. A severed output must be a
+/// typed `NoEndpoints` error from both measurement entry points.
+#[test]
+fn floating_output_is_no_endpoints_not_zero_delay() {
+    let lib = ModelLibrary::reference();
+    let mut c = Circuit::new("severed");
+    let a = c.add_net("a").unwrap();
+    let n0 = c.add_net("n0").unwrap();
+    c.expose_input("a", a);
+    let bind = vec![
+        (DeviceRole::PullUp, c.label("P")),
+        (DeviceRole::PullDown, c.label("N")),
+    ];
+    c.add(
+        "u0",
+        ComponentKind::Inverter { skew: Skew::Balanced },
+        &[a, n0],
+        &bind,
+    )
+    .unwrap();
+    // The only output port sits on a driverless net: every output is
+    // unreachable from the timed inputs.
+    let float = c.add_net("float").unwrap();
+    c.expose_output("out", float);
+    let sizing = Sizing::uniform(c.labels(), 2.0);
+    assert_eq!(
+        max_delay(&c, &lib, &sizing, &Boundary::default()),
+        Err(StaError::NoEndpoints)
+    );
+    assert_eq!(
+        phase_delays(&c, &lib, &sizing, &Boundary::default()),
+        Err(StaError::NoEndpoints)
+    );
+}
+
+/// Regression companion: a macro with no output ports at all is equally
+/// unmeasurable.
+#[test]
+fn portless_macro_is_no_endpoints() {
+    let lib = ModelLibrary::reference();
+    let mut c = Circuit::new("noout");
+    let a = c.add_net("a").unwrap();
+    let n0 = c.add_net("n0").unwrap();
+    c.expose_input("a", a);
+    let bind = vec![
+        (DeviceRole::PullUp, c.label("P")),
+        (DeviceRole::PullDown, c.label("N")),
+    ];
+    c.add(
+        "u0",
+        ComponentKind::Inverter { skew: Skew::Balanced },
+        &[a, n0],
+        &bind,
+    )
+    .unwrap();
+    let sizing = Sizing::uniform(c.labels(), 1.0);
+    let err = max_delay(&c, &lib, &sizing, &Boundary::default()).unwrap_err();
+    assert_eq!(err, StaError::NoEndpoints);
+    assert!(err.to_string().contains("no output-port arrival"));
 }
 
 #[test]

@@ -1,0 +1,117 @@
+//! Determinism suite for `smart-trace`: the byte-stable JSON export must
+//! be identical regardless of how many threads recorded the scopes, in
+//! what order they flushed, or how the OS interleaved them — the same
+//! contract the parallel exploration runtime holds for its tables
+//! (DESIGN.md §9), extended to the observability layer.
+
+use std::sync::Arc;
+
+use smart_trace::Trace;
+
+/// Records `n` candidate-like scopes, each with a small span + telemetry
+/// payload derived purely from its index.
+fn record_scopes(trace: &Trace, sweep: u64, n: u64) {
+    for i in 0..n {
+        let scope = trace.scope("candidate", sweep, i);
+        let _guard = scope.enter();
+        scope.begin("candidate", &[("index", i.into())]);
+        smart_trace::emit(
+            "gp/newton",
+            &[
+                ("step", (i * 3).into()),
+                ("residual", (1.0 / (i as f64 + 1.0)).into()),
+            ],
+        );
+        smart_trace::counter("cache/miss", 1);
+        scope.end("candidate", &[("outcome", "ok".into())]);
+    }
+}
+
+/// The same scopes, recorded from `workers` threads claiming indices off
+/// a shared atomic — the worker-pool access pattern.
+fn record_scopes_parallel(trace: &Trace, sweep: u64, n: u64, workers: usize) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let next = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let scope = trace.scope("candidate", sweep, i);
+                let _guard = scope.enter();
+                scope.begin("candidate", &[("index", i.into())]);
+                smart_trace::emit(
+                    "gp/newton",
+                    &[
+                        ("step", (i * 3).into()),
+                        ("residual", (1.0 / (i as f64 + 1.0)).into()),
+                    ],
+                );
+                smart_trace::counter("cache/miss", 1);
+                scope.end("candidate", &[("outcome", "ok".into())]);
+            });
+        }
+    });
+}
+
+#[test]
+fn parallel_recording_matches_serial_bytes() {
+    let serial = Trace::enabled();
+    record_scopes(&serial, 0, 40);
+    let reference = serial.collect().to_json();
+    for workers in [2, 4, 8] {
+        let par = Arc::new(Trace::enabled());
+        record_scopes_parallel(&par, 0, 40, workers);
+        let json = par.collect().to_json();
+        assert_eq!(json, reference, "workers={workers}");
+    }
+}
+
+#[test]
+fn repeated_runs_are_byte_equal() {
+    let build = || {
+        let t = Trace::enabled();
+        record_scopes(&t, 0, 10);
+        record_scopes(&t, 1, 10);
+        t.collect().to_json()
+    };
+    assert_eq!(build(), build());
+}
+
+#[test]
+fn counters_are_deterministic_sums_across_threads() {
+    let t = Trace::enabled();
+    record_scopes_parallel(&t, 0, 64, 8);
+    let report = t.collect();
+    assert_eq!(report.counter("cache/miss"), 64);
+}
+
+#[test]
+fn scope_rings_drop_deterministically() {
+    let build = |workers: usize| {
+        let t = Trace::with_capacity(4);
+        if workers <= 1 {
+            record_scopes(&t, 0, 8);
+        } else {
+            record_scopes_parallel(&t, 0, 8, workers);
+        }
+        let r = t.collect();
+        (r.to_json(), r.dropped)
+    };
+    let (serial, dropped_serial) = build(1);
+    let (par, dropped_par) = build(4);
+    assert_eq!(serial, par);
+    assert_eq!(dropped_serial, dropped_par);
+}
+
+#[test]
+fn chrome_export_contains_every_scope_lane() {
+    let t = Trace::enabled();
+    record_scopes(&t, 0, 3);
+    let chrome = t.collect().to_chrome_json();
+    for i in 0..3 {
+        assert!(chrome.contains(&format!("candidate:0.{i}")));
+    }
+}

@@ -19,6 +19,9 @@
 //!   decoder/encoder/comparator/adder/register-file generators.
 //! * [`core`] — the SMART flow: path compaction, constraint generation,
 //!   GP sizing loop, topology exploration, hand-design baseline.
+//! * [`trace`] — smart-trace, the zero-dependency structured tracing /
+//!   metrics layer over the explore → size → GP → STA flow
+//!   (`SMART_TRACE=1`).
 //! * [`blocks`] — synthetic functional blocks for the §6.4/Table 2
 //!   experiments.
 //! * [`mod@bench`] — one function per paper table/figure.
@@ -40,3 +43,4 @@ pub use smart_posy as posy;
 pub use smart_power as power;
 pub use smart_sim as sim;
 pub use smart_sta as sta;
+pub use smart_trace as trace;

@@ -117,6 +117,33 @@ fn boundary_for(circuit: &smart_datapath::netlist::Circuit, load: f64) -> Bounda
     b
 }
 
+/// Writes the collected trace at process exit: the byte-stable JSON to
+/// `SMART_TRACE_OUT` (stderr when unset) and, when `SMART_TRACE_CHROME`
+/// names a file, the Chrome-trace span file for `chrome://tracing` /
+/// Perfetto. No-op unless tracing is on (`SMART_TRACE=1`).
+fn dump_trace(trace: &smart_datapath::trace::Trace) {
+    if !trace.is_enabled() {
+        return;
+    }
+    let report = trace.collect();
+    let stable = report.to_json();
+    match std::env::var("SMART_TRACE_OUT") {
+        Ok(path) if !path.is_empty() => {
+            if let Err(e) = std::fs::write(&path, &stable) {
+                eprintln!("trace: cannot write {path}: {e}");
+            }
+        }
+        _ => eprintln!("{stable}"),
+    }
+    if let Ok(path) = std::env::var("SMART_TRACE_CHROME") {
+        if !path.is_empty() {
+            if let Err(e) = std::fs::write(&path, report.to_chrome_json()) {
+                eprintln!("trace: cannot write {path}: {e}");
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().map(String::as_str) else {
@@ -125,6 +152,22 @@ fn main() -> ExitCode {
     let lib = ModelLibrary::reference();
     let opts = SizingOptions::default();
 
+    // The CLI scope makes every command traced end to end: direct
+    // sizing/analysis calls record into it via the thread-local context,
+    // while exploration additionally opens its own sweep/candidate
+    // scopes.
+    let scope = opts.trace.scope("cli", opts.trace.next_id(), 0);
+    scope.begin("cli", &[("command", cmd.into())]);
+    let guard = scope.enter();
+    let code = run(cmd, &args, &lib, &opts);
+    drop(guard);
+    scope.end("cli", &[]);
+    drop(scope);
+    dump_trace(&opts.trace);
+    code
+}
+
+fn run(cmd: &str, args: &[String], lib: &ModelLibrary, opts: &SizingOptions) -> ExitCode {
     match cmd {
         "list" => {
             println!("built-in macro families (see `smart size <macro>`): ");
