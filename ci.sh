@@ -25,6 +25,14 @@ SMART_WORKERS=4 cargo test -q --offline --workspace
 echo "== explore_scaling smoke (parallel + memoized sweeps) =="
 cargo run -q --offline --release -p smart-bench --bin explore_scaling -- --smoke
 
+# Smoke-sized GP kernel bench: exercises the sparse-vs-dense trajectory
+# assertion and the warm-start ladder end to end. Writes to target/ci so
+# the committed full-run BENCH_gp.json is never clobbered by smoke data.
+echo "== gp_kernel smoke (sparse kernel parity + warm-start ladder) =="
+mkdir -p target/ci
+cargo run -q --offline --release -p smart-bench --bin gp_kernel -- \
+  --smoke --out target/ci/BENCH_gp.json
+
 # The trace example runs a traced exploration (cold + warm out of the
 # sizing cache) and prints the stable JSON export. The bytes on stdout
 # must not depend on how the sweep was scheduled: byte-compare the

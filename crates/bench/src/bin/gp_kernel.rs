@@ -1,0 +1,357 @@
+//! GP Newton-kernel microbenchmark: the perf evidence for the sparse
+//! structure-exploiting kernel and warm-start chaining.
+//!
+//! Three sections, all written to a machine-readable `BENCH_gp.json`:
+//!
+//! * **kernel** — per-macro sizing-GP solve wall time and Newton
+//!   steps/sec for the sparse production kernel vs the dense reference
+//!   oracle (`solve_reference`), same problems, same trajectories;
+//! * **warm_start** — phase-1 + phase-2 step counts and wall time across
+//!   a simulated relaxation ladder, with chaining (rung k+1 starts from
+//!   rung k's solution) vs without (every rung restarts from mid-range
+//!   widths);
+//! * **explore_scaling** — the acceptance number: the full
+//!   representative sweep of `explore_scaling` at one worker, measured
+//!   here and compared against the recorded pre-PR baseline.
+//!
+//! `--smoke` shrinks every section to CI size; `--out PATH` redirects
+//! the JSON (CI uses this so smoke numbers never clobber the committed
+//! full-run record).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use smart_core::constraints::{boundary_extra_loads, build_sizing_gp, SizingGp};
+use smart_core::{
+    compact, explore_parallel, DelaySpec, ParallelOptions, SizingOptions,
+};
+use smart_gp::SolverOptions;
+use smart_macros::{MacroSpec, MuxTopology, ZeroDetectStyle};
+use smart_models::ModelLibrary;
+use smart_sta::Boundary;
+
+/// `explore_scaling` full-sweep serial wall time (best of 3) measured at
+/// the commit before this kernel landed (c6d5b09, dense `Vec<Vec<f64>>`
+/// Newton steps, no warm-start chaining), on the same container class CI
+/// uses. The acceptance criterion is ≥ 2× against this number.
+const PRE_PR_BASELINE_MS: f64 = 168.3;
+
+fn boundary_for(request: &MacroSpec, load: f64) -> Boundary {
+    let mut b = Boundary::default();
+    for port in request.generate().output_ports() {
+        b.output_loads.insert(port.name.clone(), load);
+    }
+    b
+}
+
+/// Builds one macro's sizing GP the way `size_circuit` would.
+fn sizing_gp(request: &MacroSpec, load: f64, spec: &DelaySpec) -> SizingGp {
+    let circuit = request.generate();
+    let lib = ModelLibrary::reference();
+    let boundary = boundary_for(request, load);
+    let opts = SizingOptions::default();
+    let (_, vars) = smart_models::label_vars(&circuit);
+    let extra = boundary_extra_loads(&circuit, &boundary);
+    let compaction = compact(&circuit, &lib, &vars, &extra, &opts).expect("compaction");
+    build_sizing_gp(&circuit, &lib, &compaction, &boundary, &extra, spec, &opts)
+        .expect("GP builds")
+}
+
+struct KernelRow {
+    name: &'static str,
+    dim: usize,
+    constraints: usize,
+    newton_steps: usize,
+    sparse_ms: f64,
+    dense_ms: f64,
+    steps_per_sec: f64,
+}
+
+/// Times `solve` and `solve_reference` on one sizing GP (best of
+/// `iters`); asserts both walk the same trajectory.
+fn bench_kernel(name: &'static str, built: &SizingGp, iters: usize) -> KernelRow {
+    let opts = SolverOptions::default();
+    let mut sparse_best = Duration::MAX;
+    let mut dense_best = Duration::MAX;
+    let mut steps = 0usize;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let sol = built.gp.solve(&opts).expect("sparse solve");
+        sparse_best = sparse_best.min(t0.elapsed());
+        steps = sol.phase1_newton_steps + sol.phase2_newton_steps;
+
+        let t0 = Instant::now();
+        let dsol = built.gp.solve_reference(&opts).expect("dense solve");
+        dense_best = dense_best.min(t0.elapsed());
+        assert_eq!(
+            steps,
+            dsol.phase1_newton_steps + dsol.phase2_newton_steps,
+            "{name}: kernels walked different trajectories"
+        );
+    }
+    KernelRow {
+        name,
+        dim: built.gp.dim(),
+        constraints: built.gp.constraints().len(),
+        newton_steps: steps,
+        sparse_ms: sparse_best.as_secs_f64() * 1e3,
+        dense_ms: dense_best.as_secs_f64() * 1e3,
+        steps_per_sec: steps as f64 / sparse_best.as_secs_f64().max(1e-12),
+    }
+}
+
+struct ChainRow {
+    phase1_steps: usize,
+    phase2_steps: usize,
+    ms: f64,
+}
+
+/// Simulates `size_to_spec`'s relaxation ladder on one macro: solve at a
+/// tight starting spec, then re-solve at progressively relaxed specs
+/// (the flow loosens 1.1× per rung). With `chain`, rung k+1 starts from
+/// rung k's solution (what the sizing loop now does); without, every
+/// rung restarts from mid-range widths (the pre-PR behavior). On these
+/// macros the ablation is roughly step-neutral — the barrier schedule,
+/// not the start point, dominates the step count — so chaining's value
+/// in the flow is anchoring (keeping phase I inside the size box on
+/// macros whose natural widths sit far from mid-range), not raw speed;
+/// the JSON records both sides so that regressions in either direction
+/// are visible.
+fn bench_chaining(request: &MacroSpec, load: f64, base_ps: f64, chain: bool) -> ChainRow {
+    let lib = ModelLibrary::reference();
+    let w0 = (lib.process().w_min * lib.process().w_max).sqrt();
+    let relax = [1.0, 1.1, 1.21, 1.331];
+    let mut p1 = 0usize;
+    let mut p2 = 0usize;
+    let mut prev: Option<Vec<f64>> = None;
+    let t0 = Instant::now();
+    for factor in relax {
+        let built = sizing_gp(request, load, &DelaySpec::uniform(base_ps * factor));
+        let initial = match (&prev, chain) {
+            (Some(x), true) => x.clone(),
+            _ => vec![w0; built.gp.dim()],
+        };
+        let opts = SolverOptions {
+            initial_x: Some(initial),
+            ..Default::default()
+        };
+        let sol = built.gp.solve(&opts).expect("retarget solve");
+        p1 += sol.phase1_newton_steps;
+        p2 += sol.phase2_newton_steps;
+        prev = Some(sol.x);
+    }
+    ChainRow {
+        phase1_steps: p1,
+        phase2_steps: p2,
+        ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// The acceptance sweep: `explore_scaling`'s full case set at one worker
+/// (smoke mode shrinks it), best of `iters`.
+fn bench_sweep(smoke: bool, iters: usize) -> f64 {
+    let cases: Vec<(MacroSpec, f64)> = if smoke {
+        vec![(
+            MacroSpec::Mux {
+                topology: MuxTopology::StronglyMutexedPass,
+                width: 4,
+            },
+            400.0,
+        )]
+    } else {
+        vec![
+            (
+                MacroSpec::Mux {
+                    topology: MuxTopology::StronglyMutexedPass,
+                    width: 8,
+                },
+                450.0,
+            ),
+            (
+                MacroSpec::ZeroDetect {
+                    width: 16,
+                    style: ZeroDetectStyle::Domino,
+                },
+                450.0,
+            ),
+            (MacroSpec::Incrementor { width: 13 }, 900.0),
+        ]
+    };
+    let loads: &[f64] = if smoke { &[12.0, 20.0] } else { &[8.0, 16.0, 32.0] };
+    let lib = ModelLibrary::reference();
+    let opts = SizingOptions::default();
+    let par = ParallelOptions::with_workers(1);
+    let mut best = Duration::MAX;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        for (request, ps) in &cases {
+            for &load in loads {
+                let boundary = boundary_for(request, load);
+                let _ = explore_parallel(
+                    request,
+                    &lib,
+                    &boundary,
+                    &DelaySpec::uniform(*ps),
+                    &opts,
+                    &par,
+                );
+            }
+        }
+        best = best.min(t0.elapsed());
+    }
+    best.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_gp.json".to_string());
+    let iters = if smoke { 1 } else { 3 };
+
+    // --- Kernel micro: sparse vs dense on real sizing GPs -------------
+    let kernel_cases: Vec<(&'static str, MacroSpec, f64)> = if smoke {
+        vec![(
+            "mux4",
+            MacroSpec::Mux {
+                topology: MuxTopology::StronglyMutexedPass,
+                width: 4,
+            },
+            900.0,
+        )]
+    } else {
+        vec![
+            (
+                "mux8_pass",
+                MacroSpec::Mux {
+                    topology: MuxTopology::StronglyMutexedPass,
+                    width: 8,
+                },
+                900.0,
+            ),
+            (
+                "zd16_domino",
+                MacroSpec::ZeroDetect {
+                    width: 16,
+                    style: ZeroDetectStyle::Domino,
+                },
+                900.0,
+            ),
+            ("inc13", MacroSpec::Incrementor { width: 13 }, 2600.0),
+            ("inc8_cla", MacroSpec::IncrementorCla { width: 8 }, 1500.0),
+        ]
+    };
+    println!(
+        "{:<12} {:>5} {:>6} {:>7} {:>10} {:>10} {:>8} {:>12}",
+        "case", "dim", "cons", "steps", "sparse", "dense", "speedup", "steps/sec"
+    );
+    let mut kernel_rows = Vec::new();
+    for (name, request, ps) in &kernel_cases {
+        let built = sizing_gp(request, 20.0, &DelaySpec::uniform(*ps));
+        let row = bench_kernel(name, &built, iters);
+        println!(
+            "{:<12} {:>5} {:>6} {:>7} {:>8.2}ms {:>8.2}ms {:>7.2}x {:>12.0}",
+            row.name,
+            row.dim,
+            row.constraints,
+            row.newton_steps,
+            row.sparse_ms,
+            row.dense_ms,
+            row.dense_ms / row.sparse_ms.max(1e-9),
+            row.steps_per_sec,
+        );
+        kernel_rows.push(row);
+    }
+
+    // --- Warm-start chaining ablation ---------------------------------
+    let (chain_req, chain_ps) = if smoke {
+        (
+            MacroSpec::Mux {
+                topology: MuxTopology::StronglyMutexedPass,
+                width: 4,
+            },
+            500.0,
+        )
+    } else {
+        (MacroSpec::Incrementor { width: 13 }, 2600.0)
+    };
+    let cold = bench_chaining(&chain_req, 20.0, chain_ps, false);
+    let warm = bench_chaining(&chain_req, 20.0, chain_ps, true);
+    println!(
+        "\nwarm-start chaining (4-rung relaxation ladder on {}):",
+        if smoke { "mux4" } else { "inc13" }
+    );
+    println!(
+        "  without: {:>4} phase-1 + {:>4} phase-2 steps, {:>7.2}ms",
+        cold.phase1_steps, cold.phase2_steps, cold.ms
+    );
+    println!(
+        "  with:    {:>4} phase-1 + {:>4} phase-2 steps, {:>7.2}ms  ({:.2}x fewer steps)",
+        warm.phase1_steps,
+        warm.phase2_steps,
+        warm.ms,
+        (cold.phase1_steps + cold.phase2_steps) as f64
+            / ((warm.phase1_steps + warm.phase2_steps) as f64).max(1.0),
+    );
+
+    // --- Acceptance sweep ----------------------------------------------
+    let sweep_ms = bench_sweep(smoke, iters);
+    if smoke {
+        println!("\nexplore sweep (smoke subset, 1 worker): {sweep_ms:.1}ms");
+    } else {
+        println!(
+            "\nexplore_scaling full sweep, 1 worker: {sweep_ms:.1}ms \
+             (pre-PR baseline {PRE_PR_BASELINE_MS}ms, {:.2}x)",
+            PRE_PR_BASELINE_MS / sweep_ms.max(1e-9)
+        );
+    }
+
+    // --- Machine-readable record ---------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"gp_kernel/v1\",");
+    let _ = writeln!(json, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
+    let _ = writeln!(json, "  \"kernel\": [");
+    for (i, r) in kernel_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"case\": \"{}\", \"dim\": {}, \"constraints\": {}, \
+             \"newton_steps\": {}, \"sparse_ms\": {:.3}, \"dense_ms\": {:.3}, \
+             \"dense_over_sparse\": {:.3}, \"steps_per_sec\": {:.0}}}{}",
+            r.name,
+            r.dim,
+            r.constraints,
+            r.newton_steps,
+            r.sparse_ms,
+            r.dense_ms,
+            r.dense_ms / r.sparse_ms.max(1e-9),
+            r.steps_per_sec,
+            if i + 1 < kernel_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"warm_start_chaining\": {{\n    \"without\": {{\"phase1_steps\": {}, \"phase2_steps\": {}, \"ms\": {:.3}}},\n    \"with\": {{\"phase1_steps\": {}, \"phase2_steps\": {}, \"ms\": {:.3}}},\n    \"step_ratio\": {:.3}\n  }},",
+        cold.phase1_steps,
+        cold.phase2_steps,
+        cold.ms,
+        warm.phase1_steps,
+        warm.phase2_steps,
+        warm.ms,
+        (cold.phase1_steps + cold.phase2_steps) as f64
+            / ((warm.phase1_steps + warm.phase2_steps) as f64).max(1.0)
+    );
+    let _ = writeln!(
+        json,
+        "  \"explore_scaling_serial\": {{\n    \"pre_pr_baseline_ms\": {PRE_PR_BASELINE_MS},\n    \"measured_ms\": {sweep_ms:.1},\n    \"speedup\": {:.2},\n    \"full_sweep\": {}\n  }}",
+        PRE_PR_BASELINE_MS / sweep_ms.max(1e-9),
+        !smoke
+    );
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, json).expect("write BENCH_gp.json");
+    println!("\nwrote {out_path}");
+}

@@ -4,7 +4,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use smart_gp::GpProblem;
+use smart_gp::{GpError, GpProblem};
 use smart_models::arcs::Edge;
 use smart_models::{label_vars, ModelLibrary};
 use smart_netlist::{Circuit, ComponentKind, DeviceRole, NetId};
@@ -94,7 +94,55 @@ pub struct SizingGp {
     pub timing_constraints: usize,
     /// Number of slope constraints emitted.
     pub slope_constraints: usize,
+    /// Spec-independent halves of the timing constraints, kept so
+    /// [`SizingGp::retarget`] can rescale them in place.
+    timing: Vec<TimingEntry>,
 }
+
+/// One timing constraint's spec-independent part. The delay posynomial is
+/// by far the most expensive piece of GP assembly (capacitance and stage
+/// models evaluated along every compacted path), and retargeting only
+/// changes the scalar budget it is divided by — so the Fig.-4 loop keeps
+/// the undivided posynomial and re-divides instead of rebuilding.
+struct TimingEntry {
+    /// Index of the constraint inside [`SizingGp::gp`].
+    index: usize,
+    /// End-to-end path delay, *before* division by the budget.
+    delay: Posynomial,
+    /// Selects the precharge budget instead of the data budget.
+    is_precharge: bool,
+    /// Segments the class was cut into (non-OTB mode); each segment
+    /// receives `budget / seg_count`.
+    seg_count: usize,
+}
+
+impl SizingGp {
+    /// Rescales every timing constraint to `spec` in place. The result is
+    /// the problem [`build_sizing_gp`] would assemble at `spec`, bit for
+    /// bit — only the budget divisor changed — at none of the
+    /// model-evaluation cost. On a GP without retarget entries (the
+    /// min-delay formulation bounds paths by a variable, not a spec) this
+    /// is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GpError::EmptyConstraint`]; unreachable in practice
+    /// because every stored delay was nonzero at build time.
+    pub fn retarget(&mut self, spec: &DelaySpec) -> Result<(), GpError> {
+        for e in &self.timing {
+            let budget = if e.is_precharge {
+                spec.precharge_budget()
+            } else {
+                spec.data
+            };
+            let seg_budget = budget / e.seg_count as f64;
+            self.gp
+                .replace_le(e.index, &e.delay, &Monomial::new(seg_budget))?;
+        }
+        Ok(())
+    }
+}
+
 
 /// Posynomial capacitance of `net` including boundary load.
 fn cap_posy(
@@ -163,6 +211,14 @@ pub fn build_sizing_gp(
     // equal share of the budget — the conventional hard-boundary
     // discipline, kept for the ablation study.
     let mut timing_constraints = 0;
+    let mut timing = Vec::new();
+    // Per-arc posynomial caches. The same arc appears on many compacted
+    // paths (classes share prefixes and fanout cones), but its R·C product
+    // and output slope depend only on the arc itself — not on the path
+    // reaching it — so each is built once and cloned on every revisit.
+    let arc_count = compaction.graph.arcs.len();
+    let mut arc_rc: Vec<Option<Posynomial>> = vec![None; arc_count];
+    let mut arc_slope: Vec<Option<Posynomial>> = vec![None; arc_count];
     for (ci, class) in compaction.classes.iter().enumerate() {
         let budget = if class.is_precharge {
             spec.precharge_budget()
@@ -197,10 +253,18 @@ pub fn build_sizing_gp(
             for &ai in seg {
                 let arc = &compaction.graph.arcs[ai];
                 let comp = circuit.comp(arc.comp);
-                let cap = cap_posy(circuit, lib, &vars, arc.to.net, extra_loads);
-                delay +=
-                    lib.stage_delay_posy(comp, arc.to.edge, &cap, Some(&slope_prev), &vars);
-                slope_prev = lib.stage_slope_posy(comp, arc.to.edge, &cap, &vars);
+                if arc_rc[ai].is_none() {
+                    let cap = cap_posy(circuit, lib, &vars, arc.to.net, extra_loads);
+                    let rc = lib.stage_rc_posy(comp, arc.to.edge, &cap, &vars);
+                    arc_slope[ai] = Some(lib.stage_slope_from_rc(&rc));
+                    arc_rc[ai] = Some(rc);
+                }
+                let (Some(rc), Some(slope)) = (arc_rc[ai].as_ref(), arc_slope[ai].as_ref())
+                else {
+                    unreachable!("arc cache filled above");
+                };
+                delay += lib.stage_delay_from_rc(comp, rc, Some(&slope_prev));
+                slope_prev = slope.clone();
             }
             let seg_budget = budget / seg_count as f64;
             let label = format!(
@@ -209,6 +273,12 @@ pub fn build_sizing_gp(
                 circuit.net(class.endpoint.net).name,
                 if class.is_precharge { "pre" } else { "eval" }
             );
+            timing.push(TimingEntry {
+                index: gp.constraints().len(),
+                delay: delay.clone(),
+                is_precharge: class.is_precharge,
+                seg_count,
+            });
             gp.add_le(label, delay, Monomial::new(seg_budget))?;
             timing_constraints += 1;
         }
@@ -218,7 +288,7 @@ pub fn build_sizing_gp(
     // edge, cap composition).
     let mut slope_constraints = 0;
     let mut seen: HashSet<String> = HashSet::new();
-    for arc in &compaction.graph.arcs {
+    for (ai, arc) in compaction.graph.arcs.iter().enumerate() {
         // Dynamic nodes are exempt from the static edge-rate rule: their
         // discharge slope is set by the stack the topology chose (wide
         // un-split dominos are inherently slow there — the reason the
@@ -238,8 +308,12 @@ pub fn build_sizing_gp(
         if !seen.insert(key) {
             continue;
         }
-        let cap = cap_posy(circuit, lib, &vars, arc.to.net, extra_loads);
-        let slope = lib.stage_slope_posy(comp, arc.to.edge, &cap, &vars);
+        let slope = if let Some(s) = arc_slope[ai].as_ref() {
+            s.clone()
+        } else {
+            let cap = cap_posy(circuit, lib, &vars, arc.to.net, extra_loads);
+            lib.stage_slope_posy(comp, arc.to.edge, &cap, &vars)
+        };
         // Shared (multi-driver) nets — pass-gate and tri-state buses —
         // carry the junction load of every off driver, which puts a floor
         // on their edge rate; projects exempt such nodes from the
@@ -334,6 +408,7 @@ pub fn build_sizing_gp(
         vars,
         timing_constraints,
         slope_constraints,
+        timing,
     })
 }
 
@@ -410,6 +485,7 @@ pub fn build_min_delay_gp(
             vars,
             timing_constraints,
             slope_constraints: 0,
+            timing: Vec::new(),
         },
         t_var,
     ))

@@ -133,9 +133,12 @@ fn solve_with_retries(
         ..Default::default()
     };
     let mut attempt = 0usize;
-    let mut start = initial.clone();
+    // The common no-retry path takes ownership of `initial` outright; the
+    // original anchor is cloned back out only if a retry actually fires.
+    let mut current = solver_opts(initial);
+    let mut anchor: Option<Vec<f64>> = None;
     loop {
-        match gp.solve(&solver_opts(start)) {
+        match gp.solve(&current) {
             Ok(sol) => return Ok((sol, attempt)),
             Err(GpError::BudgetExceeded {
                 stage,
@@ -147,12 +150,17 @@ fn solve_with_retries(
             {
                 // Numerical stall: re-anchor at a jittered point and try
                 // again. Infeasible/unbounded outcomes are *answers*, not
-                // stalls, so they propagate immediately.
+                // stalls, so they propagate immediately. Every perturbation
+                // is taken off the original anchor (the last good iterate
+                // under warm-start chaining), with the jitter widening per
+                // attempt — not off the previous failed perturbation.
                 attempt += 1;
                 smart_trace::emit_with("gp/retry", || {
                     vec![("attempt", attempt.into()), ("error", e.to_string().into())]
                 });
-                start = perturbed_start(&initial, attempt);
+                let anchor = anchor
+                    .get_or_insert_with(|| current.initial_x.clone().unwrap_or_default());
+                current.initial_x = Some(perturbed_start(anchor, attempt));
             }
             Err(e) => return Err(e.into()),
         }
@@ -207,10 +215,16 @@ pub fn size_circuit(
     let prepared = prepare(circuit, lib, boundary, opts)?;
 
     let mut last_err = None;
+    // Warm-start chain in GP variable space: each rung inherits the last
+    // iterate of the failed rung below it, so the ladder refines one
+    // trajectory instead of re-solving from mid-range at every rung.
+    let mut chain: Option<Vec<f64>> = None;
     for &rel in [0.0].iter().chain(opts.relaxation.iter()) {
         let target = spec.relaxed(rel);
         smart_trace::begin("size/rung", &[("relaxation", rel.into())]);
-        match size_to_spec(circuit, lib, boundary, &target, opts, &prepared, deadline) {
+        match size_to_spec(
+            circuit, lib, boundary, &target, opts, &prepared, deadline, &mut chain,
+        ) {
             Ok(mut outcome) => {
                 smart_trace::end("size/rung", &[("outcome", "ok".into())]);
                 outcome.spec_relaxation = rel;
@@ -311,6 +325,13 @@ fn prepare(
 }
 
 /// One rung of the ladder: the classic Fig.-4 loop against a fixed target.
+///
+/// `chain` carries the warm-start iterate in GP variable space: outer
+/// iteration k+1 starts from iteration k's solution instead of mid-range
+/// widths, and the last iterate survives a failed rung so the next rung
+/// of the relaxation ladder inherits it. It is an out-parameter (not a
+/// return) precisely so the error path hands the iterate up the ladder.
+#[allow(clippy::too_many_arguments)]
 fn size_to_spec(
     circuit: &Circuit,
     lib: &ModelLibrary,
@@ -319,12 +340,14 @@ fn size_to_spec(
     opts: &SizingOptions,
     prepared: &Prepared,
     deadline: Option<Instant>,
+    chain: &mut Option<Vec<f64>>,
 ) -> Result<SizingOutcome, FlowError> {
     let compaction = &prepared.compaction;
     let extra = &prepared.extra;
     let mut working_spec = spec.clone();
     let mut last = (f64::INFINITY, f64::INFINITY);
     let mut restarts = 0usize;
+    let mut gp_state: Option<crate::constraints::SizingGp> = None;
     for iter in 1..=opts.max_outer_iters {
         if let Some(d) = deadline {
             if Instant::now() >= d {
@@ -335,25 +358,63 @@ fn size_to_spec(
             }
         }
         check_cancelled(opts, "outer iteration")?;
-        let built = build_sizing_gp(
-            circuit,
-            lib,
-            compaction,
-            boundary,
-            extra,
-            &working_spec,
-            opts,
-        )?;
-        // Warm start: the caller's previous sizing if provided (the
-        // designer's re-run loop), else mid-range widths — either keeps
-        // phase I anchored inside the size box on large macros.
-        let w0 = (lib.process().w_min * lib.process().w_max).sqrt();
-        let initial = match &opts.warm_start {
-            Some(prev) if prev.len() == circuit.labels().len() => {
-                prev.as_slice().to_vec()
-            }
-            _ => vec![w0; built.gp.dim()],
+        // Assemble the GP once per rung; retargeting only rescales the
+        // timing-constraint budgets, and `SizingGp::retarget` reproduces
+        // bit for bit what a rebuild at `working_spec` would assemble, so
+        // later iterations skip the (expensive) model re-evaluation.
+        if let Some(b) = gp_state.as_mut() {
+            b.retarget(&working_spec)?;
+        } else {
+            gp_state = Some(build_sizing_gp(
+                circuit,
+                lib,
+                compaction,
+                boundary,
+                extra,
+                &working_spec,
+                opts,
+            )?);
+        }
+        let Some(built) = gp_state.as_ref() else {
+            unreachable!("sizing GP assembled above")
         };
+        // Warm start, in priority order: the chained iterate from the
+        // previous outer iteration or relaxation rung (already in GP
+        // variable space), else the caller's previous sizing mapped
+        // through `built.vars` (the designer's re-run loop), else
+        // mid-range widths — each keeps phase I anchored inside the size
+        // box on large macros.
+        let initial = chain.take().unwrap_or_else(|| {
+            let w0 = (lib.process().w_min * lib.process().w_max).sqrt();
+            let mut x0 = vec![w0; built.gp.dim()];
+            match &opts.warm_start {
+                Some(prev) if prev.len() == circuit.labels().len() => {
+                    for (i, &w) in prev.as_slice().iter().enumerate() {
+                        x0[built.vars[i].index()] = w;
+                    }
+                    smart_trace::emit_with("size/warm-start", || {
+                        vec![("source", "caller".into()), ("used", true.into())]
+                    });
+                }
+                Some(prev) => {
+                    // A mismatched warm start is ignored, but loudly: the
+                    // caller handed widths for a different labelling.
+                    let (got, want) = (prev.len(), circuit.labels().len());
+                    smart_trace::emit_with("size/warm-start", || {
+                        vec![
+                            ("source", "caller".into()),
+                            ("used", false.into()),
+                            (
+                                "reason",
+                                format!("{got} widths for {want} labels").into(),
+                            ),
+                        ]
+                    });
+                }
+                None => {}
+            }
+            x0
+        });
         let (sol, used) = solve_with_retries(&built.gp, initial, opts, deadline)?;
         restarts += used;
         let sizing = Sizing::from_widths(
@@ -361,6 +422,9 @@ fn size_to_spec(
                 .map(|i| sol.x[built.vars[i].index()])
                 .collect(),
         );
+        // Chain this solution: the next outer iteration (or the next
+        // relaxation rung, if this one fails) starts from it.
+        *chain = Some(sol.x);
         let (data, pre) = measure(circuit, lib, &sizing, boundary, compaction)?;
         last = (data, pre);
         smart_trace::emit("size/iteration", &[

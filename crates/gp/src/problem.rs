@@ -113,6 +113,34 @@ impl GpProblem {
         Ok(())
     }
 
+    /// Replaces the body of constraint `index` with `lhs ≤ rhs`, normalized
+    /// exactly like [`GpProblem::add_le`] — a replace reproduces, bit for
+    /// bit, the body a fresh `add_le` would build. This is what lets the
+    /// sizing loop retarget its timing constraints in place instead of
+    /// reassembling the whole problem every Fig.-4 iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::EmptyConstraint`] if `lhs` is the zero posynomial.
+    pub fn replace_le(
+        &mut self,
+        index: usize,
+        lhs: &Posynomial,
+        rhs: &Monomial,
+    ) -> Result<(), GpError> {
+        if lhs.is_zero() {
+            return Err(GpError::EmptyConstraint {
+                label: self.constraints[index].label.clone(),
+            });
+        }
+        self.constraints[index].body = lhs.div_monomial(rhs);
+        Ok(())
+    }
+
     /// Infallible insertion for bodies that are nonzero by construction.
     fn push_le(&mut self, label: String, lhs: Posynomial, rhs: Monomial) {
         self.constraints.push(GpConstraint {

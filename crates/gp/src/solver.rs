@@ -7,13 +7,23 @@
 //! until the duality-gap estimate `m/t` is below tolerance. See Boyd &
 //! Vandenberghe, ch. 11; this mirrors the "GP solver" box of the paper's
 //! Fig. 4.
+//!
+//! The Newton step is assembled **sparsely**: each constraint scatters its
+//! gradient and packed Hessian contribution only over its support via
+//! [`smart_posy::GradHessWorkspace`], and the system is factored in place
+//! in packed lower-triangular form. All per-step buffers live in a
+//! [`NewtonWorkspace`] reused across steps and line-search trials, so a
+//! steady-state Newton step performs no heap allocation. The historical
+//! dense path survives as [`GpProblem::solve_reference`] (see
+//! `reference.rs`), the oracle the differential parity suite pins this
+//! kernel against.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use smart_posy::LogPosynomial;
+use smart_posy::{GradHessWorkspace, LogPosynomial};
 
-use crate::linalg::{axpy, dot, norm, solve_spd_ridged};
+use crate::linalg::{axpy, dot, norm, solve_spd_ridged_packed};
 use crate::{CancelToken, GpError, GpProblem, KktReport};
 
 /// Tuning knobs for the barrier solver. The defaults solve every sizing
@@ -73,7 +83,7 @@ impl Default for SolverOptions {
 /// Cooperative budget check, called once per Newton step (a step costs a
 /// Hessian assembly + factorization, so the `Instant::now()` call is
 /// negligible against it).
-fn check_budget(
+pub(crate) fn check_budget(
     opts: &SolverOptions,
     stage: &'static str,
     spent_newton: usize,
@@ -143,10 +153,137 @@ impl GpSolution {
 
 /// Hard cap on `‖y‖∞` (log-space); beyond this the problem is declared
 /// unbounded (x outside `[e⁻⁴⁰, e⁴⁰]` is physically meaningless for sizes).
-const Y_BOUND: f64 = 40.0;
+pub(crate) const Y_BOUND: f64 = 40.0;
 
 /// Trust-region-style cap on a single Newton step in log space.
-const MAX_STEP: f64 = 8.0;
+pub(crate) const MAX_STEP: f64 = 8.0;
+
+/// Per-solve scratch for the Newton loops: the sparse gradient/Hessian
+/// accumulator plus the factorization, right-hand-side, direction and
+/// line-search trial buffers. Every buffer keeps its capacity across
+/// Newton steps and backtracking trials, so the steady-state step
+/// allocates nothing.
+#[derive(Debug, Default)]
+struct NewtonWorkspace {
+    /// Sparse scatter target: gradient + packed lower-triangular Hessian.
+    ws: GradHessWorkspace,
+    /// Packed matrix copy consumed by the in-place Cholesky (the ridge
+    /// escalation re-copies into it instead of cloning the matrix).
+    factor: Vec<f64>,
+    /// Negated gradient handed to the linear solve.
+    rhs: Vec<f64>,
+    /// Newton direction.
+    dir: Vec<f64>,
+    /// Line-search trial point.
+    trial: Vec<f64>,
+}
+
+/// Shared setup for [`GpProblem::solve`] and
+/// [`GpProblem::solve_reference`]: validates the problem data,
+/// log-transforms the objective and constraints, and maps the optional
+/// warm start into log space.
+pub(crate) fn prepare(
+    problem: &GpProblem,
+    opts: &SolverOptions,
+) -> Result<(LogPosynomial, Vec<LogPosynomial>, Vec<f64>), GpError> {
+    let dim = problem.dim();
+    if dim == 0 {
+        return Err(GpError::Numerical {
+            stage: "setup",
+            detail: "problem has no variables".into(),
+        });
+    }
+    problem
+        .objective()
+        .validate()
+        .map_err(|e| GpError::NonFinite {
+            stage: "setup",
+            detail: format!("objective: {e}"),
+        })?;
+    for c in problem.constraints() {
+        c.body.validate().map_err(|e| GpError::NonFinite {
+            stage: "setup",
+            detail: format!("constraint '{}': {e}", c.label),
+        })?;
+    }
+    let obj = LogPosynomial::from_posynomial(problem.objective(), dim);
+    let cons: Vec<LogPosynomial> = problem
+        .constraints()
+        .iter()
+        .map(|c| LogPosynomial::from_posynomial(&c.body, dim))
+        .collect();
+
+    let start: Vec<f64> = match &opts.initial_x {
+        Some(x0) => {
+            if x0.len() < dim {
+                return Err(GpError::Numerical {
+                    stage: "setup",
+                    detail: format!(
+                        "initial point has {} coordinates, problem has {dim}",
+                        x0.len()
+                    ),
+                });
+            }
+            let mut y = Vec::with_capacity(dim);
+            for (i, &v) in x0[..dim].iter().enumerate() {
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(GpError::NonFinite {
+                        stage: "setup",
+                        detail: format!("initial point coordinate {i} is {v}"),
+                    });
+                }
+                y.push(v.ln());
+            }
+            y
+        }
+        None => vec![0.0; dim],
+    };
+    Ok((obj, cons, start))
+}
+
+/// Shared epilogue: exponentiates the log-space optimum, validates it, and
+/// assembles the [`GpSolution`] with its KKT report.
+pub(crate) fn finalize(
+    problem: &GpProblem,
+    obj: &LogPosynomial,
+    cons: &[LogPosynomial],
+    y: Vec<f64>,
+    t_final: f64,
+    phase1_steps: usize,
+    phase2_steps: usize,
+) -> Result<GpSolution, GpError> {
+    let x: Vec<f64> = y.iter().map(|&v| v.exp()).collect();
+    if x.iter().any(|v| !v.is_finite()) {
+        return Err(GpError::NonFinite {
+            stage: "solution",
+            detail: "optimizer returned a non-finite width".into(),
+        });
+    }
+    let objective = problem.objective().eval(&x);
+    if !objective.is_finite() {
+        return Err(GpError::NonFinite {
+            stage: "solution",
+            detail: format!("objective evaluated to {objective} at the optimum"),
+        });
+    }
+    let kkt = KktReport::at_point(obj, cons, &y, t_final);
+    smart_trace::emit_with("gp/solve", || {
+        vec![
+            ("dim", problem.dim().into()),
+            ("constraints", cons.len().into()),
+            ("phase1_steps", phase1_steps.into()),
+            ("phase2_steps", phase2_steps.into()),
+            ("objective", objective.into()),
+        ]
+    });
+    Ok(GpSolution {
+        objective,
+        x,
+        phase1_newton_steps: phase1_steps,
+        phase2_newton_steps: phase2_steps,
+        kkt,
+    })
+}
 
 impl GpProblem {
     /// Solves the geometric program.
@@ -164,96 +301,26 @@ impl GpProblem {
     /// * [`GpError::BudgetExceeded`] — a configured deadline or Newton-step
     ///   cap fired before convergence.
     pub fn solve(&self, opts: &SolverOptions) -> Result<GpSolution, GpError> {
-        let dim = self.dim();
-        if dim == 0 {
-            return Err(GpError::Numerical {
-                stage: "setup",
-                detail: "problem has no variables".into(),
-            });
-        }
-        self.objective().validate().map_err(|e| GpError::NonFinite {
-            stage: "setup",
-            detail: format!("objective: {e}"),
-        })?;
-        for c in self.constraints() {
-            c.body.validate().map_err(|e| GpError::NonFinite {
-                stage: "setup",
-                detail: format!("constraint '{}': {e}", c.label),
-            })?;
-        }
-        let obj = LogPosynomial::from_posynomial(self.objective(), dim);
-        let cons: Vec<LogPosynomial> = self
-            .constraints()
-            .iter()
-            .map(|c| LogPosynomial::from_posynomial(&c.body, dim))
-            .collect();
-
-        let start: Vec<f64> = match &opts.initial_x {
-            Some(x0) => {
-                if x0.len() < dim {
-                    return Err(GpError::Numerical {
-                        stage: "setup",
-                        detail: format!(
-                            "initial point has {} coordinates, problem has {dim}",
-                            x0.len()
-                        ),
-                    });
-                }
-                let mut y = Vec::with_capacity(dim);
-                for (i, &v) in x0[..dim].iter().enumerate() {
-                    if !(v.is_finite() && v > 0.0) {
-                        return Err(GpError::NonFinite {
-                            stage: "setup",
-                            detail: format!("initial point coordinate {i} is {v}"),
-                        });
-                    }
-                    y.push(v.ln());
-                }
-                y
-            }
-            None => vec![0.0; dim],
-        };
+        let (obj, cons, start) = prepare(self, opts)?;
+        let mut nw = NewtonWorkspace::default();
         let mut phase1_steps = 0;
         let y0 = if cons.is_empty() {
             start
         } else {
-            phase1(&cons, start, opts, &mut phase1_steps)?
+            phase1(&cons, start, opts, &mut phase1_steps, &mut nw)?
         };
 
         let mut phase2_steps = 0;
-        let (y, t_final) = phase2(&obj, &cons, y0, opts, phase1_steps, &mut phase2_steps)?;
-
-        let x: Vec<f64> = y.iter().map(|&v| v.exp()).collect();
-        if x.iter().any(|v| !v.is_finite()) {
-            return Err(GpError::NonFinite {
-                stage: "solution",
-                detail: "optimizer returned a non-finite width".into(),
-            });
-        }
-        let objective = self.objective().eval(&x);
-        if !objective.is_finite() {
-            return Err(GpError::NonFinite {
-                stage: "solution",
-                detail: format!("objective evaluated to {objective} at the optimum"),
-            });
-        }
-        let kkt = KktReport::at_point(&obj, &cons, &y, t_final);
-        smart_trace::emit_with("gp/solve", || {
-            vec![
-                ("dim", dim.into()),
-                ("constraints", cons.len().into()),
-                ("phase1_steps", phase1_steps.into()),
-                ("phase2_steps", phase2_steps.into()),
-                ("objective", objective.into()),
-            ]
-        });
-        Ok(GpSolution {
-            objective,
-            x,
-            phase1_newton_steps: phase1_steps,
-            phase2_newton_steps: phase2_steps,
-            kkt,
-        })
+        let (y, t_final) = phase2(
+            &obj,
+            &cons,
+            y0,
+            opts,
+            phase1_steps,
+            &mut phase2_steps,
+            &mut nw,
+        )?;
+        finalize(self, &obj, &cons, y, t_final, phase1_steps, phase2_steps)
     }
 }
 
@@ -264,7 +331,15 @@ fn phase1(
     start: Vec<f64>,
     opts: &SolverOptions,
     steps: &mut usize,
+    nw: &mut NewtonWorkspace,
 ) -> Result<Vec<f64>, GpError> {
+    let NewtonWorkspace {
+        ws,
+        factor,
+        rhs,
+        dir,
+        trial,
+    } = nw;
     let dim = start.len();
     let mut y = start;
     let worst = |y: &[f64]| -> f64 {
@@ -282,35 +357,37 @@ fn phase1(
     // iterate drift; at t = m the initial slack stays O(1).
     let mut t = 1.0f64.max(cons.len() as f64);
     for _ in 0..opts.max_outer_iter {
-        // Centering on φ(y,s) = t·s − Σ log(s − Fᵢ(y)).
+        // Centering on φ(y,s) = t·s − Σ log(s − Fᵢ(y)), assembled sparsely
+        // over the slack-augmented space (the slack is coordinate `dim`).
         for _ in 0..opts.max_newton_iter {
             *steps += 1;
             check_budget(opts, "phase1", *steps)?;
             let n = dim + 1;
-            let mut grad = vec![0.0; n];
-            let mut hess = vec![vec![0.0; n]; n];
-            grad[dim] = t;
+            ws.reset(n);
+            ws.grad_mut()[dim] = t;
+            // The barrier value at (y, s) falls out of the assembly for
+            // free: the same constraint values, combined in the same order
+            // as the line-search evaluator, so `f0` is bit-identical to a
+            // separate evaluation and costs no extra posynomial sweeps.
+            let mut f0 = t * s;
             let mut domain_ok = true;
             for c in cons {
-                let (fv, fg, fh) = c.value_grad_hess(&y);
+                let fv = c.value_grad_hess_into(&y, ws);
                 let g = s - fv;
                 if g <= 0.0 {
                     domain_ok = false;
                     break;
                 }
+                f0 -= g.ln();
                 let inv = 1.0 / g;
                 let inv2 = inv * inv;
-                for i in 0..dim {
-                    grad[i] += inv * fg[i];
-                    grad[dim] -= 0.0; // s-part accumulated below
-                    for j in 0..dim {
-                        hess[i][j] += inv2 * fg[i] * fg[j] + inv * fh[i][j];
-                    }
-                    hess[i][dim] -= inv2 * fg[i];
-                    hess[dim][i] -= inv2 * fg[i];
-                }
-                grad[dim] -= inv;
-                hess[dim][dim] += inv2;
+                // y-block of −∇²log(s−F): inv²·ffᵀ + inv·∇²F, …
+                ws.scatter_staged(inv, inv, inv2);
+                // … the s-row cross terms −inv²·f, …
+                ws.scatter_staged_row(dim, -inv2);
+                // … and the s-part: ∂φ/∂s gains −inv, ∂²φ/∂s² gains inv².
+                ws.grad_mut()[dim] -= inv;
+                ws.add_hess(dim, dim, inv2);
             }
             if !domain_ok {
                 return Err(GpError::Numerical {
@@ -318,42 +395,48 @@ fn phase1(
                     detail: "iterate left the barrier domain".into(),
                 });
             }
-            let neg_grad: Vec<f64> = grad.iter().map(|&g| -g).collect();
-            let (d, _) = solve_spd_ridged(&hess, &neg_grad);
-            let decrement2 = -dot(&grad, &d);
+            rhs.clear();
+            rhs.extend(ws.grad().iter().map(|&g| -g));
+            solve_spd_ridged_packed(ws.hess_packed(), n, rhs, factor, dir);
+            let decrement2 = -dot(ws.grad(), dir);
             if decrement2 / 2.0 < opts.newton_tol {
                 break;
             }
-            // Backtracking line search keeping s − Fᵢ > 0.
-            let value = |y: &[f64], s: f64| -> Option<f64> {
+            // Backtracking line search keeping s − Fᵢ > 0. Each trial also
+            // reports the worst raw constraint value so the feasibility
+            // check below reuses the accepted trial's sweep (the fold order
+            // matches `worst`, keeping the result bit-identical).
+            let value_worst = |y: &[f64], s: f64| -> Option<(f64, f64)> {
                 let mut v = t * s;
+                let mut w = f64::NEG_INFINITY;
                 for c in cons {
-                    let g = s - c.value(y);
+                    let fv = c.value(y);
+                    let g = s - fv;
                     if g <= 0.0 {
                         return None;
                     }
+                    w = w.max(fv);
                     v -= g.ln();
                 }
-                Some(v)
+                Some((v, w))
             };
-            let f0 = value(&y, s).ok_or(GpError::Numerical {
-                stage: "phase1",
-                detail: "current point infeasible for barrier".into(),
-            })?;
             // Cap the step so the phase-I recession direction (s → −∞ with
             // g fixed) cannot fling the iterate outside the sanity box
             // before the early feasibility return fires.
-            let mut alpha = (MAX_STEP / norm(&d)).min(1.0);
-            let slope = dot(&grad, &d);
+            let mut alpha = (MAX_STEP / norm(dir)).min(1.0);
+            let slope = dot(ws.grad(), dir);
             let mut accepted = false;
+            let mut worst_y = f64::INFINITY;
             for _ in 0..60 {
-                let mut yn = y.clone();
-                axpy(alpha, &d[..dim], &mut yn);
-                let sn = s + alpha * d[dim];
-                if let Some(fv) = value(&yn, sn) {
+                trial.clear();
+                trial.extend_from_slice(&y);
+                axpy(alpha, &dir[..dim], trial);
+                let sn = s + alpha * dir[dim];
+                if let Some((fv, w)) = value_worst(trial, sn) {
                     if fv <= f0 + 0.25 * alpha * slope {
-                        y = yn;
+                        std::mem::swap(&mut y, trial);
                         s = sn;
+                        worst_y = w;
                         accepted = true;
                         break;
                     }
@@ -374,8 +457,9 @@ fn phase1(
             }
             // Return on *actual* strict feasibility of y, not only via the
             // slack s — the slack can lag while the barrier drifts along
-            // directions where some gᵢ grows without bound.
-            if s < -opts.feasibility_margin || worst(&y) < -opts.feasibility_margin {
+            // directions where some gᵢ grows without bound. `worst_y` is
+            // the accepted trial's sweep, so no extra evaluation is needed.
+            if s < -opts.feasibility_margin || worst_y < -opts.feasibility_margin {
                 return Ok(y);
             }
             // NaN never compares > Y_BOUND, so catch it explicitly before
@@ -419,6 +503,7 @@ fn phase1(
 
 /// Phase II: barrier method on `t·F₀(y) − Σ log(−Fᵢ(y))` from a strictly
 /// feasible start.
+#[allow(clippy::too_many_arguments)]
 fn phase2(
     obj: &LogPosynomial,
     cons: &[LogPosynomial],
@@ -426,7 +511,15 @@ fn phase2(
     opts: &SolverOptions,
     spent_before: usize,
     steps: &mut usize,
+    nw: &mut NewtonWorkspace,
 ) -> Result<(Vec<f64>, f64), GpError> {
+    let NewtonWorkspace {
+        ws,
+        factor,
+        rhs,
+        dir,
+        trial,
+    } = nw;
     let dim = y.len();
     let m = cons.len();
     let mut t: f64 = 1.0f64.max(m as f64);
@@ -448,48 +541,45 @@ fn phase2(
         for _ in 0..opts.max_newton_iter {
             *steps += 1;
             check_budget(opts, "phase2", spent_before + *steps)?;
-            let (_, og, oh) = obj.value_grad_hess(&y);
-            let mut grad: Vec<f64> = og.iter().map(|&g| t * g).collect();
-            let mut hess: Vec<Vec<f64>> = oh
-                .iter()
-                .map(|row| row.iter().map(|&h| t * h).collect())
-                .collect();
+            ws.reset(dim);
+            // The objective contributes t·∇F₀ and t·∇²F₀ (no rank-one
+            // barrier piece). As in phase I, the barrier value `f0` is
+            // accumulated from the assembly's own evaluations, in the same
+            // order as the line-search evaluator — bit-identical, no extra
+            // sweeps.
+            let obj_val = obj.value_grad_hess_into(&y, ws);
+            ws.scatter_staged(t, t, 0.0);
+            let mut f0 = t * obj_val;
             for c in cons {
-                let (fv, fg, fh) = c.value_grad_hess(&y);
+                let fv = c.value_grad_hess_into(&y, ws);
                 if fv >= 0.0 {
                     return Err(GpError::Numerical {
                         stage: "phase2",
                         detail: "iterate left the feasible interior".into(),
                     });
                 }
+                f0 -= (-fv).ln();
                 let inv = -1.0 / fv; // 1/(−Fᵢ) > 0
                 let inv2 = inv * inv;
-                for i in 0..dim {
-                    grad[i] += inv * fg[i];
-                    for j in 0..dim {
-                        hess[i][j] += inv2 * fg[i] * fg[j] + inv * fh[i][j];
-                    }
-                }
+                ws.scatter_staged(inv, inv, inv2);
             }
-            let neg_grad: Vec<f64> = grad.iter().map(|&g| -g).collect();
-            let (d, _) = solve_spd_ridged(&hess, &neg_grad);
-            let decrement2 = -dot(&grad, &d);
+            rhs.clear();
+            rhs.extend(ws.grad().iter().map(|&g| -g));
+            solve_spd_ridged_packed(ws.hess_packed(), dim, rhs, factor, dir);
+            let decrement2 = -dot(ws.grad(), dir);
             if decrement2.abs() / 2.0 < opts.newton_tol {
                 break;
             }
-            let f0 = value(&y, t).ok_or(GpError::Numerical {
-                stage: "phase2",
-                detail: "lost feasibility before line search".into(),
-            })?;
-            let slope = dot(&grad, &d);
-            let mut alpha = (MAX_STEP / norm(&d)).min(1.0);
+            let slope = dot(ws.grad(), dir);
+            let mut alpha = (MAX_STEP / norm(dir)).min(1.0);
             let mut accepted = false;
             for _ in 0..60 {
-                let mut yn = y.clone();
-                axpy(alpha, &d, &mut yn);
-                if let Some(fv) = value(&yn, t) {
+                trial.clear();
+                trial.extend_from_slice(&y);
+                axpy(alpha, dir, trial);
+                if let Some(fv) = value(trial, t) {
                     if fv <= f0 + 0.25 * alpha * slope {
-                        y = yn;
+                        std::mem::swap(&mut y, trial);
                         accepted = true;
                         break;
                     }
@@ -529,7 +619,7 @@ fn phase2(
                 });
                 return Err(GpError::Unbounded);
             }
-            if norm(&d) * alpha < 1e-14 {
+            if norm(dir) * alpha < 1e-14 {
                 break;
             }
         }

@@ -1,0 +1,131 @@
+//! Asserts the steady-state Newton step of the GP kernel performs **zero
+//! heap allocations**: sparse evaluation into the workspace, barrier
+//! scatter, packed ridged Cholesky solve, and streaming line-search
+//! value trials all reuse warmed-up buffers.
+//!
+//! This file holds exactly one `#[test]` and installs a counting global
+//! allocator, so the counter window cannot race a sibling test thread.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use smart_gp::linalg::{axpy, solve_spd_ridged_packed};
+use smart_posy::{GradHessWorkspace, LogPosynomial, Monomial, Posynomial, VarPool};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// All reusable buffers of one solver — the same set the production
+/// `NewtonWorkspace` carries.
+struct Buffers {
+    ws: GradHessWorkspace,
+    factor: Vec<f64>,
+    rhs: Vec<f64>,
+    dir: Vec<f64>,
+    trial: Vec<f64>,
+}
+
+/// One full phase-II Newton step exactly as the production solver runs
+/// it: sparse assembly, packed ridged solve, then backtracking trials
+/// evaluated with the streaming `value()`.
+fn newton_step(obj: &LogPosynomial, cons: &[LogPosynomial], y: &[f64], t: f64, b: &mut Buffers) {
+    let dim = y.len();
+    b.ws.reset(dim);
+    let _ = obj.value_grad_hess_into(y, &mut b.ws);
+    b.ws.scatter_staged(t, t, 0.0);
+    for c in cons {
+        let fv = c.value_grad_hess_into(y, &mut b.ws);
+        assert!(fv < 0.0, "test point must be strictly interior");
+        let inv = -1.0 / fv;
+        b.ws.scatter_staged(inv, inv, inv * inv);
+    }
+    b.rhs.clear();
+    b.rhs.extend(b.ws.grad().iter().map(|&g| -g));
+    solve_spd_ridged_packed(b.ws.hess_packed(), dim, &b.rhs, &mut b.factor, &mut b.dir);
+    // Backtracking trials: trial point + barrier value, allocation-free.
+    let mut alpha = 0.25f64;
+    for _ in 0..4 {
+        b.trial.clear();
+        b.trial.extend_from_slice(y);
+        axpy(alpha, &b.dir, &mut b.trial);
+        let mut v = t * obj.value(&b.trial);
+        for c in cons {
+            let fv = c.value(&b.trial);
+            assert!(fv < 0.0, "trial left the interior; shrink alpha in the test");
+            v -= (-fv).ln();
+        }
+        std::hint::black_box(v);
+        alpha *= 0.5;
+    }
+}
+
+#[test]
+fn steady_state_newton_step_allocates_nothing() {
+    // A chain-structured GP like a sizing problem: each constraint touches
+    // two adjacent width variables (support 2 in a 24-dim ambient space).
+    let dim = 24usize;
+    let mut pool = VarPool::new();
+    let vars: Vec<_> = (0..dim).map(|i| pool.var(&format!("w{i}"))).collect();
+    let obj_p = vars
+        .iter()
+        .fold(Posynomial::zero(), |acc, &v| acc + Monomial::var(v));
+    let obj = LogPosynomial::from_posynomial(&obj_p, dim);
+    let cons: Vec<LogPosynomial> = (0..dim - 1)
+        .map(|i| {
+            // 0.2·w_{i+1}/w_i + 0.1/w_i ≤ 1, strictly interior at x = 1.
+            let body = Posynomial::from(
+                Monomial::new(0.2).pow(vars[i + 1], 1.0).pow(vars[i], -1.0),
+            ) + Monomial::new(0.1).pow(vars[i], -1.0);
+            LogPosynomial::from_posynomial(&body, dim)
+        })
+        .collect();
+
+    let y = vec![0.0; dim]; // x = 1: strictly feasible
+    let t = 8.0;
+    let mut b = Buffers {
+        ws: GradHessWorkspace::new(dim),
+        factor: Vec::new(),
+        rhs: Vec::new(),
+        dir: Vec::new(),
+        trial: Vec::new(),
+    };
+
+    // Warm-up: every buffer reaches its steady-state capacity.
+    newton_step(&obj, &cons, &y, t, &mut b);
+    newton_step(&obj, &cons, &y, t, &mut b);
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    newton_step(&obj, &cons, &y, t, &mut b);
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state Newton step performed {} heap allocations",
+        after - before
+    );
+}

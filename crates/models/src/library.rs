@@ -168,9 +168,40 @@ impl ModelLibrary {
         slope_in: Option<&Posynomial>,
         vars: &[VarId],
     ) -> Posynomial {
+        let rc = self.stage_rc_posy(comp, edge, c, vars);
+        self.stage_delay_from_rc(comp, &rc, slope_in)
+    }
+
+    /// The `R·C` posynomial of a stage — the slope-independent product
+    /// shared by [`ModelLibrary::stage_delay_posy`] and
+    /// [`ModelLibrary::stage_slope_posy`]. Timing builders cache it per
+    /// arc: the same arc appears on many timing paths, but its `R·C` (and
+    /// hence its output slope) depends only on the arc itself, so the
+    /// expensive posynomial product is paid once per arc instead of once
+    /// per path traversal.
+    pub fn stage_rc_posy(
+        &self,
+        comp: &Component,
+        edge: Edge,
+        c: &Posynomial,
+        vars: &[VarId],
+    ) -> Posynomial {
         let r = self.drive_resistance_posy(comp, edge, vars);
+        r * c.clone()
+    }
+
+    /// Assembles the stage delay from a precomputed `R·C` product. Term
+    /// order matches [`ModelLibrary::stage_delay_posy`] exactly (intrinsic,
+    /// then `R·C`, then the slope contribution), so cached and uncached
+    /// paths build bit-identical posynomials.
+    pub fn stage_delay_from_rc(
+        &self,
+        comp: &Component,
+        rc: &Posynomial,
+        slope_in: Option<&Posynomial>,
+    ) -> Posynomial {
         let mut d = Posynomial::constant(self.process.intrinsic * intrinsic_factor(&comp.kind));
-        d += r * c.clone();
+        d += rc.clone();
         if let Some(s) = slope_in {
             if !s.is_zero() {
                 d += s.scale(self.process.slope_to_delay);
@@ -187,9 +218,15 @@ impl ModelLibrary {
         c: &Posynomial,
         vars: &[VarId],
     ) -> Posynomial {
-        let r = self.drive_resistance_posy(comp, edge, vars);
+        let rc = self.stage_rc_posy(comp, edge, c, vars);
+        self.stage_slope_from_rc(&rc)
+    }
+
+    /// Assembles the stage output slope from a precomputed `R·C` product;
+    /// see [`ModelLibrary::stage_delay_from_rc`] for the ordering contract.
+    pub fn stage_slope_from_rc(&self, rc: &Posynomial) -> Posynomial {
         Posynomial::constant(self.process.slope_min)
-            + (r * c.clone()).scale(self.process.slope_gain / self.process.tau)
+            + rc.scale(self.process.slope_gain / self.process.tau)
     }
 
     /// Numeric timing of one full arc through `comp`: looks up the output

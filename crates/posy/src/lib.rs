@@ -38,9 +38,11 @@ mod logform;
 mod monomial;
 mod posynomial;
 mod vars;
+mod workspace;
 
 pub use error::PosyError;
 pub use logform::{LogPosynomial, LogTerm};
 pub use monomial::Monomial;
 pub use posynomial::Posynomial;
 pub use vars::{VarId, VarPool};
+pub use workspace::{packed_index, packed_len, GradHessWorkspace};

@@ -5,6 +5,7 @@
 //! The GP solver works exclusively on this form; this module provides the
 //! conversion plus value/gradient/Hessian evaluation.
 
+use crate::workspace::GradHessWorkspace;
 use crate::Posynomial;
 
 /// One exponentiated affine term `exp(a·y + b)` of a log-form posynomial.
@@ -35,6 +36,38 @@ pub struct LogTerm {
 pub struct LogPosynomial {
     terms: Vec<LogTerm>,
     dim: usize,
+    /// Sorted, deduplicated variable indices this posynomial touches.
+    support: Vec<usize>,
+    /// Per-term exponents re-indexed into `support` slots, flattened;
+    /// term `k` owns `slot_exps[slot_bounds[k]..slot_bounds[k+1]]`. The
+    /// sparse evaluator scatters through these so a constraint of support
+    /// `s` costs O(s²) regardless of the ambient dimension.
+    slot_exps: Vec<(u32, f64)>,
+    slot_bounds: Vec<u32>,
+}
+
+/// Precomputes the support and the slot-indexed exponent rows.
+fn index_support(terms: &[LogTerm]) -> (Vec<usize>, Vec<(u32, f64)>, Vec<u32>) {
+    let mut support: Vec<usize> = terms
+        .iter()
+        .flat_map(|t| t.exps.iter().map(|&(i, _)| i))
+        .collect();
+    support.sort_unstable();
+    support.dedup();
+    let mut slot_exps = Vec::with_capacity(terms.iter().map(|t| t.exps.len()).sum());
+    let mut slot_bounds = Vec::with_capacity(terms.len() + 1);
+    slot_bounds.push(0u32);
+    for t in terms {
+        for &(i, e) in &t.exps {
+            // The index is present by construction; partition_point avoids
+            // an unwrap on binary_search's Result.
+            let slot = support.partition_point(|&v| v < i);
+            debug_assert_eq!(support[slot], i);
+            slot_exps.push((slot as u32, e));
+        }
+        slot_bounds.push(slot_exps.len() as u32);
+    }
+    (support, slot_exps, slot_bounds)
 }
 
 impl LogPosynomial {
@@ -52,7 +85,7 @@ impl LogPosynomial {
             p.dimension() - 1,
             dim
         );
-        let terms = p
+        let terms: Vec<LogTerm> = p
             .terms()
             .iter()
             .map(|m| LogTerm {
@@ -60,7 +93,14 @@ impl LogPosynomial {
                 offset: m.coeff().ln(),
             })
             .collect();
-        LogPosynomial { terms, dim }
+        let (support, slot_exps, slot_bounds) = index_support(&terms);
+        LogPosynomial {
+            terms,
+            dim,
+            support,
+            slot_exps,
+            slot_bounds,
+        }
     }
 
     /// Builds directly from raw log-terms (used for synthetic constraints
@@ -76,7 +116,14 @@ impl LogPosynomial {
                 assert!(i < dim, "term references variable {i} out of {dim}");
             }
         }
-        LogPosynomial { terms, dim }
+        let (support, slot_exps, slot_bounds) = index_support(&terms);
+        LogPosynomial {
+            terms,
+            dim,
+            support,
+            slot_exps,
+            slot_bounds,
+        }
     }
 
     /// Number of optimization variables of the ambient problem.
@@ -89,16 +136,11 @@ impl LogPosynomial {
         &self.terms
     }
 
-    /// Dense variable indices referenced by this posynomial.
-    pub fn support(&self) -> Vec<usize> {
-        let mut s: Vec<usize> = self
-            .terms
-            .iter()
-            .flat_map(|t| t.exps.iter().map(|&(i, _)| i))
-            .collect();
-        s.sort_unstable();
-        s.dedup();
-        s
+    /// Dense variable indices referenced by this posynomial, sorted
+    /// ascending and deduplicated. Precomputed at construction — a borrow,
+    /// never a fresh allocation.
+    pub fn support(&self) -> &[usize] {
+        &self.support
     }
 
     /// The affine exponents of each term as dense rows (one row per term).
@@ -128,16 +170,38 @@ impl LogPosynomial {
             .collect()
     }
 
+    /// One term's exponent dot `aₖ·y + bₖ`.
+    #[inline]
+    fn term_dot(t: &LogTerm, y: &[f64]) -> f64 {
+        t.offset + t.exps.iter().map(|&(i, e)| e * y[i]).sum::<f64>()
+    }
+
     /// `F(y) = log Σ exp(aₖ·y + bₖ)`, computed with a max-shift so that very
     /// large or small exponents do not overflow.
+    ///
+    /// Streams the terms twice (max pass, then sum pass) instead of
+    /// materializing the dot vector — the line searches of the GP solver
+    /// call this per constraint per trial, so it must not allocate.
     ///
     /// # Panics
     ///
     /// Panics if `y.len() < self.dim()`.
     pub fn value(&self, y: &[f64]) -> f64 {
         assert!(y.len() >= self.dim, "point has wrong dimension");
-        let z = self.exponent_dots(y);
-        log_sum_exp(&z)
+        let m = self
+            .terms
+            .iter()
+            .map(|t| Self::term_dot(t, y))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if m.is_infinite() {
+            return m;
+        }
+        m + self
+            .terms
+            .iter()
+            .map(|t| (Self::term_dot(t, y) - m).exp())
+            .sum::<f64>()
+            .ln()
     }
 
     /// Value and gradient of `F` at `y`.
@@ -181,9 +245,78 @@ impl LogPosynomial {
         }
         (val, grad, hess)
     }
+
+    /// Sparse twin of [`value_grad_hess`](Self::value_grad_hess): stages
+    /// the gradient and packed Hessian **over the support only** into
+    /// `ws` and returns the value. The caller folds the staged
+    /// contribution into the global accumulators with
+    /// [`GradHessWorkspace::scatter_staged`], choosing scale factors that
+    /// may depend on the returned value (barrier weights do).
+    ///
+    /// Cost is O(Σₖ sₖ²) in the per-term support sizes — independent of
+    /// the ambient dimension — and allocation-free once the workspace
+    /// buffers have warmed up. Values agree with the dense oracle to the
+    /// last bits: both paths compute the same sums in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() < self.dim()` or the workspace's dimension is
+    /// smaller than `self.dim()`.
+    pub fn value_grad_hess_into(&self, y: &[f64], ws: &mut GradHessWorkspace) -> f64 {
+        assert!(y.len() >= self.dim, "point has wrong dimension");
+        assert!(
+            ws.dim() >= self.dim,
+            "workspace dimension {} below posynomial dimension {}",
+            ws.dim(),
+            self.dim
+        );
+        ws.stage_begin(&self.support);
+        // Exponent dots, then softmax weights in place.
+        let mut scratch = std::mem::take(&mut ws.term_scratch);
+        scratch.clear();
+        scratch.extend(self.terms.iter().map(|t| Self::term_dot(t, y)));
+        let m = scratch.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for z in scratch.iter_mut() {
+            *z = (*z - m).exp();
+            sum += *z;
+        }
+        let val = m + sum.ln();
+        for z in scratch.iter_mut() {
+            *z /= sum;
+        }
+        let (grad, hess) = ws.stage_buffers();
+        let s = self.support.len();
+        for (k, &wk) in scratch.iter().enumerate() {
+            let range = self.slot_bounds[k] as usize..self.slot_bounds[k + 1] as usize;
+            let exps = &self.slot_exps[range];
+            for &(si, ei) in exps {
+                let si = si as usize;
+                grad[si] += wk * ei;
+                let row = si * (si + 1) / 2;
+                for &(sj, ej) in exps {
+                    let sj = sj as usize;
+                    if sj <= si {
+                        hess[row + sj] += wk * ei * ej;
+                    }
+                }
+            }
+        }
+        // Low-rank completion: H = Σ wₖaₖaₖᵀ − ggᵀ.
+        for si in 0..s {
+            let row = si * (si + 1) / 2;
+            for sj in 0..=si {
+                hess[row + sj] -= grad[si] * grad[sj];
+            }
+        }
+        ws.term_scratch = scratch;
+        val
+    }
 }
 
-/// Numerically stable `log Σ exp(zₖ)`.
+/// Numerically stable `log Σ exp(zₖ)` (test oracle for the streaming
+/// [`LogPosynomial::value`]).
+#[cfg(test)]
 pub(crate) fn log_sum_exp(z: &[f64]) -> f64 {
     let m = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     if m.is_infinite() {
@@ -285,6 +418,57 @@ mod tests {
     #[should_panic(expected = "zero posynomial")]
     fn zero_posynomial_rejected() {
         let _ = LogPosynomial::from_posynomial(&Posynomial::zero(), 1);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn sparse_workspace_matches_dense_oracle() {
+        use crate::{packed_index, GradHessWorkspace};
+        // Embed the 2-var sample in a 5-var ambient problem so the
+        // support {0, 1} is a strict subset the scatter must respect.
+        let (lp2, _) = sample();
+        let lp = LogPosynomial::from_terms(lp2.terms().to_vec(), 5);
+        let y = [0.3, -0.7, 9.0, -9.0, 0.1];
+        let (val, grad, hess) = lp.value_grad_hess(&y);
+        let mut ws = GradHessWorkspace::new(5);
+        let sval = lp.value_grad_hess_into(&y, &mut ws);
+        ws.scatter_staged(1.0, 1.0, 0.0);
+        assert_eq!(val, sval, "values must agree bitwise");
+        assert_eq!(lp.value(&y), val, "streaming value must agree");
+        for i in 0..5 {
+            assert_eq!(grad[i], ws.grad()[i], "grad[{i}]");
+            for j in 0..=i {
+                assert_eq!(
+                    hess[i][j],
+                    ws.hess_packed()[packed_index(i, j)],
+                    "hess[{i}][{j}]"
+                );
+            }
+        }
+        // Untouched coordinates stay exactly zero.
+        assert_eq!(ws.grad()[3], 0.0);
+        assert_eq!(ws.hess_packed()[packed_index(4, 2)], 0.0);
+    }
+
+    #[test]
+    fn scatter_rank_one_matches_barrier_formula() {
+        use crate::{packed_index, GradHessWorkspace};
+        let (lp, _) = sample();
+        let y = [0.1, 0.2];
+        let (_, fg, fh) = lp.value_grad_hess(&y);
+        let (inv, inv2) = (1.7, 1.7 * 1.7);
+        let mut ws = GradHessWorkspace::new(2);
+        let _ = lp.value_grad_hess_into(&y, &mut ws);
+        ws.scatter_staged(inv, inv, inv2);
+        for i in 0..2 {
+            let want_g = inv * fg[i];
+            assert!((ws.grad()[i] - want_g).abs() < 1e-15);
+            for j in 0..=i {
+                let want_h = inv2 * fg[i] * fg[j] + inv * fh[i][j];
+                let got = ws.hess_packed()[packed_index(i, j)];
+                assert!((got - want_h).abs() < 1e-15, "H[{i}][{j}]: {got} vs {want_h}");
+            }
+        }
     }
 
     #[test]

@@ -102,6 +102,22 @@ impl Monomial {
         self
     }
 
+    /// In-place variant of [`Monomial::scale`], for merge paths that must
+    /// not clone the exponent map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting coefficient is not finite and strictly
+    /// positive.
+    pub fn scale_assign(&mut self, k: f64) {
+        let c = self.coeff * k;
+        assert!(
+            c.is_finite() && c > 0.0,
+            "scaled coefficient must stay finite and > 0, got {c}"
+        );
+        self.coeff = c;
+    }
+
     /// The positive coefficient `c`.
     pub fn coeff(&self) -> f64 {
         self.coeff

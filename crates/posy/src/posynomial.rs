@@ -154,8 +154,8 @@ impl Posynomial {
         for t in &mut self.terms {
             if same_exponents(t, &m) {
                 let merged = t.coeff() + m.coeff();
-                // Rebuild with the merged coefficient; exponents are identical.
-                *t = t.clone().scale(merged / t.coeff());
+                // Exponents are identical, so only the coefficient moves.
+                t.scale_assign(merged / t.coeff());
                 return;
             }
         }
@@ -197,15 +197,19 @@ impl Posynomial {
 }
 
 fn same_exponents(a: &Monomial, b: &Monomial) -> bool {
-    let mut ea: Vec<_> = a.exponents().collect();
-    let mut eb: Vec<_> = b.exponents().collect();
-    ea.sort_by_key(|&(v, _)| v);
-    eb.sort_by_key(|&(v, _)| v);
-    ea.len() == eb.len()
-        && ea
-            .iter()
-            .zip(&eb)
-            .all(|(&(va, xa), &(vb, xb))| va == vb && (xa - xb).abs() < 1e-12)
+    // Exponent maps iterate in ascending variable order already, so the
+    // pairs can be compared lockstep without collecting or sorting — this
+    // runs O(terms²) times during posynomial assembly and must stay
+    // allocation-free.
+    let mut ea = a.exponents();
+    let mut eb = b.exponents();
+    loop {
+        match (ea.next(), eb.next()) {
+            (None, None) => return true,
+            (Some((va, xa)), Some((vb, xb))) if va == vb && (xa - xb).abs() < 1e-12 => {}
+            _ => return false,
+        }
+    }
 }
 
 impl From<Monomial> for Posynomial {

@@ -1,0 +1,267 @@
+//! Reusable scatter/gather workspace for sparse log-posynomial evaluation.
+//!
+//! The GP solver assembles one barrier gradient and Hessian per Newton
+//! step by summing contributions from every constraint. Each constraint is
+//! a [`LogPosynomial`](crate::LogPosynomial) that touches only its
+//! *support* — the handful of width variables on one path — yet the dense
+//! evaluation path ([`LogPosynomial::value_grad_hess`]) materializes a
+//! fresh `dim×dim` matrix per constraint per step, making assembly
+//! O(m·n²) in allocations and arithmetic. [`GradHessWorkspace`] turns
+//! assembly into O(m·s²) scatter-adds (s = support size) with **zero heap
+//! allocations after warm-up**:
+//!
+//! 1. [`LogPosynomial::value_grad_hess_into`] evaluates one posynomial
+//!    into the workspace's *staging* area — its value, its gradient over
+//!    the support slots, and its packed support×support Hessian,
+//!    exploiting the low-rank `Σ wₖaₖaₖᵀ − ggᵀ` structure.
+//! 2. [`GradHessWorkspace::scatter_staged`] folds the staged contribution
+//!    into the global accumulators with caller-chosen barrier scale
+//!    factors (which depend on the staged value, hence the two steps).
+//!
+//! The global Hessian accumulator is a flat row-major **packed lower
+//! triangle** (`hess[i·(i+1)/2 + j]`, `j ≤ i`), the same layout the
+//! solver's in-place Cholesky consumes — no dense mirror is ever built.
+//!
+//! [`LogPosynomial::value_grad_hess`]: crate::LogPosynomial::value_grad_hess
+//! [`LogPosynomial::value_grad_hess_into`]: crate::LogPosynomial::value_grad_hess_into
+
+/// Index of entry `(i, j)`, `j ≤ i`, in a row-major packed lower triangle.
+#[inline]
+pub fn packed_index(i: usize, j: usize) -> usize {
+    debug_assert!(j <= i, "packed lower triangle needs j <= i, got ({i},{j})");
+    i * (i + 1) / 2 + j
+}
+
+/// Length of the packed lower triangle of an `n×n` symmetric matrix.
+#[inline]
+pub fn packed_len(n: usize) -> usize {
+    n * (n + 1) / 2
+}
+
+/// Accumulation target and scratch space for sparse gradient/Hessian
+/// assembly. Construct once per solve, [`reset`](Self::reset) once per
+/// Newton step; every buffer keeps its capacity across steps so the
+/// steady state allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct GradHessWorkspace {
+    /// Ambient dimension of the accumulators.
+    dim: usize,
+    /// Accumulated gradient, dense over `dim`.
+    grad: Vec<f64>,
+    /// Accumulated Hessian, packed lower triangle over `dim`.
+    hess: Vec<f64>,
+    /// Staged support (global variable indices, sorted ascending).
+    stage_support: Vec<usize>,
+    /// Staged gradient over the support slots.
+    stage_grad: Vec<f64>,
+    /// Staged Hessian, packed lower triangle over the support slots.
+    stage_hess: Vec<f64>,
+    /// Per-term scratch (exponent dots, then softmax weights, in place).
+    pub(crate) term_scratch: Vec<f64>,
+}
+
+impl GradHessWorkspace {
+    /// A workspace over `dim` ambient variables, accumulators zeroed.
+    pub fn new(dim: usize) -> Self {
+        let mut ws = GradHessWorkspace::default();
+        ws.reset(dim);
+        ws
+    }
+
+    /// Re-targets the workspace to `dim` variables and zeroes the
+    /// gradient and Hessian accumulators. Capacity is retained: after the
+    /// first call at a given `dim`, resetting allocates nothing.
+    pub fn reset(&mut self, dim: usize) {
+        self.dim = dim;
+        self.grad.clear();
+        self.grad.resize(dim, 0.0);
+        self.hess.clear();
+        self.hess.resize(packed_len(dim), 0.0);
+    }
+
+    /// Ambient dimension of the accumulators.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The accumulated gradient.
+    pub fn grad(&self) -> &[f64] {
+        &self.grad
+    }
+
+    /// Mutable access to the accumulated gradient (for terms the sparse
+    /// scatter does not cover, e.g. the phase-I slack coordinate).
+    pub fn grad_mut(&mut self) -> &mut [f64] {
+        &mut self.grad
+    }
+
+    /// The accumulated Hessian as a packed lower triangle
+    /// (`[i·(i+1)/2 + j]`, `j ≤ i`).
+    pub fn hess_packed(&self) -> &[f64] {
+        &self.hess
+    }
+
+    /// Adds `v` to Hessian entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `j > i` or `i >= dim`.
+    #[inline]
+    pub fn add_hess(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.dim);
+        self.hess[packed_index(i, j)] += v;
+    }
+
+    /// Support of the most recently staged posynomial.
+    pub fn staged_support(&self) -> &[usize] {
+        &self.stage_support
+    }
+
+    /// Gradient of the most recently staged posynomial, indexed by
+    /// support slot (aligned with [`staged_support`](Self::staged_support)).
+    pub fn staged_grad(&self) -> &[f64] {
+        &self.stage_grad
+    }
+
+    /// Begins staging a posynomial with the given support: copies the
+    /// indices and zeroes the staged gradient/Hessian. Called by
+    /// [`LogPosynomial::value_grad_hess_into`]; not part of the public
+    /// accumulation protocol.
+    ///
+    /// [`LogPosynomial::value_grad_hess_into`]: crate::LogPosynomial::value_grad_hess_into
+    pub(crate) fn stage_begin(&mut self, support: &[usize]) {
+        debug_assert!(
+            support.last().is_none_or(|&i| i < self.dim),
+            "staged support exceeds workspace dimension"
+        );
+        self.stage_support.clear();
+        self.stage_support.extend_from_slice(support);
+        let s = support.len();
+        self.stage_grad.clear();
+        self.stage_grad.resize(s, 0.0);
+        self.stage_hess.clear();
+        self.stage_hess.resize(packed_len(s), 0.0);
+    }
+
+    /// Mutable staged buffers for the evaluator (grad slots, packed
+    /// Hessian slots).
+    pub(crate) fn stage_buffers(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.stage_grad, &mut self.stage_hess)
+    }
+
+    /// Folds the staged contribution into the global accumulators:
+    ///
+    /// ```text
+    /// grad += g_scale · g
+    /// hess += outer_scale · g gᵀ + h_scale · H
+    /// ```
+    ///
+    /// where `g`/`H` are the staged gradient and Hessian. The split lets
+    /// one staged evaluation serve every barrier role: an objective term
+    /// is `(t, t, 0)`, a log-barrier constraint term `1/(−F)` is
+    /// `(inv, inv, inv²)` — the `inv²·ggᵀ` rank-one piece and the `inv·H`
+    /// curvature piece of `−∇²log(−F)`.
+    ///
+    /// O(s²) in the staged support size; touches nothing outside it.
+    pub fn scatter_staged(&mut self, g_scale: f64, h_scale: f64, outer_scale: f64) {
+        let s = self.stage_support.len();
+        for si in 0..s {
+            let gi = self.stage_grad[si];
+            let gi_idx = self.stage_support[si];
+            self.grad[gi_idx] += g_scale * gi;
+            let row = gi_idx * (gi_idx + 1) / 2;
+            let stage_row = si * (si + 1) / 2;
+            for sj in 0..=si {
+                // Support is sorted ascending, so the global (row, col)
+                // pair stays in the lower triangle.
+                let gj_idx = self.stage_support[sj];
+                self.hess[row + gj_idx] +=
+                    outer_scale * gi * self.stage_grad[sj] + h_scale * self.stage_hess[stage_row + sj];
+            }
+        }
+    }
+
+    /// Adds `scale · g` (the staged gradient) to Hessian row `row` at the
+    /// staged support columns — the cross term coupling an auxiliary
+    /// coordinate (the phase-I slack) to a constraint's variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `row` is below any staged support index (the
+    /// entries would leave the lower triangle).
+    pub fn scatter_staged_row(&mut self, row: usize, scale: f64) {
+        debug_assert!(
+            self.stage_support.last().is_none_or(|&i| i <= row),
+            "cross row must not precede the staged support"
+        );
+        let base = row * (row + 1) / 2;
+        for (si, &gi_idx) in self.stage_support.iter().enumerate() {
+            self.hess[base + gi_idx] += scale * self.stage_grad[si];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_indexing_is_row_major_lower() {
+        assert_eq!(packed_index(0, 0), 0);
+        assert_eq!(packed_index(1, 0), 1);
+        assert_eq!(packed_index(1, 1), 2);
+        assert_eq!(packed_index(2, 0), 3);
+        assert_eq!(packed_index(2, 2), 5);
+        assert_eq!(packed_len(3), 6);
+        assert_eq!(packed_len(0), 0);
+    }
+
+    #[test]
+    fn reset_retargets_and_zeroes() {
+        let mut ws = GradHessWorkspace::new(3);
+        ws.grad_mut()[1] = 5.0;
+        ws.add_hess(2, 1, 7.0);
+        ws.reset(4);
+        assert_eq!(ws.dim(), 4);
+        assert!(ws.grad().iter().all(|&g| g == 0.0));
+        assert!(ws.hess_packed().iter().all(|&h| h == 0.0));
+        assert_eq!(ws.grad().len(), 4);
+        assert_eq!(ws.hess_packed().len(), 10);
+    }
+
+    #[test]
+    fn scatter_scales_gradient_and_outer_product() {
+        let mut ws = GradHessWorkspace::new(4);
+        // Stage a posynomial supported on {1, 3} with g = [2, -1] and
+        // H = 0 (pure rank-one test).
+        ws.stage_begin(&[1, 3]);
+        {
+            let (g, _) = ws.stage_buffers();
+            g[0] = 2.0;
+            g[1] = -1.0;
+        }
+        ws.scatter_staged(3.0, 1.0, 0.5);
+        assert_eq!(ws.grad(), &[0.0, 6.0, 0.0, -3.0]);
+        // hess(1,1) += 0.5·2·2, hess(3,1) += 0.5·(-1)·2, hess(3,3) += 0.5·1
+        assert_eq!(ws.hess_packed()[packed_index(1, 1)], 2.0);
+        assert_eq!(ws.hess_packed()[packed_index(3, 1)], -1.0);
+        assert_eq!(ws.hess_packed()[packed_index(3, 3)], 0.5);
+        assert_eq!(ws.hess_packed()[packed_index(3, 0)], 0.0);
+    }
+
+    #[test]
+    fn cross_row_scatter_hits_support_columns_only() {
+        let mut ws = GradHessWorkspace::new(4);
+        ws.stage_begin(&[0, 2]);
+        {
+            let (g, _) = ws.stage_buffers();
+            g[0] = 1.5;
+            g[1] = -2.5;
+        }
+        ws.scatter_staged_row(3, 2.0);
+        assert_eq!(ws.hess_packed()[packed_index(3, 0)], 3.0);
+        assert_eq!(ws.hess_packed()[packed_index(3, 2)], -5.0);
+        assert_eq!(ws.hess_packed()[packed_index(3, 1)], 0.0);
+        assert_eq!(ws.hess_packed()[packed_index(3, 3)], 0.0);
+    }
+}
