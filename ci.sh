@@ -48,6 +48,33 @@ cmp target/ci/trace-w1.json target/ci/trace-w4.json || {
   exit 1
 }
 
+# Chaos determinism: a fixed-seed fault-injection sweep must produce
+# byte-identical outcomes no matter how the sweep was scheduled — fault
+# decisions are pure functions of (seed, site, candidate), never of
+# worker interleaving (DESIGN.md §13).
+echo "== chaos smoke (fixed-seed fault injection, 1 vs 4 workers) =="
+SMART_WORKERS=1 cargo run -q --offline --release --example chaos \
+  > target/ci/chaos-w1.txt
+SMART_WORKERS=4 cargo run -q --offline --release --example chaos \
+  > target/ci/chaos-w4.txt
+cmp target/ci/chaos-w1.txt target/ci/chaos-w4.txt || {
+  echo "chaos outcomes diverged between SMART_WORKERS=1 and =4" >&2
+  exit 1
+}
+
+# Interrupt/resume: a sweep killed by a budget and resumed from its
+# checkpoint must be byte-identical to an uninterrupted sweep, and the
+# smoke-sized robustness bench replays the survival/salvage study
+# (writes to target/ci so the committed full-run BENCH_robustness.json
+# is never clobbered).
+echo "== chaos interrupt/resume byte-identity =="
+cargo test -q --offline -p smart-core --test chaos_invariants \
+  interrupted_then_resumed_sweep_is_byte_identical_to_uninterrupted
+
+echo "== robustness smoke (chaos survival/salvage sweep) =="
+cargo run -q --offline --release -p smart-bench --bin robustness -- \
+  --smoke --out target/ci/BENCH_robustness.json
+
 # The database must be lint-clean at Error severity: the example exits
 # non-zero on any Error-severity finding across the representative
 # database sweep (rule engine + monotonicity dataflow, DESIGN.md §10).
@@ -55,7 +82,8 @@ echo "== lint-database (Error severity gates the build) =="
 cargo run -q --offline --release --example lint -- --only-dirty
 
 echo "== clippy (no unwrap/expect in flow crates, pool/cache included) =="
-cargo clippy -q --offline -p smart-core -p smart-gp -p smart-lint -p smart-trace -- \
+cargo clippy -q --offline -p smart-core -p smart-gp -p smart-lint -p smart-trace \
+  -p smart-sta -p smart-models -p smart-posy -p smart-chaos -- \
   -D clippy::unwrap_used -D clippy::expect_used
 
 echo "CI OK"

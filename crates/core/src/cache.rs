@@ -78,7 +78,7 @@ fn quantize_ps(x: f64) -> u64 {
     }
 }
 
-fn boundary_fingerprint(boundary: &Boundary) -> u64 {
+pub(crate) fn boundary_fingerprint(boundary: &Boundary) -> u64 {
     let mut h = StableHasher::new();
     // HashMap iteration order is per-instance; sort by name so equal
     // boundaries built in different orders fingerprint equally.
@@ -115,7 +115,7 @@ fn boundary_fingerprint(boundary: &Boundary) -> u64 {
     h.finish()
 }
 
-fn options_fingerprint(opts: &SizingOptions) -> u64 {
+pub(crate) fn options_fingerprint(opts: &SizingOptions) -> u64 {
     let mut h = StableHasher::new();
     h.write_u8(match opts.cost {
         CostMetric::Width => 0,
@@ -163,6 +163,12 @@ fn options_fingerprint(opts: &SizingOptions) -> u64 {
     // opts.lint likewise: the exploration lint gate rejects a candidate
     // before its first cache lookup, so gating can never steer an outcome
     // that reaches the cache.
+    // opts.chaos, opts.budget.clock and opts.retry_backoff likewise:
+    // faults and budget expiry abort candidates (aborts are never
+    // cached), and backoff/clock choice only move *when* a solve runs,
+    // never what it computes.
+    // opts.checkpoint likewise: persistence replays rows, it never
+    // changes how they are computed.
     h.finish()
 }
 
@@ -184,16 +190,52 @@ pub fn cache_key(
     }
 }
 
+/// Content checksum of a stored outcome: every field that `lookup` will
+/// replay, hashed with the same [`StableHasher`] the key fingerprints
+/// use. Verified on every read — the foundation for the service
+/// snapshot/restore path, where entries will have crossed a serialization
+/// boundary and "the map can't change under us" no longer holds.
+fn outcome_checksum(outcome: &SizingOutcome) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_usize(outcome.sizing.len());
+    for &w in outcome.sizing.as_slice() {
+        h.write_f64_bits(w);
+    }
+    h.write_f64_bits(outcome.measured_delay);
+    h.write_f64_bits(outcome.measured_precharge);
+    h.write_f64_bits(outcome.total_width);
+    h.write_usize(outcome.iterations);
+    h.write_usize(outcome.constraint_paths);
+    h.write_u64((outcome.raw_paths >> 64) as u64);
+    h.write_u64(outcome.raw_paths as u64);
+    h.write_f64_bits(outcome.spec_relaxation);
+    h.write_usize(outcome.gp_restarts);
+    h.finish()
+}
+
+/// A stored entry: the outcome plus the checksum computed at insert time.
+#[derive(Debug, Clone)]
+struct Entry {
+    checksum: u64,
+    outcome: SizingOutcome,
+}
+
 /// A thread-safe memoization store for successful sizing outcomes, shared
 /// via `Arc` in [`SizingOptions::cache`].
+///
+/// Every entry carries a content checksum computed at insert time and
+/// verified on every read; an entry that fails verification is evicted
+/// and the lookup reports a miss, so a corrupted entry costs one
+/// recompute instead of replaying garbage into a sweep table.
 ///
 /// Hit/miss counters are monotonic over the cache's lifetime; exploration
 /// snapshots them around a sweep to report per-sweep rates.
 #[derive(Debug, Default)]
 pub struct SizingCache {
-    map: Mutex<HashMap<CacheKey, SizingOutcome>>,
+    map: Mutex<HashMap<CacheKey, Entry>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    poisoned: AtomicUsize,
 }
 
 impl SizingCache {
@@ -202,7 +244,7 @@ impl SizingCache {
         Self::default()
     }
 
-    fn guard(&self) -> std::sync::MutexGuard<'_, HashMap<CacheKey, SizingOutcome>> {
+    fn guard(&self) -> std::sync::MutexGuard<'_, HashMap<CacheKey, Entry>> {
         // A poisoned mutex only means a panicking thread died mid-insert;
         // the map itself holds plain owned data and stays valid.
         match self.map.lock() {
@@ -211,9 +253,29 @@ impl SizingCache {
         }
     }
 
-    /// Looks up `key`, counting the hit or miss.
+    /// Looks up `key`, counting the hit or miss. An entry whose stored
+    /// checksum no longer matches its content is *poisoned*: it is
+    /// evicted, counted, and the lookup reports a miss so the caller
+    /// recomputes.
     pub fn lookup(&self, key: &CacheKey) -> Option<SizingOutcome> {
-        let found = self.guard().get(key).cloned();
+        let found = {
+            let mut map = self.guard();
+            match map.get(key) {
+                Some(entry) if outcome_checksum(&entry.outcome) == entry.checksum => {
+                    Some(entry.outcome.clone())
+                }
+                Some(_) => {
+                    map.remove(key);
+                    self.poisoned.fetch_add(1, Ordering::Relaxed);
+                    smart_trace::counter("cache/poisoned", 1);
+                    smart_trace::emit_with("cache/poisoned", || {
+                        vec![("structure", format!("{:016x}", key.structure).into())]
+                    });
+                    None
+                }
+                None => None,
+            }
+        };
         let hit = found.is_some();
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -230,11 +292,38 @@ impl SizingCache {
         found
     }
 
-    /// Stores a successful outcome under `key`. Concurrent inserts of the
-    /// same key are benign: the flow is deterministic, so both threads
-    /// computed the same value.
+    /// Stores a successful outcome under `key`, stamping its content
+    /// checksum. Concurrent inserts of the same key are benign: the flow
+    /// is deterministic, so both threads computed the same value.
     pub fn insert(&self, key: CacheKey, outcome: SizingOutcome) {
-        self.guard().insert(key, outcome);
+        let checksum = outcome_checksum(&outcome);
+        self.guard().insert(key, Entry { checksum, outcome });
+    }
+
+    /// Drops the entry under `key`, reporting whether one existed. A
+    /// chaos/test hook standing in for any lost entry (eviction race,
+    /// failed restore); the flow must absorb it as a plain miss.
+    pub fn remove(&self, key: &CacheKey) -> bool {
+        self.guard().remove(key).is_some()
+    }
+
+    /// Flips a bit in the entry under `key` *without* updating its
+    /// checksum, reporting whether an entry was there to damage. A
+    /// chaos/test hook simulating storage corruption: the next lookup
+    /// must detect the mismatch, evict, and recompute.
+    pub fn corrupt(&self, key: &CacheKey) -> bool {
+        match self.guard().get_mut(key) {
+            Some(entry) => {
+                // Lowest mantissa bit: the value stays finite (so nothing
+                // downstream of a hypothetical undetected replay would
+                // panic instead of misbehave), but the checksum — which
+                // covers exact bit patterns — can no longer match.
+                let bits = entry.outcome.measured_delay.to_bits() ^ 1;
+                entry.outcome.measured_delay = f64::from_bits(bits);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Entries currently stored.
@@ -253,6 +342,11 @@ impl SizingCache {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Lifetime count of entries evicted by checksum verification.
+    pub fn poisoned(&self) -> usize {
+        self.poisoned.load(Ordering::Relaxed)
     }
 
     /// Drops every entry (counters are kept).

@@ -1,0 +1,487 @@
+//! Sweep checkpoint/resume — salvage for interrupted explorations.
+//!
+//! An exploration sweep is a pure function of its inputs, evaluated one
+//! candidate at a time; killing it an hour in used to discard every
+//! completed row. The [`Checkpointer`] persists completed *successful*
+//! rows periodically (every [`Checkpointer::with_interval`] completions,
+//! atomically via write-to-temp + rename), keyed by a **sweep
+//! fingerprint** — the [`StableHasher`] digest of everything that
+//! determines the table: the candidate database (spec list, in order),
+//! the delay spec, the boundary conditions, the process corner, and the
+//! outcome-relevant sizing options. A resumed sweep with a matching
+//! fingerprint replays the stored rows (re-deriving the cheap per-row
+//! metrics from the stored widths) and computes only the missing
+//! candidates; a stale fingerprint is ignored wholesale — a checkpoint
+//! can never leak rows into a sweep it does not describe.
+//!
+//! Only successful rows are stored, mirroring the [`crate::SizingCache`]
+//! policy: failures may be budget- or timing-dependent and must be
+//! re-derived. Because the flow is deterministic, a resumed sweep is
+//! byte-identical to an uninterrupted one — the chaos suite's invariant
+//! (c).
+//!
+//! # File format
+//!
+//! Byte-stable JSON: rows sorted by candidate index, every `f64` encoded
+//! as the 16-hex-digit big-endian bit pattern of `f64::to_bits` (decimal
+//! formatting would round-trip imprecisely and is locale-adjacent;
+//! bit patterns are exact and grep-able), `u128` path counts as 32 hex
+//! digits. The loader accepts exactly the writer's canonical form;
+//! anything else — truncated write, hand edit, non-finite width bits — is
+//! treated as *no checkpoint*, never as an error that could take down the
+//! sweep that tried to resume.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use smart_models::ModelLibrary;
+use smart_netlist::{Sizing, StableHasher};
+use smart_sta::Boundary;
+
+use smart_macros::MacroSpec;
+
+use crate::sizing::SizingOutcome;
+use crate::{DelaySpec, SizingOptions};
+
+/// The digest binding a checkpoint file to one exact sweep: candidate
+/// database (order included — index is the row key), delay spec, boundary,
+/// process corner, and the outcome-relevant options fingerprint (the same
+/// one the sizing cache keys on, so anything excluded there — budgets,
+/// tracing, chaos, the checkpointer itself — is excluded here for the
+/// same reason: it cannot change a successful row).
+pub fn sweep_fingerprint(
+    specs: &[MacroSpec],
+    lib: &ModelLibrary,
+    boundary: &Boundary,
+    spec: &DelaySpec,
+    opts: &SizingOptions,
+) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_usize(specs.len());
+    for s in specs {
+        h.write_str(&s.to_string());
+    }
+    h.write_u64(lib.process().fingerprint());
+    h.write_f64_bits(spec.data);
+    match spec.precharge {
+        Some(p) => {
+            h.write_bool(true);
+            h.write_f64_bits(p);
+        }
+        None => h.write_bool(false),
+    }
+    h.write_u64(crate::cache::boundary_fingerprint(boundary));
+    h.write_u64(crate::cache::options_fingerprint(opts));
+    h.finish()
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// Fingerprint of the sweep this checkpointer is currently bound to
+    /// (`None` before the first [`Checkpointer::begin`]).
+    fingerprint: Option<u64>,
+    rows: BTreeMap<usize, SizingOutcome>,
+    /// Rows recorded since the last save.
+    unsaved: usize,
+}
+
+/// A persistent store of completed sweep rows; share one via `Arc` in
+/// [`SizingOptions::checkpoint`] and the [`crate::explore_with`] family
+/// does the rest. One checkpointer serves one sweep at a time (it is
+/// re-bound to each sweep's fingerprint as the sweep starts).
+#[derive(Debug)]
+pub struct Checkpointer {
+    path: PathBuf,
+    interval: usize,
+    state: Mutex<State>,
+}
+
+impl Checkpointer {
+    /// A checkpointer persisting to `path`, saving every 4 completed
+    /// rows (and always at sweep end).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Checkpointer {
+            path: path.into(),
+            interval: 4,
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// Sets the save cadence: persist after every `interval` newly
+    /// completed rows (minimum 1). Smaller = less loss on a kill, more
+    /// write traffic.
+    #[must_use]
+    pub fn with_interval(mut self, interval: usize) -> Self {
+        self.interval = interval.max(1);
+        self
+    }
+
+    /// The checkpoint file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn guard(&self) -> std::sync::MutexGuard<'_, State> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Binds this checkpointer to a sweep: loads the file, keeps its rows
+    /// if the stored fingerprint matches, and returns the rows available
+    /// for resume (empty for a fresh, stale, or unreadable checkpoint).
+    pub(crate) fn begin(&self, fingerprint: u64) -> BTreeMap<usize, SizingOutcome> {
+        let loaded = match load_file(&self.path) {
+            Some((fp, rows)) if fp == fingerprint => rows,
+            _ => BTreeMap::new(),
+        };
+        let mut state = self.guard();
+        state.fingerprint = Some(fingerprint);
+        state.rows = loaded.clone();
+        state.unsaved = 0;
+        loaded
+    }
+
+    /// Records one completed successful row, saving when the cadence is
+    /// due. A no-op before [`Checkpointer::begin`] (a direct
+    /// `size_circuit` call has no sweep to checkpoint).
+    pub(crate) fn record(&self, idx: usize, outcome: &SizingOutcome) {
+        let mut state = self.guard();
+        if state.fingerprint.is_none() {
+            return;
+        }
+        if state.rows.insert(idx, outcome.clone()).is_none() {
+            state.unsaved += 1;
+            if state.unsaved >= self.interval {
+                save_locked(&self.path, &mut state);
+            }
+        }
+    }
+
+    /// Persists any unsaved rows (called at sweep end; also useful before
+    /// a planned shutdown).
+    pub(crate) fn flush(&self) {
+        let mut state = self.guard();
+        if state.fingerprint.is_some() && state.unsaved > 0 {
+            save_locked(&self.path, &mut state);
+        }
+    }
+
+    /// Rows currently held (resumed + recorded) for the bound sweep.
+    pub fn rows_held(&self) -> usize {
+        self.guard().rows.len()
+    }
+}
+
+/// Serializes and atomically replaces the checkpoint file. A failed write
+/// (disk full, permissions) is swallowed: checkpointing is salvage, and
+/// salvage must never be the thing that kills the sweep. The temp file
+/// lives next to the target so the rename stays within one filesystem.
+fn save_locked(path: &Path, state: &mut State) {
+    let Some(fp) = state.fingerprint else { return };
+    let json = render(fp, &state.rows);
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, json).is_ok() && std::fs::rename(&tmp, path).is_ok() {
+        state.unsaved = 0;
+    }
+}
+
+fn hex64(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+fn render(fingerprint: u64, rows: &BTreeMap<usize, SizingOutcome>) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{{\"version\":1,\"fingerprint\":\"{}\",\"rows\":[", hex64(fingerprint));
+    for (n, (idx, row)) in rows.iter().enumerate() {
+        if n > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"idx\":{idx},\"iters\":{},\"paths\":{},\"restarts\":{},\"raw_paths\":\"{:032x}\",\
+             \"delay\":\"{}\",\"precharge\":\"{}\",\"width\":\"{}\",\"relax\":\"{}\",\"sizing\":[",
+            row.iterations,
+            row.constraint_paths,
+            row.gp_restarts,
+            row.raw_paths,
+            hex64(row.measured_delay.to_bits()),
+            hex64(row.measured_precharge.to_bits()),
+            hex64(row.total_width.to_bits()),
+            hex64(row.spec_relaxation.to_bits()),
+        );
+        for (k, &w) in row.sizing.as_slice().iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\"", hex64(w.to_bits()));
+        }
+        s.push_str("]}");
+    }
+    s.push_str("]}\n");
+    s
+}
+
+/// Parses a checkpoint file written by [`render`]. Any deviation from the
+/// canonical form yields `None` — "no checkpoint", never a panic.
+fn load_file(path: &Path) -> Option<(u64, BTreeMap<usize, SizingOutcome>)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut p = Parser::new(&text);
+    p.lit("{\"version\":1,\"fingerprint\":\"")?;
+    let fingerprint = p.hex_u64()?;
+    p.lit("\",\"rows\":[")?;
+    let mut rows = BTreeMap::new();
+    if !p.peek(']') {
+        loop {
+            let (idx, row) = parse_row(&mut p)?;
+            // A duplicate index means the file was not written by us.
+            if rows.insert(idx, row).is_some() {
+                return None;
+            }
+            if !p.comma() {
+                break;
+            }
+        }
+    }
+    p.lit("]}")?;
+    Some((fingerprint, rows))
+}
+
+fn parse_row(p: &mut Parser<'_>) -> Option<(usize, SizingOutcome)> {
+    p.lit("{\"idx\":")?;
+    let idx = p.number()?;
+    p.lit(",\"iters\":")?;
+    let iterations = p.number()?;
+    p.lit(",\"paths\":")?;
+    let constraint_paths = p.number()?;
+    p.lit(",\"restarts\":")?;
+    let gp_restarts = p.number()?;
+    p.lit(",\"raw_paths\":\"")?;
+    let raw_paths = p.hex_u128()?;
+    p.lit("\",\"delay\":\"")?;
+    let measured_delay = p.hex_f64()?;
+    p.lit("\",\"precharge\":\"")?;
+    let measured_precharge = p.hex_f64()?;
+    p.lit("\",\"width\":\"")?;
+    let total_width = p.hex_f64()?;
+    p.lit("\",\"relax\":\"")?;
+    let spec_relaxation = p.hex_f64()?;
+    p.lit("\",\"sizing\":[")?;
+    let mut widths = Vec::new();
+    if !p.peek(']') {
+        loop {
+            p.lit("\"")?;
+            let w = p.hex_f64()?;
+            p.lit("\"")?;
+            // `Sizing::from_widths` treats non-positive/non-finite widths
+            // as a caller bug (panic); a damaged file must instead read as
+            // "no checkpoint".
+            if !(w.is_finite() && w > 0.0) {
+                return None;
+            }
+            widths.push(w);
+            if !p.comma() {
+                break;
+            }
+        }
+    }
+    p.lit("]}")?;
+    if widths.is_empty()
+        || !(measured_delay.is_finite()
+            && measured_precharge.is_finite()
+            && total_width.is_finite()
+            && spec_relaxation.is_finite())
+    {
+        return None;
+    }
+    Some((
+        idx,
+        SizingOutcome {
+            sizing: Sizing::from_widths(widths),
+            measured_delay,
+            measured_precharge,
+            total_width,
+            iterations,
+            constraint_paths,
+            raw_paths,
+            spec_relaxation,
+            gp_restarts,
+        },
+    ))
+}
+
+/// A cursor over the canonical checkpoint text.
+struct Parser<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            rest: text.trim_end_matches('\n'),
+        }
+    }
+
+    fn lit(&mut self, s: &str) -> Option<()> {
+        self.rest = self.rest.strip_prefix(s)?;
+        Some(())
+    }
+
+    fn peek(&self, c: char) -> bool {
+        self.rest.starts_with(c)
+    }
+
+    fn comma(&mut self) -> bool {
+        if let Some(r) = self.rest.strip_prefix(',') {
+            self.rest = r;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn take_while(&mut self, pred: impl Fn(char) -> bool) -> &'a str {
+        let end = self
+            .rest
+            .char_indices()
+            .find(|&(_, c)| !pred(c))
+            .map_or(self.rest.len(), |(i, _)| i);
+        let (tok, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        tok
+    }
+
+    fn number(&mut self) -> Option<usize> {
+        let tok = self.take_while(|c| c.is_ascii_digit());
+        tok.parse().ok()
+    }
+
+    fn hex_u64(&mut self) -> Option<u64> {
+        let tok = self.take_while(|c| c.is_ascii_hexdigit());
+        (tok.len() == 16).then(|| u64::from_str_radix(tok, 16).ok())?
+    }
+
+    fn hex_u128(&mut self) -> Option<u128> {
+        let tok = self.take_while(|c| c.is_ascii_hexdigit());
+        (tok.len() == 32).then(|| u128::from_str_radix(tok, 16).ok())?
+    }
+
+    fn hex_f64(&mut self) -> Option<f64> {
+        self.hex_u64().map(f64::from_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(seed: f64, widths: usize) -> SizingOutcome {
+        SizingOutcome {
+            sizing: Sizing::from_widths((0..widths).map(|i| seed + i as f64).collect()),
+            measured_delay: 123.456 + seed,
+            measured_precharge: 78.9,
+            total_width: 40.0 * seed,
+            iterations: 3,
+            constraint_paths: 12,
+            raw_paths: 1u128 << 80,
+            spec_relaxation: 0.05,
+            gp_restarts: 1,
+        }
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("smart-ckpt-test-{}-{name}.json", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_byte_stably() {
+        let mut rows = BTreeMap::new();
+        rows.insert(0, outcome(1.5, 3));
+        rows.insert(7, outcome(2.25, 5));
+        let json = render(0xDEAD_BEEF_0000_0001, &rows);
+        let path = tmp_path("roundtrip");
+        std::fs::write(&path, &json).unwrap();
+        let (fp, loaded) = load_file(&path).expect("canonical file must load");
+        assert_eq!(fp, 0xDEAD_BEEF_0000_0001);
+        assert_eq!(loaded.len(), 2);
+        // Byte-stability: re-rendering the loaded rows reproduces the file.
+        assert_eq!(render(fp, &loaded), json);
+        let got = &loaded[&7];
+        let want = &rows[&7];
+        assert_eq!(got.measured_delay.to_bits(), want.measured_delay.to_bits());
+        assert_eq!(got.sizing.as_slice(), want.sizing.as_slice());
+        assert_eq!(got.raw_paths, want.raw_paths);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn damaged_or_foreign_files_read_as_no_checkpoint() {
+        let path = tmp_path("damaged");
+        for text in [
+            "",
+            "{\"version\":2,\"fingerprint\":\"0000000000000000\",\"rows\":[]}",
+            "{\"version\":1,\"fingerprint\":\"00\",\"rows\":[]}",
+            "not json at all",
+            // Truncated mid-row.
+            "{\"version\":1,\"fingerprint\":\"0000000000000000\",\"rows\":[{\"idx\":0,\"iters\":1",
+            // Non-finite width bits (all-ones exponent): must be rejected
+            // before reaching `Sizing::from_widths`.
+            "{\"version\":1,\"fingerprint\":\"0000000000000000\",\"rows\":[{\"idx\":0,\
+             \"iters\":1,\"paths\":1,\"restarts\":0,\
+             \"raw_paths\":\"00000000000000000000000000000001\",\
+             \"delay\":\"3ff0000000000000\",\"precharge\":\"3ff0000000000000\",\
+             \"width\":\"3ff0000000000000\",\"relax\":\"0000000000000000\",\
+             \"sizing\":[\"7ff0000000000000\"]}]}",
+        ] {
+            std::fs::write(&path, text).unwrap();
+            assert!(load_file(&path).is_none(), "accepted: {text:.60}");
+        }
+        std::fs::remove_file(&path).ok();
+        assert!(load_file(&path).is_none(), "missing file is no checkpoint");
+    }
+
+    #[test]
+    fn begin_record_flush_resume_cycle() {
+        let path = tmp_path("cycle");
+        std::fs::remove_file(&path).ok();
+        let ckpt = Checkpointer::new(&path).with_interval(2);
+        let resumed = ckpt.begin(42);
+        assert!(resumed.is_empty());
+        ckpt.record(0, &outcome(1.5, 2));
+        // Below the cadence: nothing on disk yet.
+        assert!(load_file(&path).is_none());
+        ckpt.record(1, &outcome(2.5, 2));
+        // Cadence hit: saved.
+        assert_eq!(load_file(&path).expect("saved").1.len(), 2);
+        ckpt.record(2, &outcome(3.5, 2));
+        ckpt.flush();
+        assert_eq!(load_file(&path).expect("flushed").1.len(), 3);
+
+        // Same fingerprint resumes all rows; a different one resumes none
+        // (and the stale file is simply ignored, not deleted).
+        let again = Checkpointer::new(&path);
+        assert_eq!(again.begin(42).len(), 3);
+        assert_eq!(again.rows_held(), 3);
+        let stale = Checkpointer::new(&path);
+        assert!(stale.begin(43).is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_recording_is_idempotent() {
+        let path = tmp_path("dup");
+        std::fs::remove_file(&path).ok();
+        let ckpt = Checkpointer::new(&path).with_interval(1);
+        ckpt.begin(7);
+        ckpt.record(0, &outcome(1.5, 2));
+        ckpt.record(0, &outcome(1.5, 2));
+        assert_eq!(ckpt.rows_held(), 1);
+        assert_eq!(load_file(&path).expect("saved").1.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -19,8 +19,11 @@
 //! / [`explore_with`] entry points read [`ParallelOptions::from_env`], so
 //! `SMART_WORKERS=4` parallelizes every existing caller unchanged.
 
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
+use smart_chaos::FaultSite;
 use smart_models::ModelLibrary;
 use smart_netlist::Circuit;
 use smart_power::{estimate, ActivityProfile, PowerReport};
@@ -78,6 +81,10 @@ pub struct Exploration {
     /// cache). Same single-sweep-at-a-time attribution caveat as
     /// [`Exploration::cache_hits`].
     pub cache_misses: usize,
+    /// Rows replayed from a sweep checkpoint
+    /// ([`crate::SizingOptions::checkpoint`]) instead of recomputed —
+    /// `0` without a checkpoint or when the fingerprint did not match.
+    pub resumed: usize,
 }
 
 impl Exploration {
@@ -101,14 +108,68 @@ impl Exploration {
     /// Failure-taxonomy histogram of the non-feasible rows:
     /// `(tag, count)` pairs sorted by tag — the robustness report column.
     pub fn failure_taxonomy(&self) -> Vec<(&'static str, usize)> {
-        let mut counts: std::collections::BTreeMap<&'static str, usize> =
-            std::collections::BTreeMap::new();
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
         for c in &self.candidates {
             if let Err(e) = &c.result {
                 *counts.entry(e.taxonomy()).or_insert(0) += 1;
             }
         }
         counts.into_iter().collect()
+    }
+
+    /// The explicit account of how degraded this sweep was: what
+    /// survived, what was lost to which failure class, what was salvaged
+    /// from a checkpoint. A sweep that lost candidates *salvages* the
+    /// survivors instead of returning nothing — this report is the honest
+    /// label on that partial result.
+    pub fn degradation(&self) -> DegradationReport {
+        DegradationReport {
+            total: self.candidates.len(),
+            feasible: self.feasible_count(),
+            failed: self.candidates.len() - self.feasible_count(),
+            resumed: self.resumed,
+            taxonomy: self.failure_taxonomy(),
+        }
+    }
+}
+
+/// Summary of a sweep's partial-failure state — see
+/// [`Exploration::degradation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// Rows in the table (one per alternative, always).
+    pub total: usize,
+    /// Rows that produced a sized, feasible candidate.
+    pub feasible: usize,
+    /// Rows disqualified by a classified failure.
+    pub failed: usize,
+    /// Rows replayed from a checkpoint instead of recomputed.
+    pub resumed: usize,
+    /// `(taxonomy tag, count)` of the failed rows, sorted by tag.
+    pub taxonomy: Vec<(&'static str, usize)>,
+}
+
+impl DegradationReport {
+    /// Whether the sweep degraded at all (any failed row).
+    pub fn is_degraded(&self) -> bool {
+        self.failed > 0
+    }
+}
+
+impl std::fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} of {} candidates survived ({} resumed from checkpoint)",
+            self.feasible, self.total, self.resumed
+        )?;
+        if self.failed > 0 {
+            write!(f, "; lost {}:", self.failed)?;
+            for (tag, n) in &self.taxonomy {
+                write!(f, " {tag}\u{d7}{n}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -155,6 +216,18 @@ fn lint_gate(circuit: &Circuit, alt: &MacroSpec, opts: &SizingOptions) -> Result
     if opts.lint == LintGate::Off {
         return Ok(());
     }
+    // Chaos seam: a panic *inside a lint rule*. It unwinds into the same
+    // per-candidate boundary as a generator panic, so the row classifies
+    // as `FlowError::Internal` and the sweep continues — the containment
+    // the chaos suite pins. (With the gate off this seam never runs, so
+    // the fault does not manifest and records no injection.)
+    if let Some(plan) = opts.chaos.as_deref() {
+        if plan.fires_here(FaultSite::LintPanic) {
+            plan.record(FaultSite::LintPanic);
+            smart_trace::emit("chaos/inject", &[("site", FaultSite::LintPanic.name().into())]);
+            panic!("chaos: injected lint-rule panic");
+        }
+    }
     let report = smart_lint::lint_circuit(circuit);
     smart_trace::emit_with("lint/gate", || {
         vec![
@@ -189,11 +262,21 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Whether the chaos plan kills the pool worker *after* it computed
+/// candidate `idx` but *before* it could report the row (or record it to
+/// the checkpoint — a dead worker persists nothing). Consulted both here
+/// and at slot assembly; the decision is pure, so both sites agree.
+fn chaos_worker_death(opts: &SizingOptions, idx: usize) -> bool {
+    opts.chaos
+        .as_deref()
+        .is_some_and(|plan| plan.fires(FaultSite::WorkerDeath, idx as u64))
+}
+
 /// The complete, self-contained evaluation of candidate `idx`: budget
-/// gates, elaboration boundary, sizing boundary. Everything a row depends
-/// on is in the arguments — no sweep-global mutable state — which is what
-/// lets the parallel sweep run candidates on any worker and still match
-/// the serial table byte for byte.
+/// gates, checkpoint replay, elaboration boundary, sizing boundary.
+/// Everything a row depends on is in the arguments — no sweep-global
+/// mutable state — which is what lets the parallel sweep run candidates
+/// on any worker and still match the serial table byte for byte.
 #[allow(clippy::too_many_arguments)]
 fn run_candidate<F>(
     idx: usize,
@@ -204,6 +287,8 @@ fn run_candidate<F>(
     boundary: &Boundary,
     spec: &DelaySpec,
     opts: &SizingOptions,
+    resumed: Option<&BTreeMap<usize, SizingOutcome>>,
+    replayed: &AtomicUsize,
 ) -> Candidate
 where
     F: Fn(&MacroSpec) -> Circuit,
@@ -215,13 +300,26 @@ where
     // what keeps the export byte-stable across `SMART_WORKERS` settings.
     let scope = opts.trace.scope("candidate", sweep, idx as u64);
     let guard = scope.enter();
+    // The chaos scope mirrors it: deep seams (sizing, cache, GP retry)
+    // learn the candidate identity from the thread-local, so fault
+    // decisions key on the candidate — never on the worker or call order.
+    let _chaos = smart_chaos::candidate_scope(idx as u64);
     if scope.is_enabled() {
         scope.begin(
             "candidate",
             &[("index", idx.into()), ("spec", alt.to_string().into())],
         );
     }
-    let row = run_candidate_inner(idx, alt, generate, lib, boundary, spec, opts);
+    let row = run_candidate_inner(idx, alt, generate, lib, boundary, spec, opts, resumed, replayed);
+    // Persist the completed row (successful rows only — failures may be
+    // budget-dependent and are recomputed on resume). A chaos-killed
+    // worker dies before reporting, so it must also die before
+    // persisting.
+    if let (Some(ckpt), Ok(m)) = (opts.checkpoint.as_deref(), &row.result) {
+        if !chaos_worker_death(opts, idx) {
+            ckpt.record(idx, &m.outcome);
+        }
+    }
     drop(guard);
     if scope.is_enabled() {
         let fields: Vec<(&'static str, smart_trace::Value)> = match &row.result {
@@ -238,8 +336,9 @@ where
     row
 }
 
-/// The traced body of [`run_candidate`]: budget gates, elaboration
-/// boundary, sizing boundary.
+/// The traced body of [`run_candidate`]: budget gates, checkpoint
+/// replay, elaboration boundary, sizing boundary.
+#[allow(clippy::too_many_arguments)]
 fn run_candidate_inner<F>(
     idx: usize,
     alt: &MacroSpec,
@@ -248,6 +347,8 @@ fn run_candidate_inner<F>(
     boundary: &Boundary,
     spec: &DelaySpec,
     opts: &SizingOptions,
+    resumed: Option<&BTreeMap<usize, SizingOutcome>>,
+    replayed: &AtomicUsize,
 ) -> Candidate
 where
     F: Fn(&MacroSpec) -> Circuit,
@@ -278,8 +379,75 @@ where
             }),
         };
     }
+    // Chaos seam: spurious cancellation — this candidate alone observes a
+    // tripped token that never fired. Must classify exactly like a real
+    // pre-candidate cancellation (a budget row), without touching the
+    // shared token (which would cancel innocent candidates).
+    if let Some(plan) = opts.chaos.as_deref() {
+        if plan.fires(FaultSite::SpuriousCancel, idx as u64) {
+            plan.record(FaultSite::SpuriousCancel);
+            smart_trace::emit("chaos/inject", &[
+                ("site", FaultSite::SpuriousCancel.name().into()),
+            ]);
+            return Candidate {
+                spec: alt.clone(),
+                circuit: None,
+                result: Err(FlowError::BudgetExceeded {
+                    what: "cancelled",
+                    detail: format!("chaos: spurious cancellation before candidate {}", idx + 1),
+                }),
+            };
+        }
+    }
+    // Checkpoint replay: a row completed by an earlier interrupted run of
+    // this exact sweep (fingerprint-matched) skips sizing entirely; only
+    // the cheap deterministic metrics are re-derived from the stored
+    // widths. Placed after the budget gates so a capped or cancelled
+    // sweep renders identically whether or not a checkpoint exists.
+    if let Some(outcome) = resumed.and_then(|rows| rows.get(&idx)) {
+        replayed.fetch_add(1, Ordering::Relaxed);
+        smart_trace::emit("candidate/resumed", &[("index", idx.into())]);
+        let circuit = match catch_unwind(AssertUnwindSafe(|| generate(alt))) {
+            Ok(c) => c,
+            Err(payload) => {
+                return Candidate {
+                    result: Err(FlowError::Internal {
+                        candidate: alt.to_string(),
+                        panic_msg: panic_message(payload),
+                    }),
+                    spec: alt.clone(),
+                    circuit: None,
+                };
+            }
+        };
+        let metrics = CandidateMetrics {
+            clock_load: circuit.clock_load(&outcome.sizing),
+            power: estimate(&circuit, lib, &outcome.sizing, &ActivityProfile::default()),
+            devices: circuit.device_count(),
+            outcome: outcome.clone(),
+        };
+        return Candidate {
+            spec: alt.clone(),
+            circuit: Some(circuit),
+            result: Ok(metrics),
+        };
+    }
     // Elaboration boundary: a panicking generator yields an error row.
-    let circuit = match catch_unwind(AssertUnwindSafe(|| generate(alt))) {
+    // The chaos candidate-panic seam sits inside the boundary, so an
+    // injected panic exercises exactly the containment path a real
+    // pathological generator would.
+    let circuit = match catch_unwind(AssertUnwindSafe(|| {
+        if let Some(plan) = opts.chaos.as_deref() {
+            if plan.fires(FaultSite::CandidatePanic, idx as u64) {
+                plan.record(FaultSite::CandidatePanic);
+                smart_trace::emit("chaos/inject", &[
+                    ("site", FaultSite::CandidatePanic.name().into()),
+                ]);
+                panic!("chaos: injected candidate panic at elaboration");
+            }
+        }
+        generate(alt)
+    })) {
         Ok(c) => c,
         Err(payload) => {
             return Candidate {
@@ -419,13 +587,45 @@ where
     // byte-stable export.
     sweep.emit_unstable("sweep/pool", &[("workers", par.workers.into())]);
     let stats_before = opts.cache.as_ref().map_or((0, 0), |c| c.stats());
+    // Bind the checkpointer (if any) to this sweep's fingerprint and pull
+    // in whatever a previous interrupted run of the *same* sweep saved.
+    let ckpt = opts.checkpoint.as_deref().map(|c| {
+        let fingerprint = crate::checkpoint::sweep_fingerprint(&specs, lib, boundary, spec, opts);
+        let rows = c.begin(fingerprint);
+        sweep.emit("sweep/checkpoint", &[
+            ("resumable_rows", rows.len().into()),
+            ("fingerprint", format!("{fingerprint:016x}").into()),
+        ]);
+        (c, rows)
+    });
+    let resumed_rows = ckpt.as_ref().map(|(_, rows)| rows);
+    let replayed = AtomicUsize::new(0);
     let rows = run_indexed(specs.len(), par, |i| {
-        run_candidate(i, sweep_id, &specs[i], &generate, lib, boundary, spec, opts)
+        run_candidate(
+            i, sweep_id, &specs[i], &generate, lib, boundary, spec, opts, resumed_rows, &replayed,
+        )
     });
     let candidates = rows
         .into_iter()
         .enumerate()
         .map(|(i, slot)| {
+            // Chaos seam: worker death — the row was computed but its
+            // worker dies before reporting the slot, exactly what a real
+            // pool-thread kill produces (a `None` slot). Recorded here, on
+            // the assembling thread, so injection counters are updated
+            // once regardless of worker count.
+            let slot = match (slot, opts.chaos.as_deref()) {
+                (Some(row), Some(plan)) if plan.fires(FaultSite::WorkerDeath, i as u64) => {
+                    plan.record(FaultSite::WorkerDeath);
+                    sweep.emit("chaos/inject", &[
+                        ("site", FaultSite::WorkerDeath.name().into()),
+                        ("index", i.into()),
+                    ]);
+                    drop(row);
+                    None
+                }
+                (slot, _) => slot,
+            };
             // `run_candidate` already contains every panic inside the row,
             // so an empty slot means the pool worker itself was killed —
             // keep the one-row-per-alternative invariant regardless.
@@ -439,6 +639,9 @@ where
             })
         })
         .collect();
+    if let Some((c, _)) = &ckpt {
+        c.flush();
+    }
     let stats_after = opts.cache.as_ref().map_or((0, 0), |c| c.stats());
     let exploration = Exploration {
         candidates,
@@ -447,6 +650,7 @@ where
         // take the whole table down with an underflow panic.
         cache_hits: stats_after.0.saturating_sub(stats_before.0),
         cache_misses: stats_after.1.saturating_sub(stats_before.1),
+        resumed: replayed.load(Ordering::Relaxed),
     };
     sweep.end(
         "sweep",
@@ -454,6 +658,7 @@ where
             ("feasible", exploration.feasible_count().into()),
             ("cache_hits", exploration.cache_hits.into()),
             ("cache_misses", exploration.cache_misses.into()),
+            ("resumed", exploration.resumed.into()),
         ],
     );
     exploration

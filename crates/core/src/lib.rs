@@ -60,6 +60,7 @@
 
 mod baseline;
 pub mod cache;
+pub mod checkpoint;
 pub mod compact;
 pub mod constraints;
 mod error;
@@ -73,11 +74,12 @@ pub mod tune;
 
 pub use baseline::{baseline_sizing, BaselineMargins};
 pub use cache::{cache_key, CacheKey, SizingCache};
+pub use checkpoint::{sweep_fingerprint, Checkpointer};
 pub use compact::{compact, CapVec, Compaction, PathClass};
 pub use error::FlowError;
 pub use explore::{
     explore, explore_parallel, explore_with, explore_with_parallel, size_and_measure, Candidate,
-    CandidateMetrics, Exploration,
+    CandidateMetrics, DegradationReport, Exploration,
 };
 pub use noise::{analyze_noise, DynamicNodeNoise, NoiseReport};
 pub use pool::{run_indexed, EnvFallback, ParallelOptions};

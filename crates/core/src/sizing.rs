@@ -13,8 +13,7 @@
 //! * every stage observes the [`crate::FlowBudget`] (wall clock checked
 //!   between outer iterations and cooperatively inside the GP solver).
 
-use std::time::Instant;
-
+use smart_chaos::{ClockInstant, FaultSite};
 use smart_gp::{GpError, GpProblem, GpSolution, SolverOptions};
 use smart_models::ModelLibrary;
 use smart_netlist::{Circuit, Sizing};
@@ -116,29 +115,66 @@ fn budget_flow_error(stage: &'static str, budget: &'static str, spent: usize) ->
     }
 }
 
+/// Chaos seam: a GP solve poisoned by the fault plan. A firing GP fault
+/// is *persistent for the candidate* — every restart of the retry ladder
+/// fails the same way — so one injected fault exhausts the ladder into
+/// exactly one classified row instead of being silently healed by a
+/// retry (which would make the invariant "one fault ⇒ one row"
+/// untestable).
+fn chaos_gp_fault(opts: &SizingOptions) -> Option<GpError> {
+    let plan = opts.chaos.as_deref()?;
+    if plan.fires_here(FaultSite::GpDiverge) {
+        plan.record(FaultSite::GpDiverge);
+        smart_trace::emit("chaos/inject", &[("site", FaultSite::GpDiverge.name().into())]);
+        Some(GpError::Numerical {
+            stage: "chaos",
+            detail: "injected Newton divergence (persists across restarts)".into(),
+        })
+    } else if plan.fires_here(FaultSite::GpNan) {
+        plan.record(FaultSite::GpNan);
+        smart_trace::emit("chaos/inject", &[("site", FaultSite::GpNan.name().into())]);
+        Some(GpError::NonFinite {
+            stage: "chaos",
+            detail: "injected NaN poisoning (persists across restarts)".into(),
+        })
+    } else {
+        None
+    }
+}
+
 /// One GP solve under the flow budget, with the numerical-failure retry
-/// ladder: `opts.gp_retries` restarts from perturbed starting points.
+/// ladder: `opts.gp_retries` restarts from perturbed starting points,
+/// separated by bounded exponential backoff on the budget clock when
+/// [`SizingOptions::retry_backoff`] is nonzero.
 /// Returns the solution and the number of restarts consumed.
 fn solve_with_retries(
     gp: &GpProblem,
     initial: Vec<f64>,
     opts: &SizingOptions,
-    deadline: Option<Instant>,
+    deadline: Option<ClockInstant>,
 ) -> Result<(GpSolution, usize), FlowError> {
     let solver_opts = |x0: Vec<f64>| SolverOptions {
         initial_x: Some(x0),
-        deadline,
+        // The solver's per-Newton-step check only understands real
+        // instants; virtual deadlines are enforced at this ladder's own
+        // checkpoints (and the outer loop's) instead.
+        deadline: deadline.and_then(|d| d.as_real()),
         max_total_newton: opts.budget.max_gp_iters,
         cancel: opts.budget.cancel.clone(),
         ..Default::default()
     };
+    let injected = chaos_gp_fault(opts);
     let mut attempt = 0usize;
     // The common no-retry path takes ownership of `initial` outright; the
     // original anchor is cloned back out only if a retry actually fires.
     let mut current = solver_opts(initial);
     let mut anchor: Option<Vec<f64>> = None;
     loop {
-        match gp.solve(&current) {
+        let solved = match &injected {
+            Some(fault) => Err(fault.clone()),
+            None => gp.solve(&current),
+        };
+        match solved {
             Ok(sol) => return Ok((sol, attempt)),
             Err(GpError::BudgetExceeded {
                 stage,
@@ -158,6 +194,7 @@ fn solve_with_retries(
                 smart_trace::emit_with("gp/retry", || {
                     vec![("attempt", attempt.into()), ("error", e.to_string().into())]
                 });
+                backoff_before_retry(opts, deadline, attempt)?;
                 let anchor = anchor
                     .get_or_insert_with(|| current.initial_x.clone().unwrap_or_default());
                 current.initial_x = Some(perturbed_start(anchor, attempt));
@@ -165,6 +202,43 @@ fn solve_with_retries(
             Err(e) => return Err(e.into()),
         }
     }
+}
+
+/// Bounded exponential backoff between GP restarts: attempt *k* waits
+/// `retry_backoff · 2^(k-1)`, capped at 64× the base, on the budget
+/// clock — a real sleep in production, an instantaneous advance under a
+/// virtual clock. The wait is budget-accounted: if it crosses the
+/// wall-clock deadline the ladder stops here with a budget row rather
+/// than starting a solve it cannot finish.
+fn backoff_before_retry(
+    opts: &SizingOptions,
+    deadline: Option<ClockInstant>,
+    attempt: usize,
+) -> Result<(), FlowError> {
+    if opts.retry_backoff.is_zero() {
+        return Ok(());
+    }
+    let shift = u32::try_from(attempt.saturating_sub(1)).unwrap_or(6).min(6);
+    let wait = opts.retry_backoff.saturating_mul(1u32 << shift);
+    opts.budget.clock.sleep(wait);
+    smart_trace::emit_with("gp/backoff", || {
+        vec![
+            ("attempt", attempt.into()),
+            (
+                "wait_us",
+                u64::try_from(wait.as_micros()).unwrap_or(u64::MAX).into(),
+            ),
+        ]
+    });
+    if let Some(d) = &deadline {
+        if opts.budget.clock.has_passed(d) {
+            return Err(FlowError::BudgetExceeded {
+                what: "wall-clock",
+                detail: format!("retry backoff after GP attempt {attempt} exhausted the budget"),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Whether a failure may be answered by walking the relaxation ladder
@@ -194,9 +268,10 @@ pub fn size_circuit(
     spec: &DelaySpec,
     opts: &SizingOptions,
 ) -> Result<SizingOutcome, FlowError> {
-    let deadline = opts.budget.wall_clock.map(|d| Instant::now() + d);
+    let deadline = opts.budget.wall_clock.map(|d| opts.budget.clock.deadline_after(d));
     validate_spec(spec)?;
     check_cancelled(opts, "sizing entry")?;
+    chaos_time_skew(opts)?;
 
     // Memoization: identical (structure, corner, spec, boundary, options)
     // inputs produce identical outcomes — the flow is deterministic — so a
@@ -207,6 +282,23 @@ pub fn size_circuit(
         .as_ref()
         .map(|cache| (cache, crate::cache::cache_key(circuit, lib, boundary, spec, opts)));
     if let Some((cache, key)) = &memo {
+        // Chaos resilience seams: the plan may vaporize or corrupt this
+        // candidate's cache entry just before the lookup. Both must be
+        // absorbed — a drop misses and recomputes, a corruption is caught
+        // by the checksum, evicted and recomputed — leaving the outcome
+        // byte-identical to the fault-free run (no taxonomy row).
+        if let Some(plan) = opts.chaos.as_deref() {
+            if plan.fires_here(FaultSite::CacheDrop) && cache.remove(key) {
+                plan.record(FaultSite::CacheDrop);
+                smart_trace::emit("chaos/inject", &[("site", FaultSite::CacheDrop.name().into())]);
+            }
+            if plan.fires_here(FaultSite::CacheCorrupt) && cache.corrupt(key) {
+                plan.record(FaultSite::CacheCorrupt);
+                smart_trace::emit("chaos/inject", &[
+                    ("site", FaultSite::CacheCorrupt.name().into()),
+                ]);
+            }
+        }
         if let Some(outcome) = cache.lookup(key) {
             return Ok(outcome);
         }
@@ -245,6 +337,49 @@ pub fn size_circuit(
     }
     // The rung-0 attempt always ran, so an error is recorded.
     Err(last_err.unwrap_or(FlowError::NoEndpoints))
+}
+
+/// Chaos seam: simulated time advance. When the plan fires this site and
+/// a wall-clock budget is configured, the candidate behaves as if the
+/// clock jumped past its whole budget before any work happened — an
+/// immediate budget row. Without a wall-clock budget a time jump changes
+/// nothing, so the seam is a no-op (and records no injection).
+fn chaos_time_skew(opts: &SizingOptions) -> Result<(), FlowError> {
+    if let (Some(plan), Some(_)) = (opts.chaos.as_deref(), opts.budget.wall_clock) {
+        if plan.fires_here(FaultSite::TimeSkew) {
+            plan.record(FaultSite::TimeSkew);
+            smart_trace::emit("chaos/inject", &[("site", FaultSite::TimeSkew.name().into())]);
+            return Err(FlowError::BudgetExceeded {
+                what: "wall-clock",
+                detail: "chaos: simulated time advance expired the budget at sizing entry".into(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Chaos seam: timing measurement with an injectable `NoEndpoints`. The
+/// flow's own [`measure`] raises the same error for genuinely
+/// unmeasurable macros; the injection proves the sweep classifies it
+/// identically when it appears out of nowhere on a healthy candidate.
+fn chaos_measure(
+    circuit: &Circuit,
+    lib: &ModelLibrary,
+    sizing: &Sizing,
+    boundary: &Boundary,
+    compaction: &Compaction,
+    opts: &SizingOptions,
+) -> Result<(f64, f64), FlowError> {
+    if let Some(plan) = opts.chaos.as_deref() {
+        if plan.fires_here(FaultSite::StaNoEndpoints) {
+            plan.record(FaultSite::StaNoEndpoints);
+            smart_trace::emit("chaos/inject", &[
+                ("site", FaultSite::StaNoEndpoints.name().into()),
+            ]);
+            return Err(FlowError::NoEndpoints);
+        }
+    }
+    measure(circuit, lib, sizing, boundary, compaction)
 }
 
 /// Cooperative cancellation check at flow-level checkpoints (the GP's
@@ -339,7 +474,7 @@ fn size_to_spec(
     spec: &DelaySpec,
     opts: &SizingOptions,
     prepared: &Prepared,
-    deadline: Option<Instant>,
+    deadline: Option<ClockInstant>,
     chain: &mut Option<Vec<f64>>,
 ) -> Result<SizingOutcome, FlowError> {
     let compaction = &prepared.compaction;
@@ -349,8 +484,8 @@ fn size_to_spec(
     let mut restarts = 0usize;
     let mut gp_state: Option<crate::constraints::SizingGp> = None;
     for iter in 1..=opts.max_outer_iters {
-        if let Some(d) = deadline {
-            if Instant::now() >= d {
+        if let Some(d) = &deadline {
+            if opts.budget.clock.has_passed(d) {
                 return Err(FlowError::BudgetExceeded {
                     what: "wall-clock",
                     detail: format!("sizing loop reached outer iteration {iter}"),
@@ -425,7 +560,7 @@ fn size_to_spec(
         // Chain this solution: the next outer iteration (or the next
         // relaxation rung, if this one fails) starts from it.
         *chain = Some(sol.x);
-        let (data, pre) = measure(circuit, lib, &sizing, boundary, compaction)?;
+        let (data, pre) = chaos_measure(circuit, lib, &sizing, boundary, compaction, opts)?;
         last = (data, pre);
         smart_trace::emit("size/iteration", &[
             ("iter", iter.into()),
@@ -476,7 +611,7 @@ pub fn minimize_delay(
     boundary: &Boundary,
     opts: &SizingOptions,
 ) -> Result<(f64, SizingOutcome), FlowError> {
-    let deadline = opts.budget.wall_clock.map(|d| Instant::now() + d);
+    let deadline = opts.budget.wall_clock.map(|d| opts.budget.clock.deadline_after(d));
     let prepared = prepare(circuit, lib, boundary, opts)?;
     let compaction = &prepared.compaction;
     let (built, t_var) =
@@ -494,7 +629,7 @@ pub fn minimize_delay(
             .collect(),
     );
     let t_star = sol.x[t_var.index()];
-    let (data, pre) = measure(circuit, lib, &sizing, boundary, compaction)?;
+    let (data, pre) = chaos_measure(circuit, lib, &sizing, boundary, compaction, opts)?;
     Ok((
         t_star,
         SizingOutcome {

@@ -5,11 +5,13 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
+use smart_chaos::{Clock, FaultPlan};
 use smart_gp::CancelToken;
 use smart_netlist::Sizing;
 use smart_trace::Trace;
 
 use crate::cache::SizingCache;
+use crate::checkpoint::Checkpointer;
 
 /// Cost metric the sizer minimizes after the timing constraints are met
 /// (paper Fig. 1: "specified cost function (area, power)").
@@ -86,6 +88,15 @@ pub struct FlowBudget {
     /// that are stable for the whole sweep (never cancelled, or cancelled
     /// before it starts).
     pub cancel: Option<Arc<CancelToken>>,
+    /// The time source the wall-clock budget and the GP retry backoff run
+    /// against. [`Clock::Real`] (the default) is the historical
+    /// `Instant`-based behavior; a [`Clock::Virtual`] lets tests cover
+    /// hours of budget/backoff time in microseconds. Virtual deadlines
+    /// are enforced at the flow's own checkpoints (outer iterations, the
+    /// retry ladder, backoff sleeps); the GP solver's per-Newton-step
+    /// deadline check only understands real instants and simply does not
+    /// see virtual ones.
+    pub clock: Clock,
 }
 
 impl FlowBudget {
@@ -106,6 +117,7 @@ impl PartialEq for FlowBudget {
         self.wall_clock == other.wall_clock
             && self.max_gp_iters == other.max_gp_iters
             && self.max_candidates == other.max_candidates
+            && self.clock == other.clock
             && match (&self.cancel, &other.cancel) {
                 (None, None) => true,
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
@@ -174,6 +186,14 @@ pub struct SizingOptions {
     /// each retry perturbs the starting point deterministically to escape
     /// the bad barrier trajectory. `0` disables retries.
     pub gp_retries: usize,
+    /// Base delay of the bounded exponential backoff between GP restarts:
+    /// attempt *k* waits `retry_backoff · 2^(k-1)` (capped at 64× the
+    /// base) on [`FlowBudget::clock`] before re-solving, and the wait is
+    /// budget-accounted — if it pushes past the wall-clock deadline the
+    /// ladder stops with a budget row instead of burning a doomed solve.
+    /// `Duration::ZERO` (the default) restarts immediately, the
+    /// historical behavior.
+    pub retry_backoff: Duration,
     /// Delay-spec relaxation ladder walked when the spec is infeasible or
     /// the Fig.-4 loop cannot converge: each entry is a relative widening
     /// (e.g. `[0.02, 0.05, 0.10]` for +2%, +5%, +10%). The achieved rung is
@@ -203,6 +223,21 @@ pub struct SizingOptions {
     /// Excluded from the sizing-cache fingerprint: observability must
     /// never change what the cache replays.
     pub trace: Trace,
+    /// Seeded deterministic fault-injection plan (`smart-chaos`). When
+    /// set, every instrumented seam of the flow consults the plan for the
+    /// current candidate and injects the planned fault. `None` (the
+    /// default) is the production configuration: the seams cost one
+    /// `Option` branch each. Excluded from the sizing-cache fingerprint:
+    /// faults abort candidates, they never steer a successful outcome.
+    pub chaos: Option<Arc<FaultPlan>>,
+    /// Sweep checkpoint store for [`crate::explore`] runs: completed
+    /// candidate rows are periodically serialized (byte-stable JSON keyed
+    /// by the sweep fingerprint) so an interrupted sweep resumes only the
+    /// missing candidates. `None` (the default) disables checkpointing.
+    /// Direct [`crate::size_circuit`] calls ignore it. Excluded from the
+    /// sizing-cache fingerprint and from the checkpoint's own sweep
+    /// fingerprint: persistence must never change what is computed.
+    pub checkpoint: Option<Arc<Checkpointer>>,
 }
 
 impl Default for SizingOptions {
@@ -219,11 +254,14 @@ impl Default for SizingOptions {
             otb: true,
             heuristic_dominance: true,
             gp_retries: 2,
+            retry_backoff: Duration::ZERO,
             relaxation: Vec::new(),
             budget: FlowBudget::default(),
             cache: None,
             lint: LintGate::default(),
             trace: Trace::from_env(),
+            chaos: None,
+            checkpoint: None,
         }
     }
 }

@@ -22,6 +22,9 @@
 //! * [`trace`] — smart-trace, the zero-dependency structured tracing /
 //!   metrics layer over the explore → size → GP → STA flow
 //!   (`SMART_TRACE=1`).
+//! * [`chaos`] — smart-chaos, the deterministic fault-injection plan,
+//!   virtual clock and candidate-scope plumbing behind the robustness
+//!   harness (`examples/chaos.rs`, DESIGN.md §13).
 //! * [`blocks`] — synthetic functional blocks for the §6.4/Table 2
 //!   experiments.
 //! * [`mod@bench`] — one function per paper table/figure.
@@ -33,6 +36,7 @@
 
 pub use smart_bench as bench;
 pub use smart_blocks as blocks;
+pub use smart_chaos as chaos;
 pub use smart_core as core;
 pub use smart_gp as gp;
 pub use smart_lint as lint;
