@@ -71,9 +71,27 @@ echo "== chaos interrupt/resume byte-identity =="
 cargo test -q --offline -p smart-core --test chaos_invariants \
   interrupted_then_resumed_sweep_is_byte_identical_to_uninterrupted
 
-echo "== robustness smoke (chaos survival/salvage sweep) =="
+echo "== robustness smoke (chaos survival/salvage + corner/yield sweep) =="
 cargo run -q --offline --release -p smart-bench --bin robustness -- \
   --smoke --out target/ci/BENCH_robustness.json
+grep -q '"corner_yield"' target/ci/BENCH_robustness.json || {
+  echo "robustness smoke output is missing the corner_yield section" >&2
+  exit 1
+}
+
+# Multi-corner robust sizing: the corners example sizes once against the
+# slow/typical/fast set, self-checks feasibility at every corner plus the
+# soundness bound in-process, then prints a bit-exact exploration table.
+# Worker count must never leak into robust sizing (DESIGN.md §14).
+echo "== corners example (self-checked, byte-identical at 1 vs 4 workers) =="
+SMART_WORKERS=1 cargo run -q --offline --release --example corners \
+  > target/ci/corners-w1.txt
+SMART_WORKERS=4 cargo run -q --offline --release --example corners \
+  > target/ci/corners-w4.txt
+cmp target/ci/corners-w1.txt target/ci/corners-w4.txt || {
+  echo "corners example diverged between SMART_WORKERS=1 and =4" >&2
+  exit 1
+}
 
 # The database must be lint-clean at Error severity: the example exits
 # non-zero on any Error-severity finding across the representative
@@ -83,7 +101,7 @@ cargo run -q --offline --release --example lint -- --only-dirty
 
 echo "== clippy (no unwrap/expect in flow crates, pool/cache included) =="
 cargo clippy -q --offline -p smart-core -p smart-gp -p smart-lint -p smart-trace \
-  -p smart-sta -p smart-models -p smart-posy -p smart-chaos -- \
+  -p smart-sta -p smart-models -p smart-posy -p smart-chaos -p smart-prng -- \
   -D clippy::unwrap_used -D clippy::expect_used
 
 echo "CI OK"

@@ -16,11 +16,11 @@ use std::sync::Arc;
 use smart_bench::protocol_61;
 use smart_chaos::FaultPlan;
 use smart_core::{
-    explore_parallel, explore_with, explore_with_parallel, Checkpointer, DelaySpec,
-    ParallelOptions, SizingCache, SizingOptions,
+    explore_parallel, explore_with, explore_with_parallel, size_circuit, variation_sweep,
+    Checkpointer, DelaySpec, ParallelOptions, SizingCache, SizingOptions, VariationOptions,
 };
 use smart_macros::{MacroSpec, MuxTopology, ZeroDetectStyle};
-use smart_models::{ModelLibrary, Process};
+use smart_models::{CornerSet, ModelLibrary, Process};
 use smart_netlist::{Circuit, ComponentKind, DeviceRole, NetKind, Network, Skew};
 use smart_sta::Boundary;
 use smart_trace::Trace;
@@ -136,8 +136,122 @@ fn main() {
     parallel_section();
     lint_section();
     trace_section();
+    let corner_rows = corner_yield_section(smoke);
     let chaos_rows = chaos_section(smoke);
-    write_json(&out_path, smoke, &chaos_rows);
+    write_json(&out_path, smoke, &corner_rows, &chaos_rows);
+}
+
+/// One macro's multi-corner solve plus its Monte-Carlo yield.
+struct CornerYieldRow {
+    name: &'static str,
+    binding: String,
+    /// `(corner, data ps)` in corner-set order.
+    corners: Vec<(String, f64)>,
+    samples: usize,
+    passes: usize,
+}
+
+/// Multi-corner robust sizing + statistical variation: each macro is
+/// sized once against the slow/typical/fast corner set, then the shipped
+/// sizing is wobbled (`smart-prng`-seeded per-device width/threshold
+/// perturbations) and re-measured through STA at every corner — the
+/// yield-style pass rate of the robust solution. Deterministic for the
+/// fixed seed at any `SMART_WORKERS` (DESIGN.md §14).
+fn corner_yield_section(smoke: bool) -> Vec<CornerYieldRow> {
+    println!("\n# Multi-corner robust sizing and variation yield\n");
+    let lib = ModelLibrary::reference();
+    let mut opts = SizingOptions::default();
+    opts.corners = Some(CornerSet::slow_typical_fast(lib.process()));
+    let vopts = VariationOptions {
+        samples: if smoke { 16 } else { 64 },
+        ..VariationOptions::default()
+    };
+    // Per-macro budgets: each must be feasible at the *slow* corner,
+    // which needs ~25-30% more headroom than the typical-only flow.
+    let specs: &[(&'static str, MacroSpec, f64)] = &[
+        (
+            "mux4 pass",
+            MacroSpec::Mux {
+                topology: MuxTopology::StronglyMutexedPass,
+                width: 4,
+            },
+            450.0,
+        ),
+        (
+            "mux4 domino",
+            MacroSpec::Mux {
+                topology: MuxTopology::UnsplitDomino,
+                width: 4,
+            },
+            450.0,
+        ),
+        ("inc8", MacroSpec::Incrementor { width: 8 }, 2000.0),
+    ];
+    let specs = &specs[..if smoke { 2 } else { specs.len() }];
+
+    println!(
+        "{:<14} {:<9} {:>9} {:>9} {:>9} {:>9}",
+        "macro", "binding", "slow", "typical", "fast", "yield"
+    );
+    let mut rows = Vec::new();
+    for (name, spec, budget) in specs {
+        let delay = DelaySpec::uniform(*budget);
+        let circuit = spec.generate();
+        let mut boundary = Boundary::default();
+        for port in circuit.output_ports() {
+            boundary.output_loads.insert(port.name.clone(), 15.0);
+        }
+        let outcome = match size_circuit(&circuit, &lib, &boundary, &delay, &opts) {
+            Ok(o) => o,
+            Err(e) => {
+                println!("{name:<14} infeasible: {}", e.taxonomy());
+                continue;
+            }
+        };
+        let report = variation_sweep(
+            &circuit,
+            &lib,
+            &boundary,
+            &delay,
+            &outcome.sizing,
+            &opts,
+            &vopts,
+            &ParallelOptions::with_workers(4),
+        )
+        .expect("variation sweep on a feasible sizing");
+        let by_name = |n: &str| {
+            outcome
+                .corner_delays
+                .iter()
+                .find(|c| c.corner == n)
+                .map_or(f64::NAN, |c| c.data)
+        };
+        println!(
+            "{name:<14} {:<9} {:>9.1} {:>9.1} {:>9.1} {:>8.0}%",
+            outcome.binding_corner,
+            by_name("slow"),
+            by_name("typical"),
+            by_name("fast"),
+            report.yield_rate() * 100.0
+        );
+        rows.push(CornerYieldRow {
+            name,
+            binding: outcome.binding_corner.clone(),
+            corners: outcome
+                .corner_delays
+                .iter()
+                .map(|c| (c.corner.clone(), c.data))
+                .collect(),
+            samples: report.samples.len(),
+            passes: report.passes,
+        });
+    }
+    println!(
+        "\n(one sizing feasible at every corner; the binding corner is the one\n\
+         the GP actually paid for. Yield = fraction of seeded width/threshold\n\
+         wobbles that still meet spec at all corners, without re-solving.)"
+    );
+    rows
 }
 
 /// One fault-rate point of the chaos sweep.
@@ -251,12 +365,33 @@ fn chaos_section(smoke: bool) -> Vec<ChaosRow> {
     rows
 }
 
-/// Machine-readable record of the chaos sweep.
-fn write_json(out_path: &str, smoke: bool, rows: &[ChaosRow]) {
+/// Machine-readable record of the corner/yield and chaos sweeps.
+fn write_json(out_path: &str, smoke: bool, corner_rows: &[CornerYieldRow], rows: &[ChaosRow]) {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"robustness/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"robustness/v2\",");
     let _ = writeln!(json, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
+    let _ = writeln!(json, "  \"corner_yield\": [");
+    for (i, r) in corner_rows.iter().enumerate() {
+        let corners = r
+            .corners
+            .iter()
+            .map(|(name, data)| format!("{{\"corner\": \"{name}\", \"data_ps\": {data:.3}}}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            json,
+            "    {{\"macro\": \"{}\", \"binding\": \"{}\", \"corners\": [{corners}], \
+             \"samples\": {}, \"passes\": {}, \"yield\": {:.4}}}{}",
+            r.name,
+            r.binding,
+            r.samples,
+            r.passes,
+            r.passes as f64 / r.samples.max(1) as f64,
+            if i + 1 < corner_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"chaos\": [");
     for (i, r) in rows.iter().enumerate() {
         let taxonomy = r

@@ -154,6 +154,19 @@ pub(crate) fn options_fingerprint(opts: &SizingOptions) -> u64 {
         }
         None => h.write_bool(false),
     }
+    // The corner set changes the GP's constraint family and the
+    // feasibility test, so it is a first-class key dimension: `None`
+    // (historical single-corner) and every distinct `Some(set)` — by
+    // member names, coefficients and order — key separately. A
+    // multi-corner solve can never replay a single-corner entry, nor
+    // the reverse.
+    match &opts.corners {
+        Some(set) => {
+            h.write_bool(true);
+            h.write_u64(set.fingerprint());
+        }
+        None => h.write_bool(false),
+    }
     // opts.budget intentionally excluded: budgets abort solves (which are
     // never cached), they cannot change a successful outcome.
     // opts.trace intentionally excluded: observability records what the
@@ -210,6 +223,13 @@ fn outcome_checksum(outcome: &SizingOutcome) -> u64 {
     h.write_u64(outcome.raw_paths as u64);
     h.write_f64_bits(outcome.spec_relaxation);
     h.write_usize(outcome.gp_restarts);
+    h.write_usize(outcome.corner_delays.len());
+    for c in &outcome.corner_delays {
+        h.write_str(&c.corner);
+        h.write_f64_bits(c.data);
+        h.write_f64_bits(c.precharge);
+    }
+    h.write_str(&outcome.binding_corner);
     h.finish()
 }
 

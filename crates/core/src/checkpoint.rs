@@ -42,7 +42,7 @@ use smart_sta::Boundary;
 
 use smart_macros::MacroSpec;
 
-use crate::sizing::SizingOutcome;
+use crate::sizing::{CornerDelay, SizingOutcome};
 use crate::{DelaySpec, SizingOptions};
 
 /// The digest binding a checkpoint file to one exact sweep: candidate
@@ -195,7 +195,7 @@ fn hex64(v: u64) -> String {
 
 fn render(fingerprint: u64, rows: &BTreeMap<usize, SizingOutcome>) -> String {
     let mut s = String::new();
-    let _ = write!(s, "{{\"version\":1,\"fingerprint\":\"{}\",\"rows\":[", hex64(fingerprint));
+    let _ = write!(s, "{{\"version\":2,\"fingerprint\":\"{}\",\"rows\":[", hex64(fingerprint));
     for (n, (idx, row)) in rows.iter().enumerate() {
         if n > 0 {
             s.push(',');
@@ -203,7 +203,8 @@ fn render(fingerprint: u64, rows: &BTreeMap<usize, SizingOutcome>) -> String {
         let _ = write!(
             s,
             "{{\"idx\":{idx},\"iters\":{},\"paths\":{},\"restarts\":{},\"raw_paths\":\"{:032x}\",\
-             \"delay\":\"{}\",\"precharge\":\"{}\",\"width\":\"{}\",\"relax\":\"{}\",\"sizing\":[",
+             \"delay\":\"{}\",\"precharge\":\"{}\",\"width\":\"{}\",\"relax\":\"{}\",\
+             \"binding\":\"{}\",\"corners\":[",
             row.iterations,
             row.constraint_paths,
             row.gp_restarts,
@@ -212,7 +213,25 @@ fn render(fingerprint: u64, rows: &BTreeMap<usize, SizingOutcome>) -> String {
             hex64(row.measured_precharge.to_bits()),
             hex64(row.total_width.to_bits()),
             hex64(row.spec_relaxation.to_bits()),
+            row.binding_corner,
         );
+        for (k, c) in row.corner_delays.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            // Corner names are serialized verbatim; a name containing `"`
+            // or `\` produces a non-canonical file that the loader rejects
+            // wholesale ("no checkpoint") — such names never round-trip,
+            // they can never corrupt a resume.
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"data\":\"{}\",\"pre\":\"{}\"}}",
+                c.corner,
+                hex64(c.data.to_bits()),
+                hex64(c.precharge.to_bits()),
+            );
+        }
+        s.push_str("],\"sizing\":[");
         for (k, &w) in row.sizing.as_slice().iter().enumerate() {
             if k > 0 {
                 s.push(',');
@@ -230,7 +249,7 @@ fn render(fingerprint: u64, rows: &BTreeMap<usize, SizingOutcome>) -> String {
 fn load_file(path: &Path) -> Option<(u64, BTreeMap<usize, SizingOutcome>)> {
     let text = std::fs::read_to_string(path).ok()?;
     let mut p = Parser::new(&text);
-    p.lit("{\"version\":1,\"fingerprint\":\"")?;
+    p.lit("{\"version\":2,\"fingerprint\":\"")?;
     let fingerprint = p.hex_u64()?;
     p.lit("\",\"rows\":[")?;
     let mut rows = BTreeMap::new();
@@ -269,7 +288,33 @@ fn parse_row(p: &mut Parser<'_>) -> Option<(usize, SizingOutcome)> {
     let total_width = p.hex_f64()?;
     p.lit("\",\"relax\":\"")?;
     let spec_relaxation = p.hex_f64()?;
-    p.lit("\",\"sizing\":[")?;
+    p.lit("\",\"binding\":\"")?;
+    let binding_corner = p.take_while(|c| c != '"').to_owned();
+    p.lit("\",\"corners\":[")?;
+    let mut corner_delays = Vec::new();
+    if !p.peek(']') {
+        loop {
+            p.lit("{\"name\":\"")?;
+            let name = p.take_while(|c| c != '"').to_owned();
+            p.lit("\",\"data\":\"")?;
+            let data = p.hex_f64()?;
+            p.lit("\",\"pre\":\"")?;
+            let pre = p.hex_f64()?;
+            p.lit("\"}")?;
+            if !(data.is_finite() && pre.is_finite()) || name.is_empty() {
+                return None;
+            }
+            corner_delays.push(CornerDelay {
+                corner: name,
+                data,
+                precharge: pre,
+            });
+            if !p.comma() {
+                break;
+            }
+        }
+    }
+    p.lit("],\"sizing\":[")?;
     let mut widths = Vec::new();
     if !p.peek(']') {
         loop {
@@ -289,7 +334,11 @@ fn parse_row(p: &mut Parser<'_>) -> Option<(usize, SizingOutcome)> {
         }
     }
     p.lit("]}")?;
+    // Every live outcome carries at least one corner measurement and a
+    // binding-corner name; a row without them is not ours.
     if widths.is_empty()
+        || corner_delays.is_empty()
+        || binding_corner.is_empty()
         || !(measured_delay.is_finite()
             && measured_precharge.is_finite()
             && total_width.is_finite()
@@ -309,6 +358,8 @@ fn parse_row(p: &mut Parser<'_>) -> Option<(usize, SizingOutcome)> {
             raw_paths,
             spec_relaxation,
             gp_restarts,
+            corner_delays,
+            binding_corner,
         },
     ))
 }
@@ -389,6 +440,19 @@ mod tests {
             raw_paths: 1u128 << 80,
             spec_relaxation: 0.05,
             gp_restarts: 1,
+            corner_delays: vec![
+                CornerDelay {
+                    corner: "slow".to_owned(),
+                    data: 130.0 + seed,
+                    precharge: 90.1,
+                },
+                CornerDelay {
+                    corner: "typical".to_owned(),
+                    data: 123.456 + seed,
+                    precharge: 78.9,
+                },
+            ],
+            binding_corner: "slow".to_owned(),
         }
     }
 
@@ -424,19 +488,33 @@ mod tests {
         let path = tmp_path("damaged");
         for text in [
             "",
-            "{\"version\":2,\"fingerprint\":\"0000000000000000\",\"rows\":[]}",
-            "{\"version\":1,\"fingerprint\":\"00\",\"rows\":[]}",
+            // A pre-corner (version 1) file is a foreign format now: it
+            // has no per-corner fields, so it must degrade to
+            // "no checkpoint" rather than resurrect corner-less rows.
+            "{\"version\":1,\"fingerprint\":\"0000000000000000\",\"rows\":[]}",
+            "{\"version\":3,\"fingerprint\":\"0000000000000000\",\"rows\":[]}",
+            "{\"version\":2,\"fingerprint\":\"00\",\"rows\":[]}",
             "not json at all",
             // Truncated mid-row.
-            "{\"version\":1,\"fingerprint\":\"0000000000000000\",\"rows\":[{\"idx\":0,\"iters\":1",
+            "{\"version\":2,\"fingerprint\":\"0000000000000000\",\"rows\":[{\"idx\":0,\"iters\":1",
             // Non-finite width bits (all-ones exponent): must be rejected
             // before reaching `Sizing::from_widths`.
-            "{\"version\":1,\"fingerprint\":\"0000000000000000\",\"rows\":[{\"idx\":0,\
+            "{\"version\":2,\"fingerprint\":\"0000000000000000\",\"rows\":[{\"idx\":0,\
              \"iters\":1,\"paths\":1,\"restarts\":0,\
              \"raw_paths\":\"00000000000000000000000000000001\",\
              \"delay\":\"3ff0000000000000\",\"precharge\":\"3ff0000000000000\",\
              \"width\":\"3ff0000000000000\",\"relax\":\"0000000000000000\",\
+             \"binding\":\"typical\",\"corners\":[{\"name\":\"typical\",\
+             \"data\":\"3ff0000000000000\",\"pre\":\"3ff0000000000000\"}],\
              \"sizing\":[\"7ff0000000000000\"]}]}",
+            // An empty corner list or blank binding name is not ours.
+            "{\"version\":2,\"fingerprint\":\"0000000000000000\",\"rows\":[{\"idx\":0,\
+             \"iters\":1,\"paths\":1,\"restarts\":0,\
+             \"raw_paths\":\"00000000000000000000000000000001\",\
+             \"delay\":\"3ff0000000000000\",\"precharge\":\"3ff0000000000000\",\
+             \"width\":\"3ff0000000000000\",\"relax\":\"0000000000000000\",\
+             \"binding\":\"typical\",\"corners\":[],\
+             \"sizing\":[\"3ff0000000000000\"]}]}",
         ] {
             std::fs::write(&path, text).unwrap();
             assert!(load_file(&path).is_none(), "accepted: {text:.60}");

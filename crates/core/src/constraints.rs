@@ -172,6 +172,15 @@ fn cap_posy(
 /// its automatic Opportunistic Time Borrowing (paper §5.3): a fast D1
 /// stage donates its slack to the D2 stage sharing the path.
 ///
+/// With a multi-corner [`SizingOptions::corners`] set, the whole
+/// timing + slope constraint family is emitted once per corner over the
+/// *same* width variables — max-over-corners as one posynomial constraint
+/// per corner against the shared budget — so the GP's feasible region is
+/// the intersection of every corner's. The cost objective, size bounds,
+/// noise rules and pins are corner-invariant (width-space only) and are
+/// emitted once, from the primary library. A singleton corner set emits
+/// exactly the single-corner constraint sequence.
+///
 /// # Errors
 ///
 /// [`FlowError::UnknownPin`] if a pinned label name is absent.
@@ -189,9 +198,10 @@ pub fn build_sizing_gp(
     let mut gp = GpProblem::new(pool);
     gp.set_objective(cost_objective(circuit, lib, &vars, opts.cost));
 
-    // Input boundary: arrival time and slope per source net.
-    let input_time = |net: NetId| -> (f64, f64) {
-        let default_slope = boundary.default_slope.unwrap_or(lib.process().slope_min);
+    // Input boundary: arrival time and slope per source net. The default
+    // slope floor derates with the corner being emitted.
+    let input_time = |net: NetId, clib: &ModelLibrary| -> (f64, f64) {
+        let default_slope = boundary.default_slope.unwrap_or(clib.process().slope_min);
         for port in circuit.input_ports() {
             if port.net == net {
                 return boundary
@@ -204,127 +214,157 @@ pub fn build_sizing_gp(
         (0.0, default_slope)
     };
 
-    // Timing constraints. With OTB (default, the paper's formulation)
-    // each compacted class yields ONE end-to-end constraint, so slack
-    // borrows freely across domino stage boundaries. Without OTB the
-    // class is cut at every dynamic node and each segment receives an
-    // equal share of the budget — the conventional hard-boundary
-    // discipline, kept for the ablation study.
+    let corner_libs = crate::spec::resolve_corner_libs(lib, opts);
+    let multi = corner_libs.len() > 1;
     let mut timing_constraints = 0;
     let mut timing = Vec::new();
+    let mut slope_constraints = 0;
     // Per-arc posynomial caches. The same arc appears on many compacted
     // paths (classes share prefixes and fanout cones), but its R·C product
     // and output slope depend only on the arc itself — not on the path
-    // reaching it — so each is built once and cloned on every revisit.
+    // reaching it — so each is built once per corner and cloned on every
+    // revisit. The vectors are allocated once and re-`None`d between
+    // corners (cache contents are corner-specific; the slots are not).
     let arc_count = compaction.graph.arcs.len();
     let mut arc_rc: Vec<Option<Posynomial>> = vec![None; arc_count];
     let mut arc_slope: Vec<Option<Posynomial>> = vec![None; arc_count];
-    for (ci, class) in compaction.classes.iter().enumerate() {
-        let budget = if class.is_precharge {
-            spec.precharge_budget()
-        } else {
-            spec.data
-        };
-        let segments: Vec<&[usize]> = if opts.otb {
-            vec![&class.arcs[..]]
-        } else {
-            let mut segs = Vec::new();
-            let mut start = 0;
-            for (k, &ai) in class.arcs.iter().enumerate() {
-                let to = compaction.graph.arcs[ai].to.net;
-                if circuit.net(to).kind == smart_netlist::NetKind::Dynamic {
-                    segs.push(&class.arcs[start..=k]);
-                    start = k + 1;
+    for (corner_idx, (cname, clib)) in corner_libs.iter().enumerate() {
+        if corner_idx > 0 {
+            for slot in arc_rc.iter_mut() {
+                *slot = None;
+            }
+            for slot in arc_slope.iter_mut() {
+                *slot = None;
+            }
+        }
+        // Timing constraints. With OTB (default, the paper's formulation)
+        // each compacted class yields ONE end-to-end constraint, so slack
+        // borrows freely across domino stage boundaries. Without OTB the
+        // class is cut at every dynamic node and each segment receives an
+        // equal share of the budget — the conventional hard-boundary
+        // discipline, kept for the ablation study.
+        for (ci, class) in compaction.classes.iter().enumerate() {
+            let budget = if class.is_precharge {
+                spec.precharge_budget()
+            } else {
+                spec.data
+            };
+            let segments: Vec<&[usize]> = if opts.otb {
+                vec![&class.arcs[..]]
+            } else {
+                let mut segs = Vec::new();
+                let mut start = 0;
+                for (k, &ai) in class.arcs.iter().enumerate() {
+                    let to = compaction.graph.arcs[ai].to.net;
+                    if circuit.net(to).kind == smart_netlist::NetKind::Dynamic {
+                        segs.push(&class.arcs[start..=k]);
+                        start = k + 1;
+                    }
                 }
-            }
-            if start < class.arcs.len() {
-                segs.push(&class.arcs[start..]);
-            }
-            segs
-        };
-        let seg_count = segments.len();
-        for (si, seg) in segments.into_iter().enumerate() {
-            let (t0, s0) = input_time(class.source.net);
-            let mut delay = Posynomial::zero();
-            if si == 0 && t0 > 0.0 {
-                delay += Monomial::new(t0);
-            }
-            let mut slope_prev = Posynomial::constant(s0.max(1e-3));
-            for &ai in seg {
-                let arc = &compaction.graph.arcs[ai];
-                let comp = circuit.comp(arc.comp);
-                if arc_rc[ai].is_none() {
-                    let cap = cap_posy(circuit, lib, &vars, arc.to.net, extra_loads);
-                    let rc = lib.stage_rc_posy(comp, arc.to.edge, &cap, &vars);
-                    arc_slope[ai] = Some(lib.stage_slope_from_rc(&rc));
-                    arc_rc[ai] = Some(rc);
+                if start < class.arcs.len() {
+                    segs.push(&class.arcs[start..]);
                 }
-                let (Some(rc), Some(slope)) = (arc_rc[ai].as_ref(), arc_slope[ai].as_ref())
-                else {
-                    unreachable!("arc cache filled above");
+                segs
+            };
+            let seg_count = segments.len();
+            for (si, seg) in segments.into_iter().enumerate() {
+                let (t0, s0) = input_time(class.source.net, clib);
+                let mut delay = Posynomial::zero();
+                if si == 0 && t0 > 0.0 {
+                    delay += Monomial::new(t0);
+                }
+                let mut slope_prev = Posynomial::constant(s0.max(1e-3));
+                for &ai in seg {
+                    let arc = &compaction.graph.arcs[ai];
+                    let comp = circuit.comp(arc.comp);
+                    if arc_rc[ai].is_none() {
+                        let cap = cap_posy(circuit, clib, &vars, arc.to.net, extra_loads);
+                        let rc = clib.stage_rc_posy(comp, arc.to.edge, &cap, &vars);
+                        arc_slope[ai] = Some(clib.stage_slope_from_rc(&rc));
+                        arc_rc[ai] = Some(rc);
+                    }
+                    let (Some(rc), Some(slope)) = (arc_rc[ai].as_ref(), arc_slope[ai].as_ref())
+                    else {
+                        unreachable!("arc cache filled above");
+                    };
+                    delay += clib.stage_delay_from_rc(comp, rc, Some(&slope_prev));
+                    slope_prev = slope.clone();
+                }
+                let seg_budget = budget / seg_count as f64;
+                // Labels stay byte-identical to the historical single-
+                // corner form unless the set actually has several members.
+                let label = if multi {
+                    format!(
+                        "path{ci}.{si} {} -> {} ({}) @{cname}",
+                        circuit.net(class.source.net).name,
+                        circuit.net(class.endpoint.net).name,
+                        if class.is_precharge { "pre" } else { "eval" }
+                    )
+                } else {
+                    format!(
+                        "path{ci}.{si} {} -> {} ({})",
+                        circuit.net(class.source.net).name,
+                        circuit.net(class.endpoint.net).name,
+                        if class.is_precharge { "pre" } else { "eval" }
+                    )
                 };
-                delay += lib.stage_delay_from_rc(comp, rc, Some(&slope_prev));
-                slope_prev = slope.clone();
+                timing.push(TimingEntry {
+                    index: gp.constraints().len(),
+                    delay: delay.clone(),
+                    is_precharge: class.is_precharge,
+                    seg_count,
+                });
+                gp.add_le(label, delay, Monomial::new(seg_budget))?;
+                timing_constraints += 1;
             }
-            let seg_budget = budget / seg_count as f64;
-            let label = format!(
-                "path{ci}.{si} {} -> {} ({})",
-                circuit.net(class.source.net).name,
-                circuit.net(class.endpoint.net).name,
-                if class.is_precharge { "pre" } else { "eval" }
-            );
-            timing.push(TimingEntry {
-                index: gp.constraints().len(),
-                delay: delay.clone(),
-                is_precharge: class.is_precharge,
-                seg_count,
-            });
-            gp.add_le(label, delay, Monomial::new(seg_budget))?;
-            timing_constraints += 1;
         }
-    }
 
-    // Slope (reliability) constraints, deduplicated by (component labels,
-    // edge, cap composition).
-    let mut slope_constraints = 0;
-    let mut seen: HashSet<String> = HashSet::new();
-    for (ai, arc) in compaction.graph.arcs.iter().enumerate() {
-        // Dynamic nodes are exempt from the static edge-rate rule: their
-        // discharge slope is set by the stack the topology chose (wide
-        // un-split dominos are inherently slow there — the reason the
-        // partitioned topology exists) and is already governed by the
-        // evaluate timing constraints plus the noise rule.
-        if circuit.net(arc.to.net).kind == smart_netlist::NetKind::Dynamic {
-            continue;
+        // Slope (reliability) constraints, deduplicated by (component
+        // labels, edge, cap composition) *within* each corner — the same
+        // physical stage gets one edge-rate rule per corner, since its
+        // slope posynomial carries corner coefficients.
+        let mut seen: HashSet<String> = HashSet::new();
+        for (ai, arc) in compaction.graph.arcs.iter().enumerate() {
+            // Dynamic nodes are exempt from the static edge-rate rule:
+            // their discharge slope is set by the stack the topology chose
+            // (wide un-split dominos are inherently slow there — the
+            // reason the partitioned topology exists) and is already
+            // governed by the evaluate timing constraints plus the noise
+            // rule.
+            if circuit.net(arc.to.net).kind == smart_netlist::NetKind::Dynamic {
+                continue;
+            }
+            let comp = circuit.comp(arc.comp);
+            let key = format!(
+                "{:?}|{:?}|{:?}|{:?}",
+                comp.label_bindings(),
+                comp.kind,
+                arc.to.edge,
+                compaction.net_caps[arc.to.net.index()]
+            );
+            if !seen.insert(key) {
+                continue;
+            }
+            let slope = if let Some(s) = arc_slope[ai].as_ref() {
+                s.clone()
+            } else {
+                let cap = cap_posy(circuit, clib, &vars, arc.to.net, extra_loads);
+                clib.stage_slope_posy(comp, arc.to.edge, &cap, &vars)
+            };
+            // Shared (multi-driver) nets — pass-gate and tri-state buses —
+            // carry the junction load of every off driver, which puts a
+            // floor on their edge rate; projects exempt such nodes from
+            // the single-driver rule, so the limit scales with driver
+            // count.
+            let drivers = circuit.drivers_of(arc.to.net).len().max(1) as f64;
+            let label = if multi {
+                format!("slope {} {:?} @{cname}", comp.path, arc.to.edge)
+            } else {
+                format!("slope {} {:?}", comp.path, arc.to.edge)
+            };
+            gp.add_le(label, slope, Monomial::new(opts.slope_max * drivers))?;
+            slope_constraints += 1;
         }
-        let comp = circuit.comp(arc.comp);
-        let key = format!(
-            "{:?}|{:?}|{:?}|{:?}",
-            comp.label_bindings(),
-            comp.kind,
-            arc.to.edge,
-            compaction.net_caps[arc.to.net.index()]
-        );
-        if !seen.insert(key) {
-            continue;
-        }
-        let slope = if let Some(s) = arc_slope[ai].as_ref() {
-            s.clone()
-        } else {
-            let cap = cap_posy(circuit, lib, &vars, arc.to.net, extra_loads);
-            lib.stage_slope_posy(comp, arc.to.edge, &cap, &vars)
-        };
-        // Shared (multi-driver) nets — pass-gate and tri-state buses —
-        // carry the junction load of every off driver, which puts a floor
-        // on their edge rate; projects exempt such nodes from the
-        // single-driver rule, so the limit scales with driver count.
-        let drivers = circuit.drivers_of(arc.to.net).len().max(1) as f64;
-        gp.add_le(
-            format!("slope {} {:?}", comp.path, arc.to.edge),
-            slope,
-            Monomial::new(opts.slope_max * drivers),
-        )?;
-        slope_constraints += 1;
     }
 
     // Device size bounds.
@@ -427,14 +467,16 @@ pub fn build_min_delay_gp(
     extra_loads: &HashMap<NetId, f64>,
     opts: &SizingOptions,
 ) -> Result<(SizingGp, VarId), FlowError> {
-    // Assemble with a dummy budget, then rewrite: paths ≤ T.
+    // Assemble with a dummy budget, then rewrite: paths ≤ T. With a
+    // multi-corner set, every corner's paths bound the same T — the
+    // minimized delay is the worst corner's achievable delay.
     let (pool, vars) = label_vars(circuit);
     let mut gp = GpProblem::new(pool);
     let t_var = gp.pool_mut().var("__T");
     gp.set_objective(Posynomial::var(t_var));
 
-    let input_time = |net: NetId| -> (f64, f64) {
-        let default_slope = boundary.default_slope.unwrap_or(lib.process().slope_min);
+    let input_time = |net: NetId, clib: &ModelLibrary| -> (f64, f64) {
+        let default_slope = boundary.default_slope.unwrap_or(clib.process().slope_min);
         for port in circuit.input_ports() {
             if port.net == net {
                 return boundary
@@ -447,23 +489,32 @@ pub fn build_min_delay_gp(
         (0.0, default_slope)
     };
 
+    let corner_libs = crate::spec::resolve_corner_libs(lib, opts);
+    let multi = corner_libs.len() > 1;
     let mut timing_constraints = 0;
-    for (ci, class) in compaction.classes.iter().enumerate() {
-        let (t0, s0) = input_time(class.source.net);
-        let mut delay = Posynomial::zero();
-        if t0 > 0.0 {
-            delay += Monomial::new(t0);
+    for (cname, clib) in &corner_libs {
+        for (ci, class) in compaction.classes.iter().enumerate() {
+            let (t0, s0) = input_time(class.source.net, clib);
+            let mut delay = Posynomial::zero();
+            if t0 > 0.0 {
+                delay += Monomial::new(t0);
+            }
+            let mut slope_prev = Posynomial::constant(s0.max(1e-3));
+            for &ai in &class.arcs {
+                let arc = &compaction.graph.arcs[ai];
+                let comp = circuit.comp(arc.comp);
+                let cap = cap_posy(circuit, clib, &vars, arc.to.net, extra_loads);
+                delay += clib.stage_delay_posy(comp, arc.to.edge, &cap, Some(&slope_prev), &vars);
+                slope_prev = clib.stage_slope_posy(comp, arc.to.edge, &cap, &vars);
+            }
+            let label = if multi {
+                format!("path{ci} <= T @{cname}")
+            } else {
+                format!("path{ci} <= T")
+            };
+            gp.add_le(label, delay, Monomial::var(t_var))?;
+            timing_constraints += 1;
         }
-        let mut slope_prev = Posynomial::constant(s0.max(1e-3));
-        for &ai in &class.arcs {
-            let arc = &compaction.graph.arcs[ai];
-            let comp = circuit.comp(arc.comp);
-            let cap = cap_posy(circuit, lib, &vars, arc.to.net, extra_loads);
-            delay += lib.stage_delay_posy(comp, arc.to.edge, &cap, Some(&slope_prev), &vars);
-            slope_prev = lib.stage_slope_posy(comp, arc.to.edge, &cap, &vars);
-        }
-        gp.add_le(format!("path{ci} <= T"), delay, Monomial::var(t_var))?;
-        timing_constraints += 1;
     }
     for (label, _) in circuit.labels().iter() {
         let v = vars[label.index()];

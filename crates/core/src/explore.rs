@@ -76,6 +76,13 @@ pub struct Exploration {
     /// concurrently on the same `Arc<SizingCache>` each absorb the other's
     /// lookups into their own hit/miss numbers. The candidate table is
     /// unaffected either way — only these two statistics blur.
+    ///
+    /// [`crate::variation_sweep`] re-measures never count here: a
+    /// variation sweep performs zero sizing-cache lookups by
+    /// construction (it bypasses the sizer entirely), so these numbers
+    /// stay comparable across runs regardless of how many Monte-Carlo
+    /// samples were drawn afterwards — the cache-correctness suite pins
+    /// the zero-traffic property.
     pub cache_hits: usize,
     /// Sizing-cache misses attributable to this sweep (`0` without a
     /// cache). Same single-sweep-at-a-time attribution caveat as

@@ -71,6 +71,7 @@ mod report;
 mod sizing;
 mod spec;
 pub mod tune;
+mod variation;
 
 pub use baseline::{baseline_sizing, BaselineMargins};
 pub use cache::{cache_key, CacheKey, SizingCache};
@@ -84,6 +85,10 @@ pub use explore::{
 pub use noise::{analyze_noise, DynamicNodeNoise, NoiseReport};
 pub use pool::{run_indexed, EnvFallback, ParallelOptions};
 pub use report::{exploration_report, sizing_report};
-pub use sizing::{compaction_stats, measure_phase_delays, minimize_delay, size_circuit, SizingOutcome};
+pub use sizing::{
+    compaction_stats, measure_phase_delays, minimize_delay, size_circuit, CornerDelay,
+    SizingOutcome,
+};
 pub use spec::{CostMetric, DelaySpec, FlowBudget, LintGate, SizingOptions};
+pub use variation::{variation_sweep, VariationOptions, VariationReport, VariationSample};
 pub use tune::{tune_comparator_grouping, tune_partition_point, TuneCandidate, TuneSweep};

@@ -23,15 +23,30 @@ use crate::compact::{compact, Compaction};
 use crate::constraints::{boundary_extra_loads, build_min_delay_gp, build_sizing_gp};
 use crate::{DelaySpec, FlowError, SizingOptions};
 
+/// One corner's STA measurement of a sized circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CornerDelay {
+    /// Corner name (from the [`smart_models::CornerSet`] member, or
+    /// `"typical"` for the historical single-corner flow).
+    pub corner: String,
+    /// Worst data/evaluate delay at this corner (ps).
+    pub data: f64,
+    /// Worst precharge completion at this corner (ps).
+    pub precharge: f64,
+}
+
 /// Outcome of one sizing run. `Clone` so the memoization cache
 /// ([`crate::SizingCache`]) can hand out copies of a stored outcome.
 #[derive(Debug, Clone)]
 pub struct SizingOutcome {
     /// The optimized widths.
     pub sizing: Sizing,
-    /// STA-measured worst data/evaluate delay at the solution (ps).
+    /// STA-measured worst data/evaluate delay at the solution, maximized
+    /// over the corner set (ps). Single-corner runs measure one corner,
+    /// so this is exactly that corner's delay.
     pub measured_delay: f64,
-    /// STA-measured worst precharge completion (ps), for domino macros.
+    /// STA-measured worst precharge completion over the corner set (ps),
+    /// for domino macros.
     pub measured_precharge: f64,
     /// Total transistor width at the solution.
     pub total_width: f64,
@@ -48,6 +63,13 @@ pub struct SizingOutcome {
     /// GP solves that had to be restarted from a perturbed point after a
     /// numerical failure.
     pub gp_restarts: usize,
+    /// Per-corner STA measurement of the accepted solution, in corner-set
+    /// order (singleton `[("typical", ...)]` for single-corner runs).
+    pub corner_delays: Vec<CornerDelay>,
+    /// Name of the *binding* corner: the member whose data-phase delay is
+    /// worst at the solution (ties break toward the earlier member). The
+    /// corner that actually constrains the sizing.
+    pub binding_corner: String,
 }
 
 /// Measures worst delays with the same models the GP used.
@@ -358,6 +380,47 @@ fn chaos_time_skew(opts: &SizingOptions) -> Result<(), FlowError> {
     Ok(())
 }
 
+/// STA measurement at every corner of the resolved set: returns the
+/// per-corner delays plus the worst data delay, worst precharge and the
+/// binding corner's index (worst data; ties break toward the earlier
+/// member). Each corner is measured with its own library against the
+/// shared, corner-invariant path classification; the `size/corner` trace
+/// event records each measurement.
+fn measure_corners(
+    circuit: &Circuit,
+    corner_libs: &[(String, ModelLibrary)],
+    sizing: &Sizing,
+    boundary: &Boundary,
+    compaction: &Compaction,
+    opts: &SizingOptions,
+) -> Result<(Vec<CornerDelay>, f64, f64, usize), FlowError> {
+    let mut delays = Vec::with_capacity(corner_libs.len());
+    let mut worst_data = 0.0f64;
+    let mut worst_pre = 0.0f64;
+    let mut binding = 0usize;
+    for (k, (cname, clib)) in corner_libs.iter().enumerate() {
+        let (d, p) = chaos_measure(circuit, clib, sizing, boundary, compaction, opts)?;
+        if d > worst_data {
+            worst_data = d;
+            binding = k;
+        }
+        worst_pre = worst_pre.max(p);
+        smart_trace::emit_with("size/corner", || {
+            vec![
+                ("corner", cname.clone().into()),
+                ("data_ps", d.into()),
+                ("precharge_ps", p.into()),
+            ]
+        });
+        delays.push(CornerDelay {
+            corner: cname.clone(),
+            data: d,
+            precharge: p,
+        });
+    }
+    Ok((delays, worst_data, worst_pre, binding))
+}
+
 /// Chaos seam: timing measurement with an injectable `NoEndpoints`. The
 /// flow's own [`measure`] raises the same error for genuinely
 /// unmeasurable macros; the injection proves the sweep classifies it
@@ -479,6 +542,10 @@ fn size_to_spec(
 ) -> Result<SizingOutcome, FlowError> {
     let compaction = &prepared.compaction;
     let extra = &prepared.extra;
+    // The corners this rung must satisfy; `None` resolves to a singleton
+    // clone of `lib`, making the single-corner flow a one-iteration case
+    // of every corner loop below.
+    let corner_libs = crate::spec::resolve_corner_libs(lib, opts);
     let mut working_spec = spec.clone();
     let mut last = (f64::INFINITY, f64::INFINITY);
     let mut restarts = 0usize;
@@ -560,7 +627,11 @@ fn size_to_spec(
         // Chain this solution: the next outer iteration (or the next
         // relaxation rung, if this one fails) starts from it.
         *chain = Some(sol.x);
-        let (data, pre) = chaos_measure(circuit, lib, &sizing, boundary, compaction, opts)?;
+        // Verify at every corner; feasibility requires every member
+        // within tolerance, and the retarget below is driven by the worst
+        // overshoot over the set (the binding corner).
+        let (corner_delays, data, pre, binding) =
+            measure_corners(circuit, &corner_libs, &sizing, boundary, compaction, opts)?;
         last = (data, pre);
         smart_trace::emit("size/iteration", &[
             ("iter", iter.into()),
@@ -581,10 +652,15 @@ fn size_to_spec(
                 raw_paths: compaction.raw_paths,
                 spec_relaxation: 0.0,
                 gp_restarts: restarts,
+                binding_corner: corner_libs[binding].0.clone(),
+                corner_delays,
             });
         }
         // Retarget: shrink the constraint budgets by the measured
-        // overshoot ("new delay specification" box of Fig. 4).
+        // overshoot ("new delay specification" box of Fig. 4). `data` /
+        // `pre` are worst-over-corners, so the shared budget tightens by
+        // the binding corner's overshoot and every corner's constraints
+        // (which divide the same budget) tighten with it.
         if !data_ok && data > 0.0 {
             working_spec.data *= (spec.data / data).min(0.98);
         }
@@ -629,7 +705,9 @@ pub fn minimize_delay(
             .collect(),
     );
     let t_star = sol.x[t_var.index()];
-    let (data, pre) = chaos_measure(circuit, lib, &sizing, boundary, compaction, opts)?;
+    let corner_libs = crate::spec::resolve_corner_libs(lib, opts);
+    let (corner_delays, data, pre, binding) =
+        measure_corners(circuit, &corner_libs, &sizing, boundary, compaction, opts)?;
     Ok((
         t_star,
         SizingOutcome {
@@ -642,6 +720,8 @@ pub fn minimize_delay(
             raw_paths: compaction.raw_paths,
             spec_relaxation: 0.0,
             gp_restarts: restarts,
+            binding_corner: corner_libs[binding].0.clone(),
+            corner_delays,
         },
     ))
 }

@@ -7,6 +7,7 @@ use std::time::Duration;
 
 use smart_chaos::{Clock, FaultPlan};
 use smart_gp::CancelToken;
+use smart_models::CornerSet;
 use smart_netlist::Sizing;
 use smart_trace::Trace;
 
@@ -230,6 +231,20 @@ pub struct SizingOptions {
     /// `Option` branch each. Excluded from the sizing-cache fingerprint:
     /// faults abort candidates, they never steer a successful outcome.
     pub chaos: Option<Arc<FaultPlan>>,
+    /// Process corners the sizing must satisfy simultaneously. `None`
+    /// (the default) is the historical single-corner flow: constraints
+    /// and measurements use only the [`smart_models::ModelLibrary`]
+    /// passed to the entry point, bit-identically to pre-corner builds.
+    /// `Some(set)` emits every timing/slope constraint once per member
+    /// into the same GP (shared width variables — max-over-corners) and
+    /// requires the STA-verified solution to meet spec at every member;
+    /// the binding corner is reported in
+    /// [`crate::SizingOutcome::binding_corner`]. A singleton set whose
+    /// member equals the passed library's process produces bit-identical
+    /// results to `None` (the corner-parity suite pins this), but keys
+    /// caches and checkpoints separately — a multi-corner solve never
+    /// replays a single-corner entry and vice versa.
+    pub corners: Option<CornerSet>,
     /// Sweep checkpoint store for [`crate::explore`] runs: completed
     /// candidate rows are periodically serialized (byte-stable JSON keyed
     /// by the sweep fingerprint) so an interrupted sweep resumes only the
@@ -238,6 +253,32 @@ pub struct SizingOptions {
     /// sizing-cache fingerprint and from the checkpoint's own sweep
     /// fingerprint: persistence must never change what is computed.
     pub checkpoint: Option<Arc<Checkpointer>>,
+}
+
+/// Resolves the effective corner list of one sizing run: the configured
+/// [`SizingOptions::corners`] members, or — with `corners: None` — a
+/// singleton "typical" entry holding a clone of the passed library, which
+/// makes the historical single-corner flow literally a one-iteration case
+/// of the corner loop (so the two code paths cannot diverge). Returns
+/// `(name, library)` pairs in emission order; the first entry is the
+/// primary corner.
+pub(crate) fn resolve_corner_libs(
+    lib: &smart_models::ModelLibrary,
+    opts: &SizingOptions,
+) -> Vec<(String, smart_models::ModelLibrary)> {
+    match &opts.corners {
+        Some(set) => set
+            .corners()
+            .iter()
+            .map(|c| {
+                (
+                    c.name.clone(),
+                    smart_models::ModelLibrary::new(c.process.clone()),
+                )
+            })
+            .collect(),
+        None => vec![("typical".to_owned(), lib.clone())],
+    }
 }
 
 impl Default for SizingOptions {
@@ -260,6 +301,7 @@ impl Default for SizingOptions {
             cache: None,
             lint: LintGate::default(),
             trace: Trace::from_env(),
+            corners: None,
             chaos: None,
             checkpoint: None,
         }

@@ -7,8 +7,8 @@
 use std::sync::Arc;
 
 use smart_core::{
-    cache_key, explore_with_parallel, size_circuit, DelaySpec, ParallelOptions, SizingCache,
-    SizingOptions, SizingOutcome,
+    cache_key, explore_with_parallel, size_circuit, variation_sweep, DelaySpec, ParallelOptions,
+    SizingCache, SizingOptions, SizingOutcome, VariationOptions,
 };
 use smart_macros::{MacroSpec, MuxTopology};
 use smart_models::ModelLibrary;
@@ -68,6 +68,27 @@ fn assert_bitwise_equal(a: &SizingOutcome, b: &SizingOutcome, what: &str) {
         "{what}: spec_relaxation"
     );
     assert_eq!(a.gp_restarts, b.gp_restarts, "{what}: gp_restarts");
+    assert_eq!(a.binding_corner, b.binding_corner, "{what}: binding_corner");
+    assert_eq!(
+        a.corner_delays.len(),
+        b.corner_delays.len(),
+        "{what}: corner count"
+    );
+    for (x, y) in a.corner_delays.iter().zip(&b.corner_delays) {
+        assert_eq!(x.corner, y.corner, "{what}: corner name");
+        assert_eq!(
+            x.data.to_bits(),
+            y.data.to_bits(),
+            "{what}: corner {} data",
+            x.corner
+        );
+        assert_eq!(
+            x.precharge.to_bits(),
+            y.precharge.to_bits(),
+            "{what}: corner {} precharge",
+            x.corner
+        );
+    }
 }
 
 #[test]
@@ -301,4 +322,107 @@ fn shared_cache_under_parallel_sweep_preserves_the_serial_table() {
     let (hits, misses) = cache.stats();
     assert_eq!(hits + misses, 8, "every candidate consulted the cache once");
     assert!(hits >= 4, "warm sweep alone contributes 4 hits (got {hits})");
+}
+
+#[test]
+fn boundary_fingerprint_is_insertion_order_invariant_over_32_shuffles() {
+    // The boundary fingerprint feeds the cache key through two HashMaps
+    // whose iteration order is per-instance; the key must depend only on
+    // the boundary's *contents*. Property-check it: one reference
+    // boundary, 32 Fisher–Yates shuffles of the insertion order, every
+    // resulting cache key identical.
+    let circuit = mux(MuxTopology::StronglyMutexedPass).generate();
+    let lib = ModelLibrary::reference();
+    let spec = DelaySpec::uniform(400.0);
+    let opts = SizingOptions::default();
+
+    let loads: Vec<(String, f64)> = (0..12).map(|i| (format!("y{i}"), 10.0 + i as f64)).collect();
+    let times: Vec<(String, (f64, f64))> = (0..12)
+        .map(|i| (format!("a{i}"), (5.0 * i as f64, 30.0 + i as f64)))
+        .collect();
+
+    let build = |load_order: &[usize], time_order: &[usize]| {
+        let mut b = Boundary::default();
+        for &i in load_order {
+            b.output_loads.insert(loads[i].0.clone(), loads[i].1);
+        }
+        for &i in time_order {
+            b.input_times.insert(times[i].0.clone(), times[i].1);
+        }
+        cache_key(&circuit, &lib, &b, &spec, &opts)
+    };
+
+    let reference = build(&(0..12).collect::<Vec<_>>(), &(0..12).collect::<Vec<_>>());
+    let mut rng = smart_prng::Prng::new(0xB0DA_71E5);
+    for shuffle in 0..32 {
+        let mut lo: Vec<usize> = (0..12).collect();
+        let mut to: Vec<usize> = (0..12).collect();
+        for v in [&mut lo, &mut to] {
+            for i in (1..v.len()).rev() {
+                v.swap(i, rng.usize_in(0, i));
+            }
+        }
+        let shuffled = build(&lo, &to);
+        assert_eq!(
+            reference, shuffled,
+            "shuffle {shuffle}: cache key moved with boundary insertion order \
+             (loads {lo:?}, times {to:?})"
+        );
+    }
+
+    // Guard: the fingerprint still sees the *values* — perturbing one
+    // load must move the key.
+    let mut perturbed = Boundary::default();
+    for (name, v) in &loads {
+        perturbed.output_loads.insert(name.clone(), *v);
+    }
+    for (name, v) in &times {
+        perturbed.input_times.insert(name.clone(), *v);
+    }
+    *perturbed.output_loads.get_mut("y3").expect("y3") += 0.5;
+    assert_ne!(
+        reference,
+        cache_key(&circuit, &lib, &perturbed, &spec, &opts),
+        "changed load must change the key"
+    );
+}
+
+#[test]
+fn variation_sweep_performs_zero_sizing_cache_traffic() {
+    // A variation sweep re-measures a finished sizing; it must never
+    // count as sizing-cache traffic, or Exploration's per-sweep stats
+    // (and any hit-rate dashboards built on them) drift with the number
+    // of Monte-Carlo samples.
+    let circuit = mux(MuxTopology::StronglyMutexedPass).generate();
+    let lib = ModelLibrary::reference();
+    let b = boundary(15.0);
+    let spec = DelaySpec::uniform(400.0);
+
+    let cache = Arc::new(SizingCache::new());
+    let opts = with_cache(&cache);
+    let out = size_circuit(&circuit, &lib, &b, &spec, &opts).expect("solve");
+    let before = cache.stats();
+    assert_eq!(before, (0, 1), "the solve itself must miss exactly once");
+
+    let report = variation_sweep(
+        &circuit,
+        &lib,
+        &b,
+        &spec,
+        &out.sizing,
+        &opts, // cache *present* in the options — the sweep must ignore it
+        &VariationOptions {
+            samples: 16,
+            ..VariationOptions::default()
+        },
+        &ParallelOptions::with_workers(2),
+    )
+    .expect("variation sweep");
+    assert_eq!(report.samples.len(), 16);
+    assert_eq!(
+        cache.stats(),
+        before,
+        "variation re-measures must not touch the sizing cache"
+    );
+    assert_eq!(cache.len(), 1, "no new entries either");
 }

@@ -24,7 +24,7 @@ use smart_core::{
     DelaySpec, Exploration, FlowError, ParallelOptions, SizingCache, SizingOptions,
 };
 use smart_macros::{MacroSpec, MuxTopology};
-use smart_models::ModelLibrary;
+use smart_models::{CornerSet, ModelLibrary};
 use smart_sta::Boundary;
 
 fn bits(x: f64) -> String {
@@ -53,6 +53,11 @@ fn render_row(i: usize, c: &Candidate) -> String {
                 bits(m.power.clock),
                 m.devices,
             ));
+            out.push_str(&format!(" binding={} corners=", m.outcome.binding_corner));
+            for cd in &m.outcome.corner_delays {
+                out.push_str(&format!("{}:{}:{};", cd.corner, bits(cd.data), bits(cd.precharge)));
+            }
+            out.push_str(" widths=");
             for w in m.outcome.sizing.as_slice() {
                 out.push_str(&bits(*w));
                 out.push(',');
@@ -463,4 +468,141 @@ fn lint_rule_panics_are_contained_as_internal_rows() {
     let clean = sweep(&specs, &off, 2);
     assert_eq!(clean.feasible_count(), specs.len());
     assert_eq!(plan.injected(FaultSite::LintPanic), 0);
+}
+
+/// Cross-fingerprint separation: a sizing-cache entry and a checkpoint
+/// written under one `CornerSet` must never replay under another (or
+/// under the default corner-less options) — a warm multi-corner entry
+/// replayed into a single-corner run would ship the wrong widths with a
+/// "hit" in the stats.
+#[test]
+fn corner_sets_split_cache_and_checkpoint_fingerprints() {
+    let circuit = mux_specs(1)[0].generate();
+    let lib = ModelLibrary::reference();
+    let b = boundary_for(&mux_specs(1), 12.0);
+    let spec = DelaySpec::uniform(400.0);
+
+    let mut multi = SizingOptions::default();
+    multi.corners = Some(CornerSet::slow_typical_fast(lib.process()));
+    let mut slow_only = SizingOptions::default();
+    slow_only.corners = Some(CornerSet::new(vec![
+        CornerSet::slow_typical_fast(lib.process()).corners()[0].clone(),
+    ]));
+    let plain = SizingOptions::default();
+
+    // Key-level separation, pairwise.
+    let keys = [
+        cache_key(&circuit, &lib, &b, &spec, &plain),
+        cache_key(&circuit, &lib, &b, &spec, &multi),
+        cache_key(&circuit, &lib, &b, &spec, &slow_only),
+    ];
+    for i in 0..keys.len() {
+        for j in (i + 1)..keys.len() {
+            assert_ne!(keys[i], keys[j], "option sets {i} and {j} alias one key");
+        }
+    }
+
+    // Cache-level separation: one shared cache, three solves, zero hits.
+    let cache = Arc::new(SizingCache::new());
+    for opts in [&plain, &multi, &slow_only] {
+        let mut o = opts.clone();
+        o.cache = Some(cache.clone());
+        size_circuit(&circuit, &lib, &b, &spec, &o).expect("feasible");
+    }
+    assert_eq!(
+        cache.stats(),
+        (0, 3),
+        "a corner-set variant replayed another's entry"
+    );
+    assert_eq!(cache.len(), 3);
+
+    // Checkpoint-level separation: rows written under the multi-corner
+    // sweep must resume nothing under either other option set, and
+    // everything under their own.
+    let specs = mux_specs(4);
+    let path = tmp_path("corner-sep");
+    std::fs::remove_file(&path).ok();
+    let with_ckpt = |corners: &Option<CornerSet>| {
+        let mut o = SizingOptions::default();
+        o.corners = corners.clone();
+        o.checkpoint = Some(Arc::new(Checkpointer::new(&path).with_interval(1)));
+        o
+    };
+    let written = sweep(&specs, &with_ckpt(&multi.corners), 2);
+    assert_eq!(written.resumed, 0);
+    assert_eq!(written.feasible_count(), specs.len());
+
+    // Sanity first: the writer's own fingerprint replays every row.
+    let own = sweep(&specs, &with_ckpt(&multi.corners), 2);
+    assert_eq!(own.resumed, specs.len(), "own rows must all replay");
+
+    // Foreign fingerprints reject the file wholesale (each of these
+    // sweeps then overwrites it with its own rows, which is why the
+    // own-replay check ran first).
+    let foreign = sweep(&specs, &with_ckpt(&None), 2);
+    assert_eq!(foreign.resumed, 0, "corner-less run resumed corner rows");
+    let other = sweep(&specs, &with_ckpt(&slow_only.corners), 2);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(other.resumed, 0, "slow-only run resumed corner-less rows");
+}
+
+/// Invariant (c) under corners **and** chaos at once: a multi-corner
+/// sweep interrupted mid-flight and resumed from its checkpoint, with
+/// cache faults firing throughout, is byte-identical to the clean
+/// uninterrupted multi-corner sweep (corner tables included — `render`
+/// covers them).
+#[test]
+fn multi_corner_interrupted_resume_is_byte_identical_under_injected_faults() {
+    // Duplicated specs so the sizing cache sees hits — the only state
+    // the cache faults can disrupt.
+    let mut specs = mux_specs(3);
+    specs.extend(mux_specs(3));
+    let corners = Some(CornerSet::slow_typical_fast(
+        ModelLibrary::reference().process(),
+    ));
+
+    let mut clean_opts = SizingOptions::default();
+    clean_opts.corners = corners.clone();
+    let clean = render(&sweep(&specs, &clean_opts, 2));
+
+    let path = tmp_path("corner-chaos-resume");
+    std::fs::remove_file(&path).ok();
+    let plan = Arc::new(
+        FaultPlan::new(23)
+            .with_rate(FaultSite::CacheDrop, 1.0)
+            .with_rate(FaultSite::CacheCorrupt, 1.0),
+    );
+
+    // Phase 1: interrupt after 5 candidates (the last two of which are
+    // duplicates, i.e. cache hits for the faults to hit), faults live.
+    let mut interrupted_opts = SizingOptions::default();
+    interrupted_opts.corners = corners.clone();
+    interrupted_opts.cache = Some(Arc::new(SizingCache::new()));
+    interrupted_opts.chaos = Some(plan.clone());
+    interrupted_opts.checkpoint = Some(Arc::new(Checkpointer::new(&path).with_interval(1)));
+    interrupted_opts.budget.max_candidates = Some(5);
+    let interrupted = sweep(&specs, &interrupted_opts, 2);
+    assert_eq!(interrupted.feasible_count(), 5);
+
+    // Phase 2: fresh process-equivalent resume, faults still live.
+    let mut resumed_opts = SizingOptions::default();
+    resumed_opts.corners = corners;
+    resumed_opts.cache = Some(Arc::new(SizingCache::new()));
+    resumed_opts.chaos = Some(plan.clone());
+    resumed_opts.checkpoint = Some(Arc::new(Checkpointer::new(&path).with_interval(1)));
+    let resumed = sweep(&specs, &resumed_opts, 2);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        resumed.resumed, 5,
+        "the five checkpointed multi-corner rows must replay"
+    );
+    assert_eq!(
+        render(&resumed),
+        clean,
+        "multi-corner interrupt/resume under faults diverged"
+    );
+    assert!(
+        plan.injected(FaultSite::CacheDrop) + plan.injected(FaultSite::CacheCorrupt) > 0,
+        "no fault ever manifested — vacuous test"
+    );
 }

@@ -1,0 +1,398 @@
+//! Corner-parity differential suite — the contract of multi-corner
+//! robust sizing against the single-corner flow it generalizes:
+//!
+//! (a) a singleton `CornerSet` containing the library's own process is
+//!     **bit-identical** to the historical `corners: None` solve — the
+//!     corner loop with one member must be the old code path, not an
+//!     approximation of it;
+//! (b) the multi-corner optimum is *feasible at every corner*, verified
+//!     by re-measuring the shipped sizing standalone under each corner's
+//!     library (not trusting the solver's own report);
+//! (c) the robust solution is *never better* than the per-corner optimum
+//!     at that corner — it satisfies a superset of each single-corner
+//!     problem's constraints, so a cheaper robust sizing would mean the
+//!     corner constraints leaked (soundness bound);
+//! (d) the multi-corner solve is byte-identical across worker counts and
+//!     across cache-cold vs cache-warm runs.
+
+use std::sync::Arc;
+
+use smart_core::{
+    explore_with_parallel, measure_phase_delays, size_circuit, CornerDelay, DelaySpec,
+    Exploration, ParallelOptions, SizingCache, SizingOptions, SizingOutcome,
+};
+use smart_macros::{MacroSpec, MuxTopology};
+use smart_models::{Corner, CornerSet, ModelLibrary};
+use smart_sta::Boundary;
+
+fn mux(width: usize) -> MacroSpec {
+    MacroSpec::Mux {
+        topology: MuxTopology::StronglyMutexedPass,
+        width,
+    }
+}
+
+fn boundary(load: f64) -> Boundary {
+    let mut b = Boundary::default();
+    b.output_loads.insert("y".into(), load);
+    b
+}
+
+fn with_corners(set: CornerSet) -> SizingOptions {
+    let mut opts = SizingOptions::default();
+    opts.corners = Some(set);
+    opts
+}
+
+fn bits(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// Full bitwise equality of two outcomes, including the per-corner
+/// measurement table — the parity contract is exact replay, not
+/// tolerance-equal results.
+fn assert_bitwise_equal(a: &SizingOutcome, b: &SizingOutcome, what: &str) {
+    assert_eq!(a.sizing.len(), b.sizing.len(), "{what}: width count");
+    for (i, (x, y)) in a
+        .sizing
+        .as_slice()
+        .iter()
+        .zip(b.sizing.as_slice())
+        .enumerate()
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: width[{i}]");
+    }
+    assert_eq!(
+        a.measured_delay.to_bits(),
+        b.measured_delay.to_bits(),
+        "{what}: measured_delay"
+    );
+    assert_eq!(
+        a.measured_precharge.to_bits(),
+        b.measured_precharge.to_bits(),
+        "{what}: measured_precharge"
+    );
+    assert_eq!(
+        a.total_width.to_bits(),
+        b.total_width.to_bits(),
+        "{what}: total_width"
+    );
+    assert_eq!(a.iterations, b.iterations, "{what}: iterations");
+    assert_eq!(a.constraint_paths, b.constraint_paths, "{what}: constraint_paths");
+    assert_eq!(a.raw_paths, b.raw_paths, "{what}: raw_paths");
+    assert_eq!(
+        a.spec_relaxation.to_bits(),
+        b.spec_relaxation.to_bits(),
+        "{what}: spec_relaxation"
+    );
+    assert_eq!(a.gp_restarts, b.gp_restarts, "{what}: gp_restarts");
+    assert_eq!(a.binding_corner, b.binding_corner, "{what}: binding_corner");
+    assert_eq!(
+        a.corner_delays.len(),
+        b.corner_delays.len(),
+        "{what}: corner count"
+    );
+    for (x, y) in a.corner_delays.iter().zip(&b.corner_delays) {
+        assert_eq!(x.corner, y.corner, "{what}: corner name");
+        assert_eq!(
+            x.data.to_bits(),
+            y.data.to_bits(),
+            "{what}: corner {} data",
+            x.corner
+        );
+        assert_eq!(
+            x.precharge.to_bits(),
+            y.precharge.to_bits(),
+            "{what}: corner {} precharge",
+            x.corner
+        );
+    }
+}
+
+// ---------------------------------------------------------------- (a)
+
+#[test]
+fn singleton_typical_corner_set_is_bit_identical_to_default_options() {
+    let circuit = mux(4).generate();
+    let lib = ModelLibrary::reference();
+    let boundary = boundary(18.0);
+    let spec = DelaySpec::uniform(300.0);
+
+    let base = size_circuit(&circuit, &lib, &boundary, &spec, &SizingOptions::default())
+        .expect("default solve");
+    // Both paths populate the corner table: the default run reports its
+    // single measurement under the name "typical".
+    assert_eq!(base.corner_delays.len(), 1);
+    assert_eq!(base.corner_delays[0].corner, "typical");
+    assert_eq!(base.binding_corner, "typical");
+    assert_eq!(
+        base.corner_delays[0].data.to_bits(),
+        base.measured_delay.to_bits()
+    );
+
+    // Explicit singleton with the library's own process.
+    let explicit = size_circuit(
+        &circuit,
+        &lib,
+        &boundary,
+        &spec,
+        &with_corners(CornerSet::single("typical", lib.process().clone())),
+    )
+    .expect("explicit singleton solve");
+    assert_bitwise_equal(&base, &explicit, "explicit singleton vs default");
+
+    // Identity-derate singleton: `x * 1.0` must preserve every f64 bit.
+    let derated = size_circuit(
+        &circuit,
+        &lib,
+        &boundary,
+        &spec,
+        &with_corners(CornerSet::typical_of(lib.process())),
+    )
+    .expect("identity-derate singleton solve");
+    assert_bitwise_equal(&base, &derated, "identity-derate singleton vs default");
+}
+
+// ---------------------------------------------------------------- (b)
+
+#[test]
+fn multi_corner_optimum_is_feasible_at_every_corner_re_measured_standalone() {
+    let circuit = mux(4).generate();
+    let lib = ModelLibrary::reference();
+    let boundary = boundary(18.0);
+    let spec = DelaySpec::uniform(340.0);
+    let set = CornerSet::slow_typical_fast(lib.process());
+    let opts = with_corners(set.clone());
+
+    let robust = size_circuit(&circuit, &lib, &boundary, &spec, &opts).expect("robust solve");
+    assert_eq!(robust.corner_delays.len(), set.len());
+    assert!(
+        robust.spec_relaxation == 0.0,
+        "spec must be loose enough that the ladder's first rung holds \
+         (got relaxation {})",
+        robust.spec_relaxation
+    );
+
+    let data_limit = spec.data * (1.0 + opts.timing_tolerance);
+    let pre_limit = spec.precharge_budget() * (1.0 + opts.timing_tolerance);
+    let mut worst: Option<&CornerDelay> = None;
+    for (corner, reported) in set.corners().iter().zip(&robust.corner_delays) {
+        assert_eq!(corner.name, reported.corner, "corner table order");
+        // Standalone re-measure: fresh library from the corner's process,
+        // default (corner-less) options — no shared state with the solve.
+        let clib = ModelLibrary::new(corner.process.clone());
+        let (data, pre) = measure_phase_delays(
+            &circuit,
+            &clib,
+            &robust.sizing,
+            &boundary,
+            &SizingOptions::default(),
+        )
+        .expect("standalone corner measurement");
+        assert_eq!(
+            data.to_bits(),
+            reported.data.to_bits(),
+            "corner {}: reported data vs standalone re-measure",
+            corner.name
+        );
+        assert_eq!(
+            pre.to_bits(),
+            reported.precharge.to_bits(),
+            "corner {}: reported precharge vs standalone re-measure",
+            corner.name
+        );
+        assert!(
+            data <= data_limit,
+            "corner {}: data {data} ps exceeds limit {data_limit} ps",
+            corner.name
+        );
+        assert!(
+            pre <= pre_limit,
+            "corner {}: precharge {pre} ps exceeds limit {pre_limit} ps",
+            corner.name
+        );
+        if worst.map(|w| reported.data > w.data).unwrap_or(true) {
+            worst = Some(reported);
+        }
+    }
+    // The binding corner is exactly the worst data-phase member.
+    assert_eq!(
+        robust.binding_corner,
+        worst.expect("nonempty corner table").corner,
+        "binding corner must be the worst-data member"
+    );
+    // The headline numbers are the max over the table.
+    let max_data = robust
+        .corner_delays
+        .iter()
+        .map(|c| c.data)
+        .fold(0.0f64, f64::max);
+    assert_eq!(robust.measured_delay.to_bits(), max_data.to_bits());
+}
+
+// ---------------------------------------------------------------- (c)
+
+#[test]
+fn robust_solution_is_never_better_than_the_per_corner_optimum() {
+    let circuit = mux(4).generate();
+    let lib = ModelLibrary::reference();
+    let boundary = boundary(18.0);
+    let spec = DelaySpec::uniform(340.0);
+    let set = CornerSet::slow_typical_fast(lib.process());
+
+    let robust = size_circuit(&circuit, &lib, &boundary, &spec, &with_corners(set.clone()))
+        .expect("robust solve");
+
+    for corner in set.corners() {
+        // The single-corner problem at this corner: a strict subset of
+        // the robust problem's constraints over the same variables.
+        let single = size_circuit(
+            &circuit,
+            &lib,
+            &boundary,
+            &spec,
+            &with_corners(CornerSet::new(vec![Corner {
+                name: corner.name.clone(),
+                process: corner.process.clone(),
+            }])),
+        )
+        .expect("per-corner solve");
+        // More constraints can only cost more area (GP solves to a small
+        // relative tolerance, hence the epsilon).
+        assert!(
+            robust.total_width >= single.total_width * (1.0 - 1e-6),
+            "corner {}: robust width {} beats the single-corner optimum {} \
+             — corner constraints leaked out of the GP",
+            corner.name,
+            robust.total_width,
+            single.total_width
+        );
+    }
+}
+
+#[test]
+fn derated_corners_actually_move_the_measurement() {
+    // Guard against a trivially-passing suite: slow and fast must not
+    // alias the typical process, or (b) and (c) test nothing.
+    let circuit = mux(4).generate();
+    let lib = ModelLibrary::reference();
+    let boundary = boundary(18.0);
+    let spec = DelaySpec::uniform(340.0);
+
+    let robust = size_circuit(
+        &circuit,
+        &lib,
+        &boundary,
+        &spec,
+        &with_corners(CornerSet::slow_typical_fast(lib.process())),
+    )
+    .expect("robust solve");
+    let by_name = |n: &str| {
+        robust
+            .corner_delays
+            .iter()
+            .find(|c| c.corner == n)
+            .unwrap_or_else(|| panic!("corner {n} missing"))
+    };
+    let (slow, typical, fast) = (by_name("slow"), by_name("typical"), by_name("fast"));
+    assert!(
+        slow.data > typical.data && typical.data > fast.data,
+        "derates must order the corners: slow {} > typical {} > fast {}",
+        slow.data,
+        typical.data,
+        fast.data
+    );
+    assert_eq!(robust.binding_corner, "slow");
+}
+
+// ---------------------------------------------------------------- (d)
+
+fn render(table: &Exploration) -> String {
+    let mut out = String::new();
+    for (i, c) in table.candidates.iter().enumerate() {
+        out.push_str(&format!("[{i}] spec={}", c.spec));
+        match &c.result {
+            Ok(m) => {
+                out.push_str(&format!(
+                    " ok delay={} pre={} width={} relax={} binding={} corners=",
+                    bits(m.outcome.measured_delay),
+                    bits(m.outcome.measured_precharge),
+                    bits(m.outcome.total_width),
+                    bits(m.outcome.spec_relaxation),
+                    m.outcome.binding_corner,
+                ));
+                for cd in &m.outcome.corner_delays {
+                    out.push_str(&format!("{}:{}:{};", cd.corner, bits(cd.data), bits(cd.precharge)));
+                }
+                out.push_str(" widths=");
+                for w in m.outcome.sizing.as_slice() {
+                    out.push_str(&bits(*w));
+                    out.push(',');
+                }
+            }
+            Err(e) => out.push_str(&format!(" err={e:?}")),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn multi_corner_sweep_is_byte_identical_across_worker_counts() {
+    let lib = ModelLibrary::reference();
+    let spec = DelaySpec::uniform(360.0);
+    let boundary = boundary(15.0);
+    let specs = vec![
+        mux(2),
+        mux(4),
+        MacroSpec::Mux {
+            topology: MuxTopology::Tristate,
+            width: 4,
+        },
+    ];
+    let opts = with_corners(CornerSet::slow_typical_fast(lib.process()));
+
+    let serial = explore_with_parallel(
+        specs.clone(),
+        |s| s.generate(),
+        &lib,
+        &boundary,
+        &spec,
+        &opts,
+        &ParallelOptions::serial(),
+    );
+    let parallel = explore_with_parallel(
+        specs,
+        |s| s.generate(),
+        &lib,
+        &boundary,
+        &spec,
+        &opts,
+        &ParallelOptions::with_workers(4),
+    );
+    assert_eq!(
+        render(&serial),
+        render(&parallel),
+        "multi-corner exploration must not depend on worker count"
+    );
+}
+
+#[test]
+fn multi_corner_solve_is_byte_identical_cache_warm_vs_cold() {
+    let circuit = mux(4).generate();
+    let lib = ModelLibrary::reference();
+    let boundary = boundary(18.0);
+    let spec = DelaySpec::uniform(340.0);
+
+    let cache = Arc::new(SizingCache::new());
+    let mut opts = with_corners(CornerSet::slow_typical_fast(lib.process()));
+    opts.cache = Some(Arc::clone(&cache));
+
+    let cold = size_circuit(&circuit, &lib, &boundary, &spec, &opts).expect("cold solve");
+    let (h0, m0) = cache.stats();
+    assert_eq!((h0, m0), (0, 1), "cold run must miss exactly once");
+    let warm = size_circuit(&circuit, &lib, &boundary, &spec, &opts).expect("warm solve");
+    let (h1, m1) = cache.stats();
+    assert_eq!((h1, m1), (1, 1), "warm run must hit the cold entry");
+    assert_bitwise_equal(&cold, &warm, "cache-warm vs cache-cold");
+}

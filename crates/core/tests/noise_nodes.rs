@@ -1,0 +1,182 @@
+//! Dedicated unit tests for the dynamic-node noise report
+//! ([`smart_core::DynamicNodeNoise`]): each metric checked against a
+//! hand-computed value on a hand-sized domino circuit, with a positive
+//! and a negative case per metric, plus the corner interaction — a
+//! derated process must shift the capacitance-based metrics while the
+//! width-ratio metric stays put.
+
+use smart_core::{analyze_noise, DynamicNodeNoise};
+use smart_macros::{MacroSpec, MuxTopology};
+use smart_models::{Derate, ModelLibrary};
+use smart_netlist::{Circuit, ComponentKind, DeviceRole, NetKind, Sizing};
+
+/// The single-dynamic-node fixture: an unsplit domino mux (every product
+/// term on one node — Fig. 2(e)), whose stack shape is known by
+/// construction: `width` parallel branches of two series devices each.
+fn domino_mux(width: usize) -> Circuit {
+    MacroSpec::Mux {
+        topology: MuxTopology::UnsplitDomino,
+        width,
+    }
+    .generate()
+}
+
+/// Finds the domino component driving a dynamic node and returns the
+/// precharge / data label ids plus the stack's branch and device counts.
+fn dynamic_gate(circuit: &Circuit) -> (smart_netlist::LabelId, smart_netlist::LabelId, f64, f64) {
+    for (_, comp) in circuit.components() {
+        let ComponentKind::Domino { ref network, .. } = comp.kind else {
+            continue;
+        };
+        if circuit.net(comp.output_net()).kind != NetKind::Dynamic {
+            continue;
+        }
+        return (
+            comp.label_of(DeviceRole::Precharge),
+            comp.label_of(DeviceRole::DataN),
+            network.top_branch_count() as f64,
+            network.device_count() as f64,
+        );
+    }
+    panic!("fixture has no dynamic domino node");
+}
+
+fn node_for<'a>(report: &'a [DynamicNodeNoise], what: &str) -> &'a DynamicNodeNoise {
+    assert!(!report.is_empty(), "{what}: no dynamic nodes reported");
+    &report[0]
+}
+
+#[test]
+fn leakage_ratio_is_branch_weighted_data_width_over_precharge_width() {
+    let circuit = domino_mux(4);
+    let lib = ModelLibrary::reference();
+    let (pre, data, branches, _) = dynamic_gate(&circuit);
+
+    // Hand sizing: weak precharge holding four wide parallel branches.
+    let mut sizing = Sizing::uniform(circuit.labels(), 2.0);
+    sizing.set_width(pre, 1.0);
+    sizing.set_width(data, 3.0);
+    let report = analyze_noise(&circuit, &lib, &sizing);
+    let node = node_for(&report.nodes, "weak precharge");
+    let expected = branches * 3.0 / 1.0;
+    assert_eq!(
+        node.leakage_ratio.to_bits(),
+        expected.to_bits(),
+        "leakage ratio must be branches*w_data/w_pre = {expected}"
+    );
+    // Positive case: 12:1 pull-down-to-keeper is leaky at any sane limit.
+    assert!(node.leaky(8.0), "4 branches x 3.0 over 1.0 must flag");
+
+    // Negative case: beef up the precharge until the same stack holds.
+    sizing.set_width(pre, 6.0);
+    let held = analyze_noise(&circuit, &lib, &sizing);
+    let node = node_for(&held.nodes, "strong precharge");
+    assert_eq!(node.leakage_ratio.to_bits(), (branches * 3.0 / 6.0).to_bits());
+    assert!(!node.leaky(8.0), "2:1 ratio must not flag at limit 8");
+}
+
+#[test]
+fn charge_sharing_is_internal_stack_cap_over_total_node_cap() {
+    let circuit = domino_mux(4);
+    let lib = ModelLibrary::reference();
+    let (_, data, branches, devices) = dynamic_gate(&circuit);
+    assert!(
+        devices > branches,
+        "fixture must have series devices below the top row \
+         (got {devices} devices over {branches} branches)"
+    );
+
+    let sizing = Sizing::uniform(circuit.labels(), 2.0);
+    let report = analyze_noise(&circuit, &lib, &sizing);
+    let node = node_for(&report.nodes, "uniform");
+    // Hand-compute the reservoir: every stack device not on the node.
+    let w_data = sizing.width(data);
+    let internal = (devices - branches) * w_data * lib.process().diff_factor;
+    assert!(
+        node.charge_sharing > 0.0 && node.charge_sharing < 1.0,
+        "exposure is a capacitance fraction, got {}",
+        node.charge_sharing
+    );
+    // Recover the node cap the report used and cross-check the ratio.
+    let node_cap = internal / node.charge_sharing - internal;
+    let expected = internal / (internal + node_cap);
+    assert!(
+        (node.charge_sharing - expected).abs() < 1e-12,
+        "charge sharing must be internal/(internal+node) cap"
+    );
+
+    // Positive direction: widening the stack grows the reservoir faster
+    // than the node, so exposure must rise.
+    let mut wide = Sizing::uniform(circuit.labels(), 2.0);
+    wide.set_width(data, 8.0);
+    let wide_report = analyze_noise(&circuit, &lib, &wide);
+    assert!(
+        node_for(&wide_report.nodes, "wide stack").charge_sharing > node.charge_sharing,
+        "4x data width must raise charge-sharing exposure"
+    );
+}
+
+#[test]
+fn cap_per_drive_falls_with_precharge_strength() {
+    let circuit = domino_mux(4);
+    let lib = ModelLibrary::reference();
+    let (pre, _, _, _) = dynamic_gate(&circuit);
+
+    let mut weak = Sizing::uniform(circuit.labels(), 2.0);
+    weak.set_width(pre, 1.0);
+    let weak_node_cpd =
+        node_for(&analyze_noise(&circuit, &lib, &weak).nodes, "weak").cap_per_drive;
+
+    let mut strong = Sizing::uniform(circuit.labels(), 2.0);
+    strong.set_width(pre, 8.0);
+    let strong_node_cpd =
+        node_for(&analyze_noise(&circuit, &lib, &strong).nodes, "strong").cap_per_drive;
+
+    assert!(weak_node_cpd > 0.0 && strong_node_cpd > 0.0);
+    // Not a clean 8x: the precharge device's own junction cap sits on the
+    // node, so the numerator grows a little as the drive grows. The
+    // restoring-drive figure must still fall, and by most of the 8x.
+    assert!(
+        strong_node_cpd < weak_node_cpd / 4.0,
+        "8x precharge must cut cap-per-drive well below 1/4 \
+         (weak {weak_node_cpd}, strong {strong_node_cpd})"
+    );
+}
+
+#[test]
+fn derated_corner_shifts_cap_metrics_but_not_width_ratios() {
+    let circuit = domino_mux(4);
+    let typical = ModelLibrary::reference();
+    let slow = ModelLibrary::new(Derate::slow().apply(typical.process()));
+    let sizing = Sizing::uniform(circuit.labels(), 2.0);
+
+    let t = analyze_noise(&circuit, &typical, &sizing);
+    let s = analyze_noise(&circuit, &slow, &sizing);
+    let (t, s) = (node_for(&t.nodes, "typical"), node_for(&s.nodes, "slow"));
+
+    // Leakage ratio is a pure width ratio: corner-independent, bit for
+    // bit — a noise report that drifts across corners for the same
+    // sizing would be double-counting the derate.
+    assert_eq!(
+        t.leakage_ratio.to_bits(),
+        s.leakage_ratio.to_bits(),
+        "leakage ratio must not move with the process corner"
+    );
+    // The capacitance metrics see the derated diffusion factor: the slow
+    // corner's fatter junctions mean more stored charge per width, so
+    // both exposures shift.
+    assert_ne!(
+        t.charge_sharing.to_bits(),
+        s.charge_sharing.to_bits(),
+        "charge sharing must see the corner's diffusion derate"
+    );
+    assert_ne!(
+        t.cap_per_drive.to_bits(),
+        s.cap_per_drive.to_bits(),
+        "cap-per-drive must see the corner's diffusion derate"
+    );
+    assert!(
+        s.charge_sharing > 0.0 && s.charge_sharing < 1.0,
+        "derated exposure stays a fraction"
+    );
+}

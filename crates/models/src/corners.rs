@@ -1,0 +1,262 @@
+//! Process-corner sets for multi-corner robust sizing.
+//!
+//! A single [`Process`] describes one operating point; real silicon ships
+//! across a *family* of them (slow/typical/fast signoff corners plus any
+//! skewed variants a methodology adds). A [`CornerSet`] names the derated
+//! [`Process`] instances one sizing must satisfy simultaneously: the
+//! constraint generator emits every timing/slope posynomial once per
+//! member into the same GP (max-over-corners is posynomial-representable
+//! as one constraint per corner against a shared budget), and the sizing
+//! loop verifies the solution with STA at every member.
+//!
+//! Corners are derived from a base process via [`Derate`] — multiplicative
+//! scale factors on the timing-relevant coefficients. The identity derate
+//! multiplies every field by `1.0`, which preserves exact f64 bit
+//! patterns, so a "typical" member is bit-identical to its base process
+//! and a singleton `{typical}` set reproduces single-corner behavior
+//! exactly.
+
+use smart_netlist::StableHasher;
+
+use crate::Process;
+
+/// Multiplicative derating factors applied to a base [`Process`] to form
+/// one corner. Fields not represented here (width limits, activity,
+/// pass-gate drive) are structural/methodology constants and stay
+/// corner-invariant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Derate {
+    /// Scale on `tau` (drive strength inverse — the main speed knob).
+    pub tau: f64,
+    /// Scale on `p_mobility` (pull-up/pull-down skew between corners).
+    pub mobility: f64,
+    /// Scale on `intrinsic` (fixed per-stage delay).
+    pub intrinsic: f64,
+    /// Scale on `diff_factor` (junction capacitance — shifts noise
+    /// exposure and load between corners).
+    pub diff: f64,
+    /// Scale on `slope_gain`.
+    pub slope_gain: f64,
+    /// Scale on `slope_min`.
+    pub slope_min: f64,
+    /// Scale on `vdd` (supply collapse/boost at the corner).
+    pub vdd: f64,
+}
+
+impl Derate {
+    /// The identity derate: every factor `1.0`. `x * 1.0` preserves f64
+    /// bit patterns, so `identity().apply(p)` is bit-identical to `p`.
+    pub fn identity() -> Self {
+        Derate {
+            tau: 1.0,
+            mobility: 1.0,
+            intrinsic: 1.0,
+            diff: 1.0,
+            slope_gain: 1.0,
+            slope_min: 1.0,
+            vdd: 1.0,
+        }
+    }
+
+    /// The slow-corner preset: weak devices, soggy edges, collapsed
+    /// supply, fatter junctions — worst-case timing signoff.
+    pub fn slow() -> Self {
+        Derate {
+            tau: 1.25,
+            mobility: 0.95,
+            intrinsic: 1.2,
+            diff: 1.1,
+            slope_gain: 1.25,
+            slope_min: 1.15,
+            vdd: 0.9,
+        }
+    }
+
+    /// The fast-corner preset: strong devices, boosted supply — the
+    /// corner that stresses races and noise rather than timing.
+    pub fn fast() -> Self {
+        Derate {
+            tau: 0.8,
+            mobility: 1.05,
+            intrinsic: 0.85,
+            diff: 0.95,
+            slope_gain: 0.8,
+            slope_min: 1.0,
+            vdd: 1.1,
+        }
+    }
+
+    /// Applies the factors to `base`, producing the corner's process.
+    #[must_use]
+    pub fn apply(&self, base: &Process) -> Process {
+        Process {
+            tau: base.tau * self.tau,
+            p_mobility: base.p_mobility * self.mobility,
+            intrinsic: base.intrinsic * self.intrinsic,
+            diff_factor: base.diff_factor * self.diff,
+            slope_gain: base.slope_gain * self.slope_gain,
+            slope_min: base.slope_min * self.slope_min,
+            vdd: base.vdd * self.vdd,
+            ..base.clone()
+        }
+    }
+}
+
+/// One named member of a [`CornerSet`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corner {
+    /// Display name ("slow", "typical", "fast", "cold-sf", ...). Names
+    /// appear in constraint labels, trace events and reports; keep them
+    /// short and plain-ASCII.
+    pub name: String,
+    /// The corner's full process description.
+    pub process: Process,
+}
+
+impl Corner {
+    /// A corner derived from `base` by `derate`.
+    pub fn derated(name: impl Into<String>, base: &Process, derate: &Derate) -> Self {
+        Corner {
+            name: name.into(),
+            process: derate.apply(base),
+        }
+    }
+}
+
+/// An ordered, non-empty set of named process corners. Order is
+/// significant: constraints are emitted and measurements reported in
+/// member order, and the first member is the set's *primary* corner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CornerSet {
+    corners: Vec<Corner>,
+}
+
+impl CornerSet {
+    /// A set from explicit members. Panics (assert) on an empty list —
+    /// a sizing with zero corners is meaningless.
+    pub fn new(corners: Vec<Corner>) -> Self {
+        assert!(!corners.is_empty(), "a CornerSet needs at least one corner");
+        CornerSet { corners }
+    }
+
+    /// A singleton set.
+    pub fn single(name: impl Into<String>, process: Process) -> Self {
+        CornerSet::new(vec![Corner {
+            name: name.into(),
+            process,
+        }])
+    }
+
+    /// The singleton `{typical}` of `base` (identity derate — the typical
+    /// member is bit-identical to `base`).
+    pub fn typical_of(base: &Process) -> Self {
+        CornerSet::single("typical", Derate::identity().apply(base))
+    }
+
+    /// The standard three-corner signoff family derived from `base`:
+    /// slow / typical / fast, in that order (slow first — it is almost
+    /// always the binding corner, and reports lead with it).
+    pub fn slow_typical_fast(base: &Process) -> Self {
+        CornerSet::new(vec![
+            Corner::derated("slow", base, &Derate::slow()),
+            Corner::derated("typical", base, &Derate::identity()),
+            Corner::derated("fast", base, &Derate::fast()),
+        ])
+    }
+
+    /// The members, in emission order.
+    pub fn corners(&self) -> &[Corner] {
+        &self.corners
+    }
+
+    /// Number of members (≥ 1 by construction).
+    pub fn len(&self) -> usize {
+        self.corners.len()
+    }
+
+    /// Always `false` (kept for API convention).
+    pub fn is_empty(&self) -> bool {
+        self.corners.is_empty()
+    }
+
+    /// Stable 64-bit fingerprint hashing every member exhaustively:
+    /// member count, then each member's name and full
+    /// [`Process::fingerprint`] (which itself destructures exhaustively,
+    /// so a new `Process` field cannot silently escape the key). Order
+    /// matters — the same corners in a different order emit constraints
+    /// in a different order and are a different set.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_usize(self.corners.len());
+        for c in &self.corners {
+            h.write_str(&c.name);
+            h.write_u64(c.process.fingerprint());
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_derate_is_bit_exact() {
+        let base = Process::reference();
+        let typ = Derate::identity().apply(&base);
+        assert_eq!(typ.fingerprint(), base.fingerprint());
+        assert_eq!(typ.tau.to_bits(), base.tau.to_bits());
+        assert_eq!(typ.vdd.to_bits(), base.vdd.to_bits());
+    }
+
+    #[test]
+    fn presets_bracket_the_base() {
+        let base = Process::reference();
+        let slow = Derate::slow().apply(&base);
+        let fast = Derate::fast().apply(&base);
+        assert!(slow.tau > base.tau && base.tau > fast.tau);
+        assert!(slow.vdd < base.vdd && base.vdd < fast.vdd);
+        assert!(slow.diff_factor > base.diff_factor);
+        // Structural constants stay put.
+        assert_eq!(slow.w_min, base.w_min);
+        assert_eq!(fast.w_max, base.w_max);
+        assert_eq!(slow.pass_drive, base.pass_drive);
+    }
+
+    #[test]
+    fn fingerprint_hashes_every_member_and_the_order() {
+        let base = Process::reference();
+        let stf = CornerSet::slow_typical_fast(&base);
+        assert_eq!(stf.len(), 3);
+        assert_eq!(stf.fingerprint(), CornerSet::slow_typical_fast(&base).fingerprint());
+
+        // Singleton vs family separate; name alone separates.
+        let single = CornerSet::typical_of(&base);
+        assert_ne!(single.fingerprint(), stf.fingerprint());
+        let renamed = CornerSet::single("nominal", Derate::identity().apply(&base));
+        assert_ne!(renamed.fingerprint(), single.fingerprint());
+
+        // Any member coefficient change separates.
+        let mut tweaked = base.clone();
+        tweaked.tau += 0.001;
+        assert_ne!(
+            CornerSet::slow_typical_fast(&tweaked).fingerprint(),
+            stf.fingerprint()
+        );
+
+        // Order is part of the identity.
+        let stf_members = stf.corners().to_vec();
+        let mut reversed = stf_members.clone();
+        reversed.reverse();
+        assert_ne!(
+            CornerSet::new(reversed).fingerprint(),
+            CornerSet::new(stf_members).fingerprint()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one corner")]
+    fn empty_set_is_rejected() {
+        let _ = CornerSet::new(Vec::new());
+    }
+}

@@ -20,9 +20,11 @@
 #![warn(missing_docs)]
 
 pub mod arcs;
+mod corners;
 mod library;
 mod process;
 
 pub use arcs::{ArcPhase, ArcSpec, DriveTerm, Edge, Unate};
+pub use corners::{Corner, CornerSet, Derate};
 pub use library::{label_vars, width_from_solution, ModelLibrary, Timing};
 pub use process::Process;

@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! smart list                                  # the design database
-//! smart size <macro> [--load L] [--delay T]   # size one instance
-//! smart explore <macro> [--load L] [--delay T]# Fig.-1 topology table
-//! smart spice <macro> [--load L] [--delay T]  # sized SPICE deck to stdout
+//! smart size <macro> [--load L] [--delay T] [--corners stf]   # size one instance
+//! smart explore <macro> [--load L] [--delay T] [--corners stf]# Fig.-1 topology table
+//! smart spice <macro> [--load L] [--delay T] [--corners stf]  # sized SPICE deck to stdout
 //! smart tune-split <width> [--load L] [--delay T]  # partition tuner
 //! smart export <macro>                        # structural netlist text
 //! smart analyze <file>                        # parse + lint + path stats
@@ -29,7 +29,7 @@ use smart_datapath::sta::Boundary;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: smart <list|size|explore|spice|export|analyze|tune-split> [macro|file] [--load L] [--delay T]\n\
+        "usage: smart <list|size|explore|spice|export|analyze|tune-split> [macro|file] [--load L] [--delay T] [--corners stf]\n\
          macros: mux<N>[:pass|weak|enc|tri|dom|split]  inc<N>  dec<N>  zd<N>[:domino]\n\
          \x20       decoder<N>  penc<N>  cmp<N>  cla<N>  rf<W>x<B>  shift<N>[:sll|srl|rol]"
     );
@@ -107,6 +107,33 @@ fn flag(args: &[String], name: &str, default: f64) -> f64 {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// `--corners stf` turns on the slow/typical/fast robust-sizing preset;
+/// absent flag keeps the historical single-corner flow. Returns `Err`
+/// with the offending value for anything else.
+fn corner_opts(
+    args: &[String],
+    lib: &ModelLibrary,
+    opts: &SizingOptions,
+) -> Result<SizingOptions, String> {
+    let mut opts = opts.clone();
+    let Some(value) = args
+        .iter()
+        .position(|a| a == "--corners")
+        .and_then(|i| args.get(i + 1))
+    else {
+        return Ok(opts);
+    };
+    match value.as_str() {
+        "stf" => {
+            opts.corners = Some(smart_datapath::models::CornerSet::slow_typical_fast(
+                lib.process(),
+            ));
+            Ok(opts)
+        }
+        other => Err(other.to_owned()),
+    }
 }
 
 fn boundary_for(circuit: &smart_datapath::netlist::Circuit, load: f64) -> Boundary {
@@ -251,6 +278,13 @@ fn run(cmd: &str, args: &[String], lib: &ModelLibrary, opts: &SizingOptions) -> 
             };
             let load = flag(&args, "--load", 15.0);
             let delay = flag(&args, "--delay", 300.0);
+            let opts = &match corner_opts(args, lib, opts) {
+                Ok(o) => o,
+                Err(bad) => {
+                    eprintln!("--corners {bad}: only the `stf` (slow/typical/fast) preset exists");
+                    return ExitCode::FAILURE;
+                }
+            };
             let circuit = spec.generate();
             let boundary = boundary_for(&circuit, load);
             match cmd {
@@ -294,6 +328,15 @@ fn run(cmd: &str, args: &[String], lib: &ModelLibrary, opts: &SizingOptions) -> 
                             ) {
                                 Ok(report) => print!("{report}"),
                                 Err(e) => eprintln!("report failed: {e}"),
+                            }
+                            if out.corner_delays.len() > 1 {
+                                println!("corners (binding: {}):", out.binding_corner);
+                                for c in &out.corner_delays {
+                                    println!(
+                                        "  {:<10} data {:>8.1} ps   precharge {:>8.1} ps",
+                                        c.corner, c.data, c.precharge
+                                    );
+                                }
                             }
                         }
                         ExitCode::SUCCESS
