@@ -99,9 +99,28 @@ cmp target/ci/corners-w1.txt target/ci/corners-w4.txt || {
 echo "== lint-database (Error severity gates the build) =="
 cargo run -q --offline --release --example lint -- --only-dirty
 
+# The database must be certificate-clean: the audit example runs the
+# pre-solve static analyzer over every representative macro at a 50%
+# margin above its own t* and exits non-zero on any infeasibility
+# certificate (an analyzer false positive at that margin). The report
+# stream is byte-compared across worker counts — the analysis must not
+# depend on scheduling (DESIGN.md §15). The prune-parity differential
+# suite itself runs inside both workspace test passes above.
+echo "== audit-database (certificate-clean, byte-identical at 1 vs 4 workers) =="
+SMART_WORKERS=1 cargo run -q --offline --release --example audit \
+  > target/ci/audit-w1.txt
+SMART_WORKERS=4 cargo run -q --offline --release --example audit \
+  > target/ci/audit-w4.txt
+cmp target/ci/audit-w1.txt target/ci/audit-w4.txt || {
+  echo "audit reports diverged between SMART_WORKERS=1 and =4" >&2
+  exit 1
+}
+
 echo "== clippy (no unwrap/expect in flow crates, pool/cache included) =="
 cargo clippy -q --offline -p smart-core -p smart-gp -p smart-lint -p smart-trace \
-  -p smart-sta -p smart-models -p smart-posy -p smart-chaos -p smart-prng -- \
+  -p smart-sta -p smart-models -p smart-posy -p smart-chaos -p smart-prng \
+  -p smart-audit -p smart-netlist -p smart-sim -p smart-power -p smart-blocks \
+  -p smart-macros -p smart-bench -- \
   -D clippy::unwrap_used -D clippy::expect_used
 
 echo "CI OK"

@@ -1,0 +1,139 @@
+//! The interval lattice the audit analyses compute over.
+//!
+//! Every quantity lives in the *log domain*: a GP variable `x > 0` is
+//! represented by `y = ln x`, so multiplicative constraints become affine
+//! and a box `[lo, hi]` on `y` is exactly a multiplicative range
+//! `[e^lo, e^hi]` on `x`. The lattice is the usual interval
+//! meet-semilattice with `[-∞, +∞]` as top; an interval with `lo > hi`
+//! is empty — the contradiction witness the infeasibility certificates
+//! are built from.
+
+/// A closed interval `[lo, hi]` over log-domain values, with `±∞` as the
+/// unbounded ends. `lo > hi` encodes the empty interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower end (may be `-∞`).
+    pub lo: f64,
+    /// Upper end (may be `+∞`).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The whole line `[-∞, +∞]` — the lattice top (no information).
+    pub fn top() -> Self {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        }
+    }
+
+    /// The interval `[lo, hi]`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        Interval { lo, hi }
+    }
+
+    /// The degenerate point interval `[v, v]`.
+    pub fn point(v: f64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Whether the interval is empty (`lo > hi`).
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Whether both ends are finite.
+    pub fn is_bounded(&self) -> bool {
+        self.lo.is_finite() && self.hi.is_finite()
+    }
+
+    /// Whether `v` lies inside the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// The lattice meet: intersection of the two intervals (may be empty).
+    #[must_use]
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// The interval shifted by `d` (interval image of `y + d`).
+    #[must_use]
+    pub fn shift(&self, d: f64) -> Interval {
+        Interval {
+            lo: self.lo + d,
+            hi: self.hi + d,
+        }
+    }
+
+    /// The interval image of `k·y` — the ends swap when `k < 0`.
+    #[must_use]
+    pub fn scale(&self, k: f64) -> Interval {
+        if k >= 0.0 {
+            Interval {
+                lo: self.lo * k,
+                hi: self.hi * k,
+            }
+        } else {
+            Interval {
+                lo: self.hi * k,
+                hi: self.lo * k,
+            }
+        }
+    }
+
+    /// Elementwise sum of two intervals (image of `y₁ + y₂`).
+    #[must_use]
+    pub fn add(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+        }
+    }
+
+    /// `hi - lo`; `+∞` when either end is unbounded, negative when empty.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_contains_everything_and_meets_to_operand() {
+        let top = Interval::top();
+        assert!(top.contains(-1e300) && top.contains(1e300));
+        let i = Interval::new(-2.0, 3.0);
+        assert_eq!(top.intersect(&i), i);
+    }
+
+    #[test]
+    fn empty_is_detected_after_crossing_meet() {
+        let a = Interval::new(2.0, f64::INFINITY);
+        let b = Interval::new(f64::NEG_INFINITY, 1.0);
+        assert!(!a.is_empty() && !b.is_empty());
+        assert!(a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn scale_flips_orientation_on_negative_factor() {
+        let i = Interval::new(1.0, 4.0);
+        let s = i.scale(-2.0);
+        assert_eq!((s.lo, s.hi), (-8.0, -2.0));
+        assert!(!s.is_empty());
+        let z = i.scale(0.0);
+        assert_eq!((z.lo, z.hi), (0.0, 0.0));
+    }
+
+    #[test]
+    fn add_and_shift_agree_on_points() {
+        let i = Interval::new(-1.0, 2.0);
+        assert_eq!(i.shift(3.0), i.add(&Interval::point(3.0)));
+    }
+}

@@ -1,0 +1,123 @@
+//! Dominance/redundancy pruning: constraints term-wise dominated by
+//! another active constraint.
+//!
+//! # Soundness
+//!
+//! Two normalized constraints `Σₖ cₖ·mₖ(x) ≤ 1` and `Σₖ dₖ·mₖ(x) ≤ 1`
+//! over the *same* monomial set `{mₖ}` (exact exponent-row match) satisfy
+//! a pointwise ordering whenever their coefficient vectors do: if
+//! `cₖ ≥ dₖ` for every `k`, then for every `x > 0`
+//!
+//! ```text
+//! Σ dₖ·mₖ(x) ≤ Σ cₖ·mₖ(x) ≤ 1
+//! ```
+//!
+//! because every monomial is strictly positive. The dominated constraint
+//! is implied by the dominating one at *every* point — not just the
+//! optimum — so dropping it leaves the feasible set unchanged and the
+//! pruned problem has the same optimizer set as the original. (The
+//! barrier trajectory may differ, which is why the parity suite compares
+//! optima within a pinned tolerance rather than step-for-step.)
+//!
+//! This is exactly the multi-corner duplicate case: under identity or
+//! near-identity derates, two corners emit the same monomial structure
+//! with coefficients scaled by the derate, and the slower corner's
+//! constraint dominates.
+//!
+//! # Determinism
+//!
+//! Matching is by exact exponent bit patterns, grouping uses ordered
+//! maps, and the keep/drop tie-break on *equal* coefficient vectors is
+//! the constraint label — so the pruned set is a function of the
+//! constraint multiset, not of its order.
+
+use std::collections::BTreeMap;
+
+use smart_gp::GpProblem;
+
+/// One pruning decision: `dropped` is term-wise dominated by `kept`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dominance {
+    /// Index of the surviving (dominating) constraint.
+    pub kept: usize,
+    /// Index of the redundant (dominated) constraint.
+    pub dropped: usize,
+}
+
+/// A constraint's monomial structure: sorted exponent rows (bit-exact)
+/// with the coefficient of each row. Two constraints are comparable iff
+/// their row lists are identical.
+fn signature(gp: &GpProblem, ci: usize) -> (Vec<Vec<(u32, u64)>>, Vec<f64>) {
+    let mut rows: Vec<(Vec<(u32, u64)>, f64)> = gp.constraints()[ci]
+        .body
+        .terms()
+        .iter()
+        .map(|t| {
+            let row: Vec<(u32, u64)> = t
+                .exponents()
+                .map(|(v, e)| (v.index() as u32, e.to_bits()))
+                .collect();
+            (row, t.coeff())
+        })
+        .collect();
+    // Same-row terms cannot merge here (the posynomial representation
+    // already canonicalizes), but sort rows so structurally equal bodies
+    // built in different term orders compare equal.
+    rows.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    rows.into_iter().unzip()
+}
+
+/// Exponent-row structure of a constraint family: one sorted
+/// `(variable, exponent-bits)` row per non-constant term.
+type FamilyKey = Vec<Vec<(u32, u64)>>;
+
+/// Finds every term-wise dominated constraint. Within a family of
+/// constraints sharing the same exponent rows, constraint `B` is dropped
+/// iff some other member `A` has `coeff_A ≥ coeff_B` componentwise with
+/// either a strict inequality somewhere or, on exact coefficient ties
+/// (true duplicates), the lexicographically smaller label. Each drop
+/// records the kept witness; results are sorted by dropped index.
+pub(crate) fn find_dominated(gp: &GpProblem) -> Vec<Dominance> {
+    // Group constraints by exponent-row structure.
+    let mut families: BTreeMap<FamilyKey, Vec<(usize, Vec<f64>)>> = BTreeMap::new();
+    for ci in 0..gp.constraints().len() {
+        let (rows, coeffs) = signature(gp, ci);
+        families.entry(rows).or_default().push((ci, coeffs));
+    }
+
+    let label = |i: usize| &gp.constraints()[i].label;
+    let mut out = Vec::new();
+    for members in families.values() {
+        if members.len() < 2 {
+            continue;
+        }
+        for (b, cb) in members {
+            // The best dominating witness for `b`, by (label) — stable
+            // under constraint reorder.
+            let mut witness: Option<usize> = None;
+            for (a, ca) in members {
+                if a == b {
+                    continue;
+                }
+                let ge = ca.iter().zip(cb).all(|(x, y)| x >= y);
+                if !ge {
+                    continue;
+                }
+                let strict = ca.iter().zip(cb).any(|(x, y)| x > y);
+                // On exact duplicates keep the label-smaller constraint,
+                // so exactly one side of each duplicate pair survives.
+                if strict || label(*a) < label(*b) {
+                    let better = witness.is_none_or(|w| label(*a) < label(w));
+                    if better {
+                        witness = Some(*a);
+                    }
+                }
+            }
+            if let Some(kept) = witness {
+                out.push(Dominance { kept, dropped: *b });
+            }
+        }
+    }
+    out.sort_by_key(|d| d.dropped);
+    out
+}

@@ -51,8 +51,10 @@ fn main() {
             heuristic_dominance: false,
             ..Default::default()
         };
-        let sh = compaction_stats(&circuit, &lib, &boundary, &heur).unwrap();
-        let se = compaction_stats(&circuit, &lib, &boundary, &exact).unwrap();
+        let sh = compaction_stats(&circuit, &lib, &boundary, &heur)
+            .unwrap_or_else(|e| panic!("heuristic compaction: {e}"));
+        let se = compaction_stats(&circuit, &lib, &boundary, &exact)
+            .unwrap_or_else(|e| panic!("exact compaction: {e}"));
         let wh = size_circuit(&circuit, &lib, &boundary, &DelaySpec::uniform(budget), &heur)
             .map(|o| o.total_width);
         let we = size_circuit(&circuit, &lib, &boundary, &DelaySpec::uniform(budget), &exact)
@@ -158,9 +160,9 @@ fn main() {
             ..Default::default()
         };
         let a = size_circuit(&circuit, &lib, &boundary, &DelaySpec::uniform(budget), &on)
-            .expect("disciplined");
+            .unwrap_or_else(|e| panic!("disciplined: {e}"));
         let b = size_circuit(&circuit, &lib, &boundary, &DelaySpec::uniform(budget), &off)
-            .expect("undisciplined");
+            .unwrap_or_else(|e| panic!("undisciplined: {e}"));
         println!(
             "{:<24} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
             name,

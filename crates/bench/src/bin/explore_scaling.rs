@@ -130,7 +130,7 @@ fn main() {
     );
 
     // --- Worker scaling (cold, no cache) ------------------------------
-    println!("{:<9} {:>10} {:>9}  {}", "workers", "wall", "speedup", "vs serial");
+    println!("{:<9} {:>10} {:>9}  vs serial", "workers", "wall", "speedup");
     let mut serial_best = Duration::MAX;
     let mut serial_print: Option<String> = None;
     let mut workers_diverged = false;
@@ -174,11 +174,10 @@ fn main() {
     let (hits, misses) = cache.stats();
     println!("\n{:<9} {:>10} {:>9}  hit-rate", "cache", "wall", "speedup");
     println!(
-        "{:<9} {:>9.1}ms {:>8.2}x  {}",
+        "{:<9} {:>9.1}ms {:>8.2}x  -",
         "cold",
         cold.as_secs_f64() * 1e3,
         1.0,
-        "-"
     );
     println!(
         "{:<9} {:>9.1}ms {:>8.2}x  {:.0}% ({hits} hits / {misses} misses lifetime)",

@@ -1,7 +1,7 @@
 //! GP Newton-kernel microbenchmark: the perf evidence for the sparse
 //! structure-exploiting kernel and warm-start chaining.
 //!
-//! Three sections, all written to a machine-readable `BENCH_gp.json`:
+//! Four sections, all written to a machine-readable `BENCH_gp.json`:
 //!
 //! * **kernel** — per-macro sizing-GP solve wall time and Newton
 //!   steps/sec for the sparse production kernel vs the dense reference
@@ -10,6 +10,9 @@
 //!   a simulated relaxation ladder, with chaining (rung k+1 starts from
 //!   rung k's solution) vs without (every rung restarts from mid-range
 //!   widths);
+//! * **audit** — dominance pruning on the multi-corner
+//!   (slow/typical/fast) constraint system: pruned-constraint counts per
+//!   macro and end-to-end audit+solve time vs solving the full system;
 //! * **explore_scaling** — the acceptance number: the full
 //!   representative sweep of `explore_scaling` at one worker, measured
 //!   here and compared against the recorded pre-PR baseline.
@@ -21,13 +24,14 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
+use smart_audit::{audit_problem, AuditConfig};
 use smart_core::constraints::{boundary_extra_loads, build_sizing_gp, SizingGp};
 use smart_core::{
     compact, explore_parallel, DelaySpec, ParallelOptions, SizingOptions,
 };
 use smart_gp::SolverOptions;
 use smart_macros::{MacroSpec, MuxTopology, ZeroDetectStyle};
-use smart_models::ModelLibrary;
+use smart_models::{CornerSet, ModelLibrary};
 use smart_sta::Boundary;
 
 /// `explore_scaling` full-sweep serial wall time (best of 3) measured at
@@ -44,17 +48,29 @@ fn boundary_for(request: &MacroSpec, load: f64) -> Boundary {
     b
 }
 
-/// Builds one macro's sizing GP the way `size_circuit` would.
-fn sizing_gp(request: &MacroSpec, load: f64, spec: &DelaySpec) -> SizingGp {
+/// Builds one macro's sizing GP the way `size_circuit` would (honoring
+/// `opts.corners`: a multi-corner set emits the whole timing/slope
+/// family once per corner).
+fn sizing_gp_with(
+    request: &MacroSpec,
+    load: f64,
+    spec: &DelaySpec,
+    opts: &SizingOptions,
+) -> SizingGp {
     let circuit = request.generate();
     let lib = ModelLibrary::reference();
     let boundary = boundary_for(request, load);
-    let opts = SizingOptions::default();
     let (_, vars) = smart_models::label_vars(&circuit);
     let extra = boundary_extra_loads(&circuit, &boundary);
-    let compaction = compact(&circuit, &lib, &vars, &extra, &opts).expect("compaction");
-    build_sizing_gp(&circuit, &lib, &compaction, &boundary, &extra, spec, &opts)
-        .expect("GP builds")
+    let compaction = compact(&circuit, &lib, &vars, &extra, opts)
+        .unwrap_or_else(|e| panic!("compaction: {e}"));
+    build_sizing_gp(&circuit, &lib, &compaction, &boundary, &extra, spec, opts)
+        .unwrap_or_else(|e| panic!("GP builds: {e}"))
+}
+
+/// Builds one macro's single-corner sizing GP under default options.
+fn sizing_gp(request: &MacroSpec, load: f64, spec: &DelaySpec) -> SizingGp {
+    sizing_gp_with(request, load, spec, &SizingOptions::default())
 }
 
 struct KernelRow {
@@ -76,12 +92,15 @@ fn bench_kernel(name: &'static str, built: &SizingGp, iters: usize) -> KernelRow
     let mut steps = 0usize;
     for _ in 0..iters {
         let t0 = Instant::now();
-        let sol = built.gp.solve(&opts).expect("sparse solve");
+        let sol = built.gp.solve(&opts).unwrap_or_else(|e| panic!("sparse solve: {e}"));
         sparse_best = sparse_best.min(t0.elapsed());
         steps = sol.phase1_newton_steps + sol.phase2_newton_steps;
 
         let t0 = Instant::now();
-        let dsol = built.gp.solve_reference(&opts).expect("dense solve");
+        let dsol = built
+            .gp
+            .solve_reference(&opts)
+            .unwrap_or_else(|e| panic!("dense solve: {e}"));
         dense_best = dense_best.min(t0.elapsed());
         assert_eq!(
             steps,
@@ -135,7 +154,7 @@ fn bench_chaining(request: &MacroSpec, load: f64, base_ps: f64, chain: bool) -> 
             initial_x: Some(initial),
             ..Default::default()
         };
-        let sol = built.gp.solve(&opts).expect("retarget solve");
+        let sol = built.gp.solve(&opts).unwrap_or_else(|e| panic!("retarget solve: {e}"));
         p1 += sol.phase1_newton_steps;
         p2 += sol.phase2_newton_steps;
         prev = Some(sol.x);
@@ -144,6 +163,76 @@ fn bench_chaining(request: &MacroSpec, load: f64, base_ps: f64, chain: bool) -> 
         phase1_steps: p1,
         phase2_steps: p2,
         ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+struct AuditRow {
+    name: &'static str,
+    constraints: usize,
+    prunable: usize,
+    audit_ms: f64,
+    full_ms: f64,
+    pruned_ms: f64,
+}
+
+/// Audit section: dominance pruning on the multi-corner constraint
+/// system. Builds the macro's sizing GP against the slow/typical/fast
+/// corner set (every timing/slope constraint emitted three times over
+/// shared width variables — the workload PR 7 created and the pruner
+/// targets), runs the static audit, and times the Newton solve of the
+/// full system vs the audit+solve of the pruned one (best of `iters`).
+/// Sanity-checks in-process that pruning moved the optimum by at most a
+/// relative 1e-6 — the cheap echo of the exhaustive parity suite.
+fn bench_audit(name: &'static str, request: &MacroSpec, load: f64, ps: f64, iters: usize) -> AuditRow {
+    let lib = ModelLibrary::reference();
+    let opts = SizingOptions {
+        corners: Some(CornerSet::slow_typical_fast(lib.process())),
+        ..Default::default()
+    };
+    let built = sizing_gp_with(request, load, &DelaySpec::uniform(ps), &opts);
+    let cfg = AuditConfig::default();
+
+    let mut audit_best = Duration::MAX;
+    let mut outcome = audit_problem(&built.gp, name, &cfg);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        outcome = audit_problem(&built.gp, name, &cfg);
+        audit_best = audit_best.min(t0.elapsed());
+    }
+    assert!(
+        outcome.certificate.is_none(),
+        "{name}: unexpected infeasibility certificate at a feasible bench spec"
+    );
+    let pruned = built.gp.without_constraints(&outcome.prunable);
+
+    let solver = SolverOptions::default();
+    let mut full_best = Duration::MAX;
+    let mut pruned_best = Duration::MAX;
+    let mut full_obj = f64::NAN;
+    let mut pruned_obj = f64::NAN;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let sol = built.gp.solve(&solver).unwrap_or_else(|e| panic!("full solve: {e}"));
+        full_best = full_best.min(t0.elapsed());
+        full_obj = sol.objective;
+
+        let t0 = Instant::now();
+        let psol = pruned.solve(&solver).unwrap_or_else(|e| panic!("pruned solve: {e}"));
+        pruned_best = pruned_best.min(t0.elapsed());
+        pruned_obj = psol.objective;
+    }
+    let rel = (full_obj - pruned_obj).abs() / full_obj.abs().max(1e-12);
+    assert!(
+        rel <= 1e-6,
+        "{name}: pruned optimum drifted {rel:.2e} relative from the full one"
+    );
+    AuditRow {
+        name,
+        constraints: built.gp.constraints().len(),
+        prunable: outcome.prunable.len(),
+        audit_ms: audit_best.as_secs_f64() * 1e3,
+        full_ms: full_best.as_secs_f64() * 1e3,
+        pruned_ms: pruned_best.as_secs_f64() * 1e3,
     }
 }
 
@@ -297,6 +386,65 @@ fn main() {
             / ((warm.phase1_steps + warm.phase2_steps) as f64).max(1.0),
     );
 
+    // --- Audit: multi-corner dominance pruning -------------------------
+    let audit_cases: Vec<(&'static str, MacroSpec, f64)> = if smoke {
+        vec![(
+            "mux4_stf",
+            MacroSpec::Mux {
+                topology: MuxTopology::StronglyMutexedPass,
+                width: 4,
+            },
+            1800.0,
+        )]
+    } else {
+        vec![
+            (
+                "mux8_stf",
+                MacroSpec::Mux {
+                    topology: MuxTopology::StronglyMutexedPass,
+                    width: 8,
+                },
+                1800.0,
+            ),
+            (
+                "zd16_stf",
+                MacroSpec::ZeroDetect {
+                    width: 16,
+                    style: ZeroDetectStyle::Domino,
+                },
+                1800.0,
+            ),
+            ("inc13_stf", MacroSpec::Incrementor { width: 13 }, 5200.0),
+            ("inc8_cla_stf", MacroSpec::IncrementorCla { width: 8 }, 3000.0),
+        ]
+    };
+    println!(
+        "\naudit (slow/typical/fast corners):\n{:<14} {:>6} {:>8} {:>9} {:>9} {:>9} {:>8}",
+        "case", "cons", "prunable", "audit", "full", "pruned", "speedup"
+    );
+    let mut audit_rows = Vec::new();
+    for (name, request, ps) in &audit_cases {
+        let row = bench_audit(name, request, 20.0, *ps, iters);
+        println!(
+            "{:<14} {:>6} {:>8} {:>7.2}ms {:>7.2}ms {:>7.2}ms {:>7.2}x",
+            row.name,
+            row.constraints,
+            row.prunable,
+            row.audit_ms,
+            row.full_ms,
+            row.pruned_ms,
+            row.full_ms / (row.audit_ms + row.pruned_ms).max(1e-9),
+        );
+        audit_rows.push(row);
+    }
+    let audit_full_ms: f64 = audit_rows.iter().map(|r| r.full_ms).sum();
+    let audit_pruned_ms: f64 = audit_rows.iter().map(|r| r.audit_ms + r.pruned_ms).sum();
+    println!(
+        "  sweep: full {audit_full_ms:.2}ms vs audit+pruned {audit_pruned_ms:.2}ms \
+         ({:.2}x)",
+        audit_full_ms / audit_pruned_ms.max(1e-9)
+    );
+
     // --- Acceptance sweep ----------------------------------------------
     let sweep_ms = bench_sweep(smoke, iters);
     if smoke {
@@ -345,6 +493,28 @@ fn main() {
         (cold.phase1_steps + cold.phase2_steps) as f64
             / ((warm.phase1_steps + warm.phase2_steps) as f64).max(1.0)
     );
+    let _ = writeln!(json, "  \"audit\": [");
+    for (i, r) in audit_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"case\": \"{}\", \"constraints\": {}, \"prunable\": {}, \
+             \"audit_ms\": {:.3}, \"full_ms\": {:.3}, \"pruned_ms\": {:.3}}}{}",
+            r.name,
+            r.constraints,
+            r.prunable,
+            r.audit_ms,
+            r.full_ms,
+            r.pruned_ms,
+            if i + 1 < audit_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"audit_sweep\": {{\"full_ms\": {audit_full_ms:.3}, \
+         \"audit_plus_pruned_ms\": {audit_pruned_ms:.3}, \"speedup\": {:.3}}},",
+        audit_full_ms / audit_pruned_ms.max(1e-9)
+    );
     let _ = writeln!(
         json,
         "  \"explore_scaling_serial\": {{\n    \"pre_pr_baseline_ms\": {PRE_PR_BASELINE_MS},\n    \"measured_ms\": {sweep_ms:.1},\n    \"speedup\": {:.2},\n    \"full_sweep\": {}\n  }}",
@@ -352,6 +522,7 @@ fn main() {
         !smoke
     );
     let _ = writeln!(json, "}}");
-    std::fs::write(&out_path, json).expect("write BENCH_gp.json");
+    std::fs::write(&out_path, json)
+        .unwrap_or_else(|e| panic!("write BENCH_gp.json: {e}"));
     println!("\nwrote {out_path}");
 }

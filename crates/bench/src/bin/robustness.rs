@@ -95,8 +95,8 @@ fn main() {
 
     println!("# Savings robustness across loads (6..60 width units) and corners\n");
     println!(
-        "{:<14} {:<9} {:>8} {:>8} {:>8} {:>6}  {}",
-        "macro", "corner", "min", "mean", "max", "runs", "failures"
+        "{:<14} {:<9} {:>8} {:>8} {:>8} {:>6}  failures",
+        "macro", "corner", "min", "mean", "max", "runs"
     );
     let mut total_failures = 0usize;
     for (name, spec) in &specs {
@@ -160,8 +160,10 @@ struct CornerYieldRow {
 fn corner_yield_section(smoke: bool) -> Vec<CornerYieldRow> {
     println!("\n# Multi-corner robust sizing and variation yield\n");
     let lib = ModelLibrary::reference();
-    let mut opts = SizingOptions::default();
-    opts.corners = Some(CornerSet::slow_typical_fast(lib.process()));
+    let opts = SizingOptions {
+        corners: Some(CornerSet::slow_typical_fast(lib.process())),
+        ..Default::default()
+    };
     let vopts = VariationOptions {
         samples: if smoke { 16 } else { 64 },
         ..VariationOptions::default()
@@ -218,7 +220,7 @@ fn corner_yield_section(smoke: bool) -> Vec<CornerYieldRow> {
             &vopts,
             &ParallelOptions::with_workers(4),
         )
-        .expect("variation sweep on a feasible sizing");
+        .unwrap_or_else(|e| panic!("variation sweep on a feasible sizing: {e}"));
         let by_name = |n: &str| {
             outcome
                 .corner_delays
@@ -294,8 +296,8 @@ fn chaos_section(smoke: bool) -> Vec<ChaosRow> {
     let rates: &[f64] = if smoke { &[0.0, 0.5] } else { &[0.0, 0.1, 0.25, 0.5, 0.8] };
 
     println!(
-        "{:<6} {:>6} {:>9} {:>10} {:>9} {:>10}  {}",
-        "rate", "total", "survived", "survival", "salvaged", "salvage", "taxonomy"
+        "{:<6} {:>6} {:>9} {:>10} {:>9} {:>10}  taxonomy",
+        "rate", "total", "survived", "survival", "salvaged", "salvage"
     );
     let mut rows = Vec::new();
     for (i, &rate) in rates.iter().enumerate() {
@@ -305,9 +307,11 @@ fn chaos_section(smoke: bool) -> Vec<ChaosRow> {
         std::fs::remove_file(&path).ok();
 
         // The "crashed" run: faults injected, checkpoint recording.
-        let mut chaotic = SizingOptions::default();
-        chaotic.chaos = Some(Arc::new(FaultPlan::uniform(seed, rate)));
-        chaotic.checkpoint = Some(Arc::new(Checkpointer::new(&path)));
+        let chaotic = SizingOptions {
+            chaos: Some(Arc::new(FaultPlan::uniform(seed, rate))),
+            checkpoint: Some(Arc::new(Checkpointer::new(&path))),
+            ..Default::default()
+        };
         let table = explore_with_parallel(
             specs.clone(),
             MacroSpec::generate,
@@ -319,8 +323,10 @@ fn chaos_section(smoke: bool) -> Vec<ChaosRow> {
         );
 
         // The restart: no faults, same checkpoint file.
-        let mut restart = SizingOptions::default();
-        restart.checkpoint = Some(Arc::new(Checkpointer::new(&path)));
+        let restart = SizingOptions {
+            checkpoint: Some(Arc::new(Checkpointer::new(&path))),
+            ..Default::default()
+        };
         let resumed = explore_with_parallel(
             specs.clone(),
             MacroSpec::generate,
@@ -420,7 +426,8 @@ fn write_json(out_path: &str, smoke: bool, corner_rows: &[CornerYieldRow], rows:
     if let Some(dir) = std::path::Path::new(out_path).parent() {
         std::fs::create_dir_all(dir).ok();
     }
-    std::fs::write(out_path, json).expect("write BENCH_robustness.json");
+    std::fs::write(out_path, json)
+        .unwrap_or_else(|e| panic!("write BENCH_robustness.json: {e}"));
     println!("\nwrote {out_path}");
 }
 
@@ -476,8 +483,10 @@ fn parallel_section() {
     }
 
     let cache = Arc::new(SizingCache::new());
-    let mut cached = SizingOptions::default();
-    cached.cache = Some(Arc::clone(&cache));
+    let cached = SizingOptions {
+        cache: Some(Arc::clone(&cache)),
+        ..Default::default()
+    };
     let cold = sweep(&cached, 4);
     let warm = sweep(&cached, 4);
     let (hits, misses) = cache.stats();
@@ -515,9 +524,11 @@ fn trace_section() {
     let spec = DelaySpec::uniform(450.0);
 
     let export = |workers: usize| -> String {
-        let mut opts = SizingOptions::default();
-        opts.trace = Trace::enabled();
-        opts.cache = Some(Arc::new(SizingCache::new()));
+        let opts = SizingOptions {
+            trace: Trace::enabled(),
+            cache: Some(Arc::new(SizingCache::new())),
+            ..Default::default()
+        };
         let table = explore_parallel(
             &request,
             &lib,
@@ -554,13 +565,13 @@ fn trace_section() {
 /// (rule SL101).
 fn broken_pipeline() -> Circuit {
     let mut c = Circuit::new("broken");
-    let clk = c.add_net_kind("clk", NetKind::Clock).expect("fresh net");
-    let a = c.add_net("a").expect("fresh net");
-    let dyn1 = c.add_net_kind("dyn1", NetKind::Dynamic).expect("fresh net");
-    let q = c.add_net("q").expect("fresh net");
-    let qb = c.add_net("qb").expect("fresh net");
-    let dyn2 = c.add_net_kind("dyn2", NetKind::Dynamic).expect("fresh net");
-    let y = c.add_net("y").expect("fresh net");
+    let clk = c.add_net_kind("clk", NetKind::Clock).unwrap_or_else(|e| panic!("fresh net: {e}"));
+    let a = c.add_net("a").unwrap_or_else(|e| panic!("fresh net: {e}"));
+    let dyn1 = c.add_net_kind("dyn1", NetKind::Dynamic).unwrap_or_else(|e| panic!("fresh net: {e}"));
+    let q = c.add_net("q").unwrap_or_else(|e| panic!("fresh net: {e}"));
+    let qb = c.add_net("qb").unwrap_or_else(|e| panic!("fresh net: {e}"));
+    let dyn2 = c.add_net_kind("dyn2", NetKind::Dynamic).unwrap_or_else(|e| panic!("fresh net: {e}"));
+    let y = c.add_net("y").unwrap_or_else(|e| panic!("fresh net: {e}"));
     let p = c.label("P1");
     let n = c.label("N1");
     for (path, a, y) in [("h1", dyn1, q), ("bad", q, qb), ("h2", dyn2, y)] {
@@ -570,7 +581,7 @@ fn broken_pipeline() -> Circuit {
             &[a, y],
             &[(DeviceRole::PullUp, p), (DeviceRole::PullDown, n)],
         )
-        .expect("valid inverter");
+        .unwrap_or_else(|e| panic!("valid inverter: {e}"));
     }
     for (path, d, out) in [("d1", a, dyn1), ("d2", qb, dyn2)] {
         c.add(
@@ -583,7 +594,7 @@ fn broken_pipeline() -> Circuit {
                 (DeviceRole::Evaluate, n),
             ],
         )
-        .expect("valid domino");
+        .unwrap_or_else(|e| panic!("valid domino: {e}"));
     }
     c.expose_input("clk", clk);
     c.expose_input("a", a);
@@ -607,8 +618,10 @@ fn lint_section() {
     let mut boundary = Boundary::default();
     boundary.output_loads.insert("y".into(), 15.0);
     let cache = Arc::new(SizingCache::new());
-    let mut opts = SizingOptions::default();
-    opts.cache = Some(Arc::clone(&cache));
+    let opts = SizingOptions {
+        cache: Some(Arc::clone(&cache)),
+        ..Default::default()
+    };
     let table = explore_with(
         specs,
         |spec| if *spec == poison { broken_pipeline() } else { spec.generate() },

@@ -268,7 +268,7 @@ pub fn fig6(lib: &ModelLibrary, opts: &SizingOptions, width: usize) -> Vec<AreaD
         boundary.output_loads.insert(port.name.clone(), 12.0);
     }
     let (t_star, _) = minimize_delay(&circuit, lib, &boundary, opts)
-        .expect("adder delay minimization");
+        .unwrap_or_else(|e| panic!("adder delay minimization: {e}"));
     // Anchor the sweep's "1.0" a practical margin above the absolute
     // achievable minimum: real designs do not sit on the vertical wall of
     // the tradeoff curve, and the paper's normalized-delay-1.0 point is a
@@ -282,7 +282,9 @@ pub fn fig6(lib: &ModelLibrary, opts: &SizingOptions, width: usize) -> Vec<AreaD
             .unwrap_or_else(|e| panic!("adder at {nd}: {e}"));
         pts.push((nd, spec.data, outcome.total_width));
     }
-    let w_ref = pts.last().expect("non-empty sweep").2;
+    let Some(&(_, _, w_ref)) = pts.last() else {
+        unreachable!("the Fig. 6 sweep is non-empty by construction")
+    };
     pts.into_iter()
         .map(|(nd, d, w)| AreaDelayPoint {
             norm_delay: nd,
@@ -323,8 +325,8 @@ pub fn fig7(lib: &ModelLibrary, opts: &SizingOptions) -> Vec<Fig7Row> {
     let mut boundary = Boundary::default();
     boundary.output_loads.insert("eq".into(), load);
     let base = baseline_sizing(&circuit, lib, &boundary, &BaselineMargins::default());
-    let (base_eval, base_pre) =
-        measure_phase_delays(&circuit, lib, &base, &boundary, opts).expect("phases");
+    let (base_eval, base_pre) = measure_phase_delays(&circuit, lib, &base, &boundary, opts)
+        .unwrap_or_else(|e| panic!("original comparator phases: {e}"));
     let base_width = circuit.total_width(&base);
     let base_clock = circuit.clock_load(&base);
     let spec = DelaySpec {
@@ -345,8 +347,8 @@ pub fn fig7(lib: &ModelLibrary, opts: &SizingOptions) -> Vec<Fig7Row> {
         b.output_loads.insert("eq".into(), load);
         match size_circuit(&cand, lib, &b, &spec, opts) {
             Ok(outcome) => {
-                let (eval, pre) =
-                    measure_phase_delays(&cand, lib, &outcome.sizing, &b, opts).expect("phases");
+                let (eval, pre) = measure_phase_delays(&cand, lib, &outcome.sizing, &b, opts)
+                    .unwrap_or_else(|e| panic!("{}: phases: {e}", variant.name()));
                 let tag = if variant == original {
                     format!("SMART resize ({})", variant.name())
                 } else {
@@ -386,7 +388,8 @@ pub fn table2(lib: &ModelLibrary, opts: &SizingOptions) -> Vec<BlockReport> {
 /// §6.4: the 13.8k-transistor block with 22% macro width / 36% macro
 /// power.
 pub fn block64(lib: &ModelLibrary, opts: &SizingOptions) -> BlockReport {
-    evaluate_block(&section64_block(), lib, opts).expect("section 6.4 block")
+    evaluate_block(&section64_block(), lib, opts)
+        .unwrap_or_else(|e| panic!("section 6.4 block: {e}"))
 }
 
 /// §5.2 path-compaction statistics of the dynamic CLA adder.
@@ -406,7 +409,7 @@ pub struct PathStats {
 pub fn paths52(lib: &ModelLibrary, opts: &SizingOptions, width: usize) -> PathStats {
     let circuit = MacroSpec::ClaAdder { width }.generate();
     let stats = compaction_stats(&circuit, lib, &Boundary::default(), opts)
-        .expect("adder compaction");
+        .unwrap_or_else(|e| panic!("adder compaction: {e}"));
     PathStats {
         width,
         raw: stats.raw_paths,

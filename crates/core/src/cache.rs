@@ -182,6 +182,11 @@ pub(crate) fn options_fingerprint(opts: &SizingOptions) -> u64 {
     // never what it computes.
     // opts.checkpoint likewise: persistence replays rows, it never
     // changes how they are computed.
+    // opts.audit likewise, exactly like trace: certificates only *abort*
+    // candidates (aborts are never cached), and dominance pruning is
+    // feasible-set-preserving — the prune-parity suite in CI pins the
+    // pruned and unpruned optima together — so the audit gate must never
+    // fork the cache key space.
     h.finish()
 }
 

@@ -61,6 +61,19 @@ pub enum FlowError {
         /// canonical order.
         findings: Vec<String>,
     },
+    /// The pre-solve static audit ([`crate::AuditGate`]) proved the
+    /// constructed GP infeasible before any Newton work: a constraint
+    /// subset whose interval images cannot intersect. Carries the
+    /// machine-checkable certificate's constraint labels so the designer
+    /// sees *which* requirements conflict, not just that the solver gave
+    /// up.
+    InfeasibleCertificate {
+        /// Labels of the certifying constraint subset, in the
+        /// certificate's canonical (label-sorted) order.
+        constraints: Vec<String>,
+        /// Human-readable contradiction summary from the analyzer.
+        detail: String,
+    },
     /// A flow budget ([`crate::FlowBudget`]) expired: the wall clock ran
     /// out, the GP burned its Newton-step allowance, or the exploration hit
     /// its candidate cap.
@@ -92,6 +105,7 @@ impl FlowError {
             FlowError::UnknownPin { .. } => "pin",
             FlowError::Internal { .. } => "panic",
             FlowError::Lint { .. } => "lint",
+            FlowError::InfeasibleCertificate { .. } => "infeasible",
             FlowError::BudgetExceeded { .. } => "budget",
         }
     }
@@ -136,6 +150,16 @@ impl fmt::Display for FlowError {
                         write!(f, "; +{} more", findings.len() - 1)?;
                     }
                     write!(f, ")")?;
+                }
+                Ok(())
+            }
+            FlowError::InfeasibleCertificate {
+                constraints,
+                detail,
+            } => {
+                write!(f, "spec certified infeasible before solving: {detail}")?;
+                if !constraints.is_empty() {
+                    write!(f, " [certificate: {}]", constraints.join(", "))?;
                 }
                 Ok(())
             }

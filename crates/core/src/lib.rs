@@ -89,6 +89,7 @@ pub use sizing::{
     compaction_stats, measure_phase_delays, minimize_delay, size_circuit, CornerDelay,
     SizingOutcome,
 };
-pub use spec::{CostMetric, DelaySpec, FlowBudget, LintGate, SizingOptions};
+pub use sizing::audit_circuit;
+pub use spec::{AuditGate, CostMetric, DelaySpec, FlowBudget, LintGate, SizingOptions};
 pub use variation::{variation_sweep, VariationOptions, VariationReport, VariationSample};
 pub use tune::{tune_comparator_grouping, tune_partition_point, TuneCandidate, TuneSweep};

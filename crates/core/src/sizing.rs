@@ -264,12 +264,71 @@ fn backoff_before_retry(
 }
 
 /// Whether a failure may be answered by walking the relaxation ladder
-/// (the spec was the problem, not the machinery).
+/// (the spec was the problem, not the machinery). A static infeasibility
+/// certificate is relaxable by design: the next rung re-audits the
+/// retargeted GP in microseconds, so a rung whose certificate survives
+/// the relaxed spec is skipped without a single Newton step or retry
+/// restart — the ladder stops burning solves on structurally doomed
+/// rungs.
 fn relaxable(e: &FlowError) -> bool {
     matches!(
         e,
-        FlowError::Gp(GpError::Infeasible { .. }) | FlowError::NoConvergence { .. }
+        FlowError::Gp(GpError::Infeasible { .. })
+            | FlowError::NoConvergence { .. }
+            | FlowError::InfeasibleCertificate { .. }
     )
+}
+
+/// Pre-solve static audit of a constructed GP ([`crate::AuditGate`]).
+///
+/// * `Off` — no analysis, returns `None`.
+/// * `Certificates` (default) — interval bound propagation; a proved
+///   contradiction aborts the rung as
+///   [`FlowError::InfeasibleCertificate`] before any Newton work.
+/// * `Prune` — certificates plus dominance pruning: returns a copy of
+///   the problem with proven-redundant constraints dropped for this
+///   solve (the assembled [`crate::constraints::SizingGp`] keeps its
+///   full constraint list, so in-place retargeting is unaffected).
+fn run_audit(gp: &GpProblem, what: &str, opts: &SizingOptions) -> Result<Option<GpProblem>, FlowError> {
+    if !opts.audit.enabled() {
+        return Ok(None);
+    }
+    let outcome = smart_audit::audit_problem(gp, what, &smart_audit::AuditConfig::default());
+    smart_trace::emit_with("audit/bounds", || {
+        vec![
+            ("problem", what.to_owned().into()),
+            ("tightened", outcome.tightened.into()),
+            ("rounds", outcome.rounds.into()),
+            (
+                "bounded",
+                outcome.bounds.iter().filter(|b| b.is_bounded()).count().into(),
+            ),
+        ]
+    });
+    if let Some(cert) = outcome.certificate {
+        smart_trace::emit_with("audit/certificate", || {
+            vec![
+                ("problem", what.to_owned().into()),
+                ("constraints", cert.labels.len().into()),
+                ("detail", cert.detail.clone().into()),
+            ]
+        });
+        return Err(FlowError::InfeasibleCertificate {
+            constraints: cert.labels,
+            detail: cert.detail,
+        });
+    }
+    if opts.audit == crate::AuditGate::Prune && !outcome.prunable.is_empty() {
+        smart_trace::emit_with("audit/prune", || {
+            vec![
+                ("problem", what.to_owned().into()),
+                ("pruned", outcome.prunable.len().into()),
+                ("total", gp.constraints().len().into()),
+            ]
+        });
+        return Ok(Some(gp.without_constraints(&outcome.prunable)));
+    }
+    Ok(None)
 }
 
 /// Sizes `circuit` to meet `spec` under `boundary`, minimizing the
@@ -617,7 +676,13 @@ fn size_to_spec(
             }
             x0
         });
-        let (sol, used) = solve_with_retries(&built.gp, initial, opts, deadline)?;
+        // Static audit of the (re)targeted GP before Newton: certified
+        // infeasibility aborts the rung here — no solve, no retry burn —
+        // and under `AuditGate::Prune` the solver sees the reduced system
+        // while `gp_state` keeps the full one for in-place retargeting.
+        let pruned = run_audit(&built.gp, "sizing", opts)?;
+        let (sol, used) =
+            solve_with_retries(pruned.as_ref().unwrap_or(&built.gp), initial, opts, deadline)?;
         restarts += used;
         let sizing = Sizing::from_widths(
             (0..circuit.labels().len())
@@ -698,7 +763,9 @@ pub fn minimize_delay(
     let w0 = (lib.process().w_min * lib.process().w_max).sqrt();
     let mut x0 = vec![w0; built.gp.dim()];
     x0[t_var.index()] = 1e6;
-    let (sol, restarts) = solve_with_retries(&built.gp, x0, opts, deadline)?;
+    let pruned = run_audit(&built.gp, "min-delay", opts)?;
+    let (sol, restarts) =
+        solve_with_retries(pruned.as_ref().unwrap_or(&built.gp), x0, opts, deadline)?;
     let sizing = Sizing::from_widths(
         (0..circuit.labels().len())
             .map(|i| sol.x[built.vars[i].index()])
@@ -723,6 +790,44 @@ pub fn minimize_delay(
             binding_corner: corner_libs[binding].0.clone(),
             corner_delays,
         },
+    ))
+}
+
+/// Builds the sizing GP for `circuit` exactly as [`size_circuit`] would
+/// at the requested spec and runs the full `smart-audit` static analysis
+/// over it — without solving anything. `name` titles the report
+/// (typically the macro's display form). This is the entry behind the
+/// CLI `audit` subcommand and `examples/audit.rs`: same constraint
+/// assembly, same analyses, no Newton work.
+///
+/// # Errors
+///
+/// Propagates spec validation, compaction, and constraint-assembly
+/// errors; an infeasibility certificate is *not* an error here (it is
+/// the audit's finding, returned in the outcome).
+pub fn audit_circuit(
+    circuit: &Circuit,
+    lib: &ModelLibrary,
+    boundary: &Boundary,
+    spec: &DelaySpec,
+    opts: &SizingOptions,
+    name: &str,
+) -> Result<smart_audit::AuditOutcome, FlowError> {
+    validate_spec(spec)?;
+    let prepared = prepare(circuit, lib, boundary, opts)?;
+    let built = build_sizing_gp(
+        circuit,
+        lib,
+        &prepared.compaction,
+        boundary,
+        &prepared.extra,
+        spec,
+        opts,
+    )?;
+    Ok(smart_audit::audit_problem(
+        &built.gp,
+        name,
+        &smart_audit::AuditConfig::default(),
     ))
 }
 

@@ -142,6 +142,34 @@ pub enum LintGate {
     Off,
 }
 
+/// How the sizing flow applies the `smart-audit` pre-solve static
+/// analyzer to each constructed GP before Newton starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AuditGate {
+    /// Run interval bound propagation and abort with
+    /// [`crate::FlowError::InfeasibleCertificate`] when the analyzer
+    /// proves the GP infeasible (the default — a certified-infeasible
+    /// spec must not burn Newton iterations, retry-ladder restarts, or
+    /// cache slots).
+    #[default]
+    Certificates,
+    /// Certificates plus dominance pruning: constraints proven redundant
+    /// (term-wise dominated by another active constraint) are dropped
+    /// from the solved system. Opt-in; the prune-parity differential
+    /// suite in CI is the evidence it is safe to promote.
+    Prune,
+    /// No pre-solve analysis; every GP goes straight to Newton. For
+    /// ablation and for measuring what the audit saves.
+    Off,
+}
+
+impl AuditGate {
+    /// Whether this gate runs the analyzer at all.
+    pub(crate) fn enabled(self) -> bool {
+        !matches!(self, AuditGate::Off)
+    }
+}
+
 /// Options controlling one sizing run.
 #[derive(Debug, Clone)]
 pub struct SizingOptions {
@@ -217,6 +245,14 @@ pub struct SizingOptions {
     /// [`crate::explore`] family only; direct [`crate::size_circuit`]
     /// calls are not gated.
     pub lint: LintGate,
+    /// Pre-solve static analysis of each constructed GP (`smart-audit`):
+    /// infeasibility certificates by default, dominance pruning opt-in,
+    /// or fully off for ablation. Excluded from the sizing-cache
+    /// fingerprint exactly like `trace`: certificates only ever *abort*
+    /// candidates (aborts are never cached), and pruning is
+    /// feasible-set-preserving (the CI prune-parity suite pins it), so
+    /// the gate must never fork the cache key space.
+    pub audit: AuditGate,
     /// Structured tracing collector for the explore → size → GP → STA
     /// flow (`smart-trace`). The default reads the `SMART_TRACE`
     /// environment knob ([`Trace::from_env`]) and is otherwise disabled —
@@ -300,6 +336,7 @@ impl Default for SizingOptions {
             budget: FlowBudget::default(),
             cache: None,
             lint: LintGate::default(),
+            audit: AuditGate::default(),
             trace: Trace::from_env(),
             corners: None,
             chaos: None,

@@ -86,18 +86,27 @@ fn impossible_spec_is_reported_infeasible() {
     let circuit = MacroSpec::Incrementor { width: 8 }.generate();
     let lib = lib();
     let boundary = loaded_boundary(&["y7"], 10.0);
-    let err = size_circuit(
-        &circuit,
-        &lib,
-        &boundary,
-        &DelaySpec::uniform(5.0), // less than one gate's intrinsic delay
-        &SizingOptions::default(),
-    )
-    .unwrap_err();
+    let spec = DelaySpec::uniform(5.0); // less than one gate's intrinsic delay
+    // Default gate: the static audit certifies the contradiction before
+    // a single Newton step, naming the conflicting constraints.
+    let err = size_circuit(&circuit, &lib, &boundary, &spec, &SizingOptions::default())
+        .unwrap_err();
+    assert!(
+        matches!(err, FlowError::InfeasibleCertificate { ref constraints, .. } if !constraints.is_empty()),
+        "expected a static infeasibility certificate, got {err:?}"
+    );
+    assert_eq!(err.taxonomy(), "infeasible");
+    // Audit off: the solver reaches the same verdict dynamically.
+    let off = SizingOptions {
+        audit: smart_core::AuditGate::Off,
+        ..Default::default()
+    };
+    let err = size_circuit(&circuit, &lib, &boundary, &spec, &off).unwrap_err();
     assert!(
         matches!(err, FlowError::Gp(_)),
-        "expected GP infeasibility, got {err:?}"
+        "expected GP infeasibility with the audit off, got {err:?}"
     );
+    assert_eq!(err.taxonomy(), "infeasible");
 }
 
 #[test]

@@ -1,0 +1,128 @@
+//! Prune-parity differential suite — the evidence behind promoting
+//! [`AuditGate::Prune`]: dropping constraints the static analyzer proves
+//! dominated must not move the optimum. For every macro of the
+//! representative design database, at the single-corner flow and at the
+//! slow/typical/fast corner set, the default gate (`Certificates`, which
+//! never alters the solved system) and `Prune` are solved side by side:
+//!
+//! * when the analyzer found nothing to prune, the solver saw the
+//!   identical problem and the outcomes must be **bit-identical**;
+//! * when constraints were pruned, the feasible set is unchanged but the
+//!   barrier trajectory is not, so the outcomes agree to the pinned
+//!   tolerances: total width and measured delay within 1e-6 relative,
+//!   individual label widths within 1e-4 relative (the interior-point
+//!   solve is tight on the objective, looser coordinate-wise);
+//! * a failing candidate fails identically (same error taxonomy) under
+//!   both gates.
+
+use smart_core::{
+    audit_circuit, minimize_delay, size_circuit, AuditGate, DelaySpec, SizingOptions,
+    SizingOutcome,
+};
+use smart_macros::representative_database;
+use smart_models::{CornerSet, ModelLibrary};
+use smart_netlist::Circuit;
+use smart_sta::Boundary;
+
+fn boundary_for(circuit: &Circuit) -> Boundary {
+    let mut b = Boundary::default();
+    for port in circuit.output_ports() {
+        b.output_loads.insert(port.name.clone(), 12.0);
+    }
+    b
+}
+
+fn assert_bitwise(a: &SizingOutcome, b: &SizingOutcome, what: &str) {
+    assert_eq!(a.sizing.len(), b.sizing.len(), "{what}: width count");
+    for (i, (x, y)) in a.sizing.as_slice().iter().zip(b.sizing.as_slice()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: width[{i}]");
+    }
+    assert_eq!(a.measured_delay.to_bits(), b.measured_delay.to_bits(), "{what}: delay");
+    assert_eq!(a.total_width.to_bits(), b.total_width.to_bits(), "{what}: total width");
+    assert_eq!(a.iterations, b.iterations, "{what}: iterations");
+    assert_eq!(a.gp_restarts, b.gp_restarts, "{what}: restarts");
+}
+
+fn assert_tolerance(a: &SizingOutcome, b: &SizingOutcome, what: &str) {
+    let rel = |x: f64, y: f64| (x - y).abs() / x.abs().max(y.abs()).max(1e-30);
+    assert!(
+        rel(a.total_width, b.total_width) <= 1e-6,
+        "{what}: total width {} vs {} beyond 1e-6 relative",
+        a.total_width,
+        b.total_width
+    );
+    assert!(
+        rel(a.measured_delay, b.measured_delay) <= 1e-6,
+        "{what}: delay {} vs {} beyond 1e-6 relative",
+        a.measured_delay,
+        b.measured_delay
+    );
+    for (i, (x, y)) in a.sizing.as_slice().iter().zip(b.sizing.as_slice()).enumerate() {
+        assert!(
+            rel(*x, *y) <= 1e-4,
+            "{what}: width[{i}] {x} vs {y} beyond 1e-4 relative"
+        );
+    }
+}
+
+/// Sizes one macro under both gates at a spec comfortably above its
+/// fastest corner and asserts parity. `corners` selects the corner mode.
+fn check_parity(corners: Option<CornerSet>, mode: &str) {
+    let lib = ModelLibrary::reference();
+    for spec in representative_database() {
+        let what = format!("{spec} [{mode}]");
+        let circuit = spec.generate();
+        let boundary = boundary_for(&circuit);
+        let base = SizingOptions {
+            corners: corners.clone(),
+            ..Default::default()
+        };
+        // A spec every corner can meet: 1.35× the fastest achievable
+        // delay of this corner mode (minimize_delay maximizes over the
+        // configured set).
+        let (t_star, _) = minimize_delay(&circuit, &lib, &boundary, &base)
+            .unwrap_or_else(|e| panic!("{what}: t* failed: {e}"));
+        let target = DelaySpec::uniform(t_star * 1.35);
+
+        let prune = SizingOptions {
+            audit: AuditGate::Prune,
+            ..base.clone()
+        };
+        let prunable = audit_circuit(&circuit, &lib, &boundary, &target, &base, &what)
+            .unwrap_or_else(|e| panic!("{what}: audit failed: {e}"))
+            .prunable
+            .len();
+
+        let default_run = size_circuit(&circuit, &lib, &boundary, &target, &base);
+        let pruned_run = size_circuit(&circuit, &lib, &boundary, &target, &prune);
+        match (default_run, pruned_run) {
+            (Ok(a), Ok(b)) => {
+                if prunable == 0 {
+                    assert_bitwise(&a, &b, &what);
+                } else {
+                    assert_tolerance(&a, &b, &what);
+                }
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(
+                    a.taxonomy(),
+                    b.taxonomy(),
+                    "{what}: gates must fail identically ({a} vs {b})"
+                );
+            }
+            (Ok(_), Err(e)) => panic!("{what}: prune gate broke a feasible solve: {e}"),
+            (Err(e), Ok(_)) => panic!("{what}: prune gate healed an infeasible solve: {e}"),
+        }
+    }
+}
+
+#[test]
+fn prune_parity_holds_on_every_representative_macro_single_corner() {
+    check_parity(None, "single");
+}
+
+#[test]
+fn prune_parity_holds_on_every_representative_macro_stf_corners() {
+    let lib = ModelLibrary::reference();
+    check_parity(Some(CornerSet::slow_typical_fast(lib.process())), "stf");
+}

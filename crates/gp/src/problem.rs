@@ -191,6 +191,28 @@ impl GpProblem {
     pub fn dim(&self) -> usize {
         self.pool.len()
     }
+
+    /// A copy of the problem with the constraints at the given indices
+    /// removed (out-of-range and duplicate indices are ignored). The pool,
+    /// objective, and surviving constraints — bodies, labels, relative
+    /// order — are untouched, so solving the copy is exactly solving the
+    /// original minus the dropped rows. This is the static-audit pruning
+    /// hook: the audit proves a constraint redundant, this drops it.
+    #[must_use]
+    pub fn without_constraints(&self, drop: &[usize]) -> GpProblem {
+        let drop: std::collections::HashSet<usize> = drop.iter().copied().collect();
+        GpProblem {
+            pool: self.pool.clone(),
+            objective: self.objective.clone(),
+            constraints: self
+                .constraints
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !drop.contains(i))
+                .map(|(_, c)| c.clone())
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]

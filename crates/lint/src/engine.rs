@@ -93,6 +93,14 @@ pub struct LintConfig {
     /// `SL106`: NMOS stack depth at which a domino pull-down network is
     /// flagged for charge-sharing exposure.
     pub charge_share_depth: usize,
+    /// `SL111`: fast-corner scale factor applied to the static min-path
+    /// stage count (each "stage" is one typical gate delay; a fast corner
+    /// shrinks it).
+    pub fast_derate: f64,
+    /// `SL111`: precharge window, in the same typical-stage units — the
+    /// earliest a downstream domino data input may legally rise after the
+    /// evaluate clock edge.
+    pub precharge_window: f64,
 }
 
 impl Default for LintConfig {
@@ -103,6 +111,8 @@ impl Default for LintConfig {
             waivers: Vec::new(),
             pass_chain_limit: 3,
             charge_share_depth: 3,
+            fast_derate: 0.5,
+            precharge_window: 1.0,
         }
     }
 }

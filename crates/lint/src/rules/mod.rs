@@ -8,6 +8,7 @@ pub(crate) mod connectivity;
 pub(crate) mod electrical;
 pub(crate) mod legacy;
 pub(crate) mod monotonicity;
+pub(crate) mod timing;
 
 use crate::engine::{RuleInfo, Severity};
 
@@ -119,5 +120,14 @@ pub(crate) static REGISTRY: &[RuleInfo] = &[
         default_severity: Severity::Warning,
         description: "a size label no device binds (usually a generator bug)",
         check: connectivity::check_unused_labels,
+    },
+    RuleInfo {
+        id: "SL111",
+        name: "min-delay-race",
+        default_severity: Severity::Warning,
+        description: "a domino stage's static min-path interval at the fast \
+                      corner undercuts the precharge window (hold race against \
+                      the predecessor's precharge)",
+        check: timing::check,
     },
 ];

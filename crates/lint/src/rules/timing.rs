@@ -1,0 +1,103 @@
+//! `SL111`: min-delay/hold race — a domino stage whose static min-path
+//! arrival at the fast corner undercuts the precharge window.
+//!
+//! The audit crate's interval discipline applied to the timing graph: we
+//! propagate a *lower bound* on arrival (in typical-stage units — one
+//! unit per gate) from every dynamic node through the static fabric, and
+//! compare the receiving stage's earliest possible evaluation, scaled to
+//! the fast corner ([`LintConfig::fast_derate`]), against the precharge
+//! window ([`LintConfig::precharge_window`]). A stage that can evaluate
+//! before the window closes races its predecessor's precharge: at the
+//! fast corner the early-rising data input re-discharges a dynamic node
+//! that has not finished precharging.
+//!
+//! Only paths *from dynamic nodes* participate: primary inputs are timed
+//! externally (their arrival is a boundary condition the sizer checks),
+//! so a first-stage domino fed straight from ports has no race to flag.
+//! With the default knobs (derate 0.5, window 1.0) a direct D1→D2
+//! hand-off sits exactly on the boundary — min interval 2 stages,
+//! `2 × 0.5 = 1.0`, not below the window — so the discipline the
+//! methodology allows stays clean and anything *faster* than the
+//! sanctioned hand-off (a window widened by configuration, or a derate
+//! below one half) is named.
+
+use smart_netlist::{Circuit, ComponentKind};
+
+use crate::engine::{Finding, LintConfig, Severity};
+
+pub(crate) fn check(circuit: &Circuit, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    let n = circuit.net_count();
+    // dist[net] = minimum stage count from any dynamic node's evaluation
+    // to a rising transition on this net (usize::MAX = unreachable).
+    let mut dist = vec![usize::MAX; n];
+    for (_, comp) in circuit.components() {
+        if matches!(comp.kind, ComponentKind::Domino { .. }) {
+            dist[comp.output_net().index()] = 1;
+        }
+    }
+    // Fixpoint over the static fabric: a static gate's output rises one
+    // stage after its earliest reachable input. Domino components do not
+    // relay (their outputs re-time at the clock edge and are already
+    // seeded above). Bounded by the longest acyclic chain.
+    loop {
+        let mut changed = false;
+        for (_, comp) in circuit.components() {
+            if matches!(comp.kind, ComponentKind::Domino { .. }) {
+                continue;
+            }
+            let best = comp
+                .input_nets()
+                .map(|(_, net)| dist[net.index()])
+                .min()
+                .unwrap_or(usize::MAX);
+            if best == usize::MAX {
+                continue;
+            }
+            let through = best.saturating_add(1);
+            let slot = &mut dist[comp.output_net().index()];
+            if through < *slot {
+                *slot = through;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (_, comp) in circuit.components() {
+        if !matches!(comp.kind, ComponentKind::Domino { .. }) {
+            continue;
+        }
+        // Earliest data arrival over the stage's data pins (pin 0 is the
+        // clock), restricted to dynamic-node-origin paths.
+        let Some((net, d)) = comp
+            .input_nets()
+            .filter(|&(pin, _)| pin != 0)
+            .map(|(_, net)| (net, dist[net.index()]))
+            .filter(|&(_, d)| d != usize::MAX)
+            .min_by_key(|&(_, d)| d)
+        else {
+            continue;
+        };
+        // The stage itself is one more gate: its earliest evaluation.
+        let stages = (d + 1) as f64;
+        let fast = stages * cfg.fast_derate;
+        if fast < cfg.precharge_window {
+            let name = circuit.net(net).name.clone();
+            out.push(Finding {
+                rule: "SL111",
+                severity: Severity::Warning,
+                path: comp.path.clone(),
+                nets: vec![name.clone()],
+                message: format!(
+                    "min-delay race: earliest evaluation via '{name}' is {fast:.2} \
+                     typical-stage units at the fast corner, inside the {:.2}-unit \
+                     precharge window — the stage can re-discharge a dynamic node \
+                     that is still precharging (add a buffer stage or slow the \
+                     min path)",
+                    cfg.precharge_window
+                ),
+            });
+        }
+    }
+}

@@ -419,6 +419,60 @@ fn sl109_two_always_on_drivers() {
     assert!(!fired(&stage()).contains(&"SL109"));
 }
 
+/// The canonical legal two-stage domino chain:
+/// clk ─ D1(a) ─ dyn1 ─ hs-inv ─ q1 ─ D1 ─ dyn2 ─ hs-inv ─ q2.
+fn domino_chain() -> Circuit {
+    let mut c = Circuit::new("sl111_chain");
+    let clk = c.add_net_kind("clk", NetKind::Clock).unwrap();
+    let a = c.add_net("a").unwrap();
+    let dyn1 = c.add_net_kind("dyn1", NetKind::Dynamic).unwrap();
+    let q1 = c.add_net("q1").unwrap();
+    let dyn2 = c.add_net_kind("dyn2", NetKind::Dynamic).unwrap();
+    let q2 = c.add_net("q2").unwrap();
+    domino(&mut c, "d1", Network::Input(0), true, &[clk, a, dyn1]);
+    inv(&mut c, "h1", dyn1, q1);
+    domino(&mut c, "d2", Network::Input(0), true, &[clk, q1, dyn2]);
+    inv(&mut c, "h2", dyn2, q2);
+    c.expose_input("clk", clk);
+    c.expose_input("a", a);
+    c.expose_output("q", q2);
+    c
+}
+
+#[test]
+fn sl111_sanctioned_handoff_is_clean_at_default_knobs() {
+    // Three typical stages from dyn1's evaluation to d2's data pin
+    // (dyn1 → h1 → the stage itself): 3 x 0.5 = 1.5, outside the
+    // 1.0-unit window. Port-fed d1 has no dynamic-origin path at all.
+    assert_eq!(fired(&domino_chain()), Vec::<&str>::new());
+}
+
+#[test]
+fn sl111_widened_window_names_the_receiving_stage() {
+    let cfg = LintConfig { precharge_window: 1.75, ..LintConfig::default() };
+    let report = lint_circuit_with(&domino_chain(), &cfg);
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "SL111")
+        .expect("1.5 fast-corner stages inside a 1.75 window must fire SL111");
+    assert_eq!(f.severity, Severity::Warning);
+    assert_eq!(f.path, "d2");
+    assert_eq!(f.nets, vec!["q1".to_owned()]);
+    // The first stage is timed from primary inputs only: no race to flag.
+    assert!(!report.findings.iter().any(|f| f.rule == "SL111" && f.path == "d1"));
+}
+
+#[test]
+fn sl111_aggressive_derate_fires_without_touching_the_window() {
+    // 3 stages x 0.3 = 0.9 < 1.0.
+    let cfg = LintConfig { fast_derate: 0.3, ..LintConfig::default() };
+    assert!(lint_circuit_with(&domino_chain(), &cfg)
+        .findings
+        .iter()
+        .any(|f| f.rule == "SL111"));
+}
+
 #[test]
 fn sl110_unused_label() {
     let mut c = stage();
@@ -488,7 +542,7 @@ fn registry_covers_every_documented_rule() {
         ids,
         [
             "SL001", "SL002", "SL003", "SL004", "SL101", "SL102", "SL103", "SL104", "SL105",
-            "SL106", "SL107", "SL108", "SL109", "SL110",
+            "SL106", "SL107", "SL108", "SL109", "SL110", "SL111",
         ]
     );
     for rule in rules() {

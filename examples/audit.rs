@@ -1,0 +1,102 @@
+//! Database audit gate: runs the `smart-audit` pre-solve static analyzer
+//! over every macro of the representative design database at a spec each
+//! macro can comfortably meet (1.5× its fastest achievable delay), and
+//! emits one machine-readable report per circuit.
+//!
+//! Exits non-zero if any macro carries an infeasibility certificate —
+//! at a 50% margin over the macro's own `t*` a certificate can only be
+//! an analyzer false positive, so this is the CI step that keeps the
+//! certificate engine *sound on the real database*, not just on the
+//! synthetic problems of the unit suite.
+//!
+//! The per-macro work fans out over `SMART_WORKERS`; results are printed
+//! in database order with floats as bit patterns, and CI byte-compares
+//! the output between `SMART_WORKERS=1` and `=4` (DESIGN.md §15): worker
+//! count must never leak into the analysis.
+//!
+//! ```sh
+//! cargo run --release --example audit
+//! ```
+
+use std::process::ExitCode;
+
+use smart_datapath::core::{
+    audit_circuit, minimize_delay, run_indexed, DelaySpec, ParallelOptions, SizingOptions,
+};
+use smart_datapath::macros::representative_database;
+use smart_datapath::models::ModelLibrary;
+use smart_datapath::sta::Boundary;
+
+fn bits(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+struct Row {
+    name: String,
+    json: String,
+    t_star: f64,
+    certified: Option<String>,
+    pruned: usize,
+    tightened: usize,
+    bounded: usize,
+}
+
+fn main() -> ExitCode {
+    let lib = ModelLibrary::reference();
+    let specs = representative_database();
+    let par = ParallelOptions::from_env();
+
+    let rows = run_indexed(specs.len(), &par, |i| {
+        let spec = &specs[i];
+        let circuit = spec.generate();
+        let mut boundary = Boundary::default();
+        for port in circuit.output_ports() {
+            boundary.output_loads.insert(port.name.clone(), 12.0);
+        }
+        let opts = SizingOptions::default();
+        let (t_star, _) = minimize_delay(&circuit, &lib, &boundary, &opts)
+            .unwrap_or_else(|e| panic!("{spec}: t* failed: {e}"));
+        let target = DelaySpec::uniform(t_star * 1.5);
+        let outcome = audit_circuit(&circuit, &lib, &boundary, &target, &opts, &spec.to_string())
+            .unwrap_or_else(|e| panic!("{spec}: audit failed: {e}"));
+        Row {
+            name: spec.to_string(),
+            json: outcome.report.to_json(),
+            t_star,
+            certified: outcome.certificate.as_ref().map(|c| c.detail.clone()),
+            pruned: outcome.prunable.len(),
+            tightened: outcome.tightened,
+            bounded: outcome.bounds.iter().filter(|b| b.is_bounded()).count(),
+        }
+    });
+
+    let mut certified = 0usize;
+    let mut audited = 0usize;
+    let mut total_pruned = 0usize;
+    for row in rows {
+        let row = row.expect("audit job panicked");
+        audited += 1;
+        total_pruned += row.pruned;
+        println!("{}", row.json);
+        println!(
+            "{:<22} t*={} tightened={} bounded={} prunable={}",
+            row.name,
+            bits(row.t_star),
+            row.tightened,
+            row.bounded,
+            row.pruned
+        );
+        if let Some(detail) = &row.certified {
+            eprintln!("{}: FALSE POSITIVE certificate at 1.5*t*: {detail}", row.name);
+            certified += 1;
+        }
+    }
+    eprintln!(
+        "audited {audited} macros: {certified} certificate(s), {total_pruned} prunable constraint(s)"
+    );
+    if certified > 0 {
+        eprintln!("database is NOT certificate-clean at a 50% spec margin");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -14,6 +14,9 @@
 //! * [`lint`] — the smart-lint electrical-rule engine (monotonicity
 //!   dataflow, sneak-path/contention/charge-share checks) that gates
 //!   exploration.
+//! * [`audit`] — smart-audit, the pre-solve static analyzer of sizing
+//!   GPs: interval bound propagation, infeasibility certificates,
+//!   dominance pruning (DESIGN.md §15).
 //! * [`power`] — switching power estimation (the PowerMill role).
 //! * [`macros`] — the design database: mux/incrementor/zero-detect/
 //!   decoder/encoder/comparator/adder/register-file generators.
@@ -34,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use smart_audit as audit;
 pub use smart_bench as bench;
 pub use smart_blocks as blocks;
 pub use smart_chaos as chaos;

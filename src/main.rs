@@ -8,6 +8,7 @@
 //! smart tune-split <width> [--load L] [--delay T]  # partition tuner
 //! smart export <macro>                        # structural netlist text
 //! smart analyze <file>                        # parse + lint + path stats
+//! smart audit <macro> [--load L] [--delay T] [--corners stf]   # static GP audit (no solve)
 //! ```
 //!
 //! Macro names: `mux<N>[:<topology>]`, `inc<N>`, `dec<N>`, `zd<N>[:domino]`,
@@ -29,7 +30,7 @@ use smart_datapath::sta::Boundary;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: smart <list|size|explore|spice|export|analyze|tune-split> [macro|file] [--load L] [--delay T] [--corners stf]\n\
+        "usage: smart <list|size|explore|spice|export|analyze|audit|tune-split> [macro|file] [--load L] [--delay T] [--corners stf]\n\
          macros: mux<N>[:pass|weak|enc|tri|dom|split]  inc<N>  dec<N>  zd<N>[:domino]\n\
          \x20       decoder<N>  penc<N>  cmp<N>  cla<N>  rf<W>x<B>  shift<N>[:sll|srl|rol]"
     );
@@ -346,6 +347,44 @@ fn run(cmd: &str, args: &[String], lib: &ModelLibrary, opts: &SizingOptions) -> 
                         ExitCode::FAILURE
                     }
                 },
+            }
+        }
+        "audit" => {
+            let Some(spec) = args.get(1).and_then(|n| parse_macro(n)) else {
+                return usage();
+            };
+            let load = flag(&args, "--load", 15.0);
+            let delay = flag(&args, "--delay", 300.0);
+            let opts = &match corner_opts(args, lib, opts) {
+                Ok(o) => o,
+                Err(bad) => {
+                    eprintln!("--corners {bad}: only the `stf` (slow/typical/fast) preset exists");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let circuit = spec.generate();
+            let boundary = boundary_for(&circuit, load);
+            match smart_datapath::core::audit_circuit(
+                &circuit,
+                lib,
+                &boundary,
+                &DelaySpec::uniform(delay),
+                opts,
+                &spec.to_string(),
+            ) {
+                Ok(outcome) => {
+                    println!("{}", outcome.report.to_json());
+                    if let Some(cert) = &outcome.certificate {
+                        eprintln!("{spec}: infeasible — {}", cert.detail);
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{spec}: {e}");
+                    ExitCode::FAILURE
+                }
             }
         }
         "tune-split" => {
