@@ -78,6 +78,10 @@ grep -q '"corner_yield"' target/ci/BENCH_robustness.json || {
   echo "robustness smoke output is missing the corner_yield section" >&2
   exit 1
 }
+grep -q '"serve"' target/ci/BENCH_robustness.json || {
+  echo "robustness smoke output is missing the serve section" >&2
+  exit 1
+}
 
 # Multi-corner robust sizing: the corners example sizes once against the
 # slow/typical/fast set, self-checks feasibility at every corner plus the
@@ -116,11 +120,61 @@ cmp target/ci/audit-w1.txt target/ci/audit-w4.txt || {
   exit 1
 }
 
+# Serve protocol determinism, end to end through the real binary in
+# --script mode: a scripted request mix (sizes, a typed-error row, a
+# batch fan-out, an exploration sweep, a cache snapshot) must produce
+# byte-identical response streams at any worker count, and a daemon
+# warm-booted from the cold run's snapshot (into a different shard
+# count) must replay the same work byte-identically — only the stats op
+# reports cache state, so it alone is excluded from the warm compare.
+# Re-snapshotting from the warm daemon must reproduce the cold snapshot
+# file byte-for-byte: restarts are lossless (DESIGN.md §16).
+echo "== serve smoke (script mode: 1 vs 4 workers, snapshot warm restart) =="
+SERVE=target/ci/serve
+mkdir -p "$SERVE"
+cat > "$SERVE/requests.ndjson" <<'EOF'
+{"op":"size","id":"s1","macro":"mux8:dom","load":20,"delay":320}
+{"op":"size","id":"s2","macro":"zd16:domino"}
+{"op":"size","id":"s3","macro":"bogus9"}
+{"op":"batch","id":"b1","requests":[{"macro":"inc8","delay":400},{"macro":"mux8:dom","load":20,"delay":320},{"macro":"mux4"}]}
+{"op":"explore","id":"e1","macro":"mux4","delay":400}
+{"op":"snapshot","id":"sn","path":"target/ci/serve/cache.snapshot"}
+{"op":"stats","id":"st"}
+EOF
+SMART_WORKERS=1 target/release/smart-datapath serve \
+  --script "$SERVE/requests.ndjson" > "$SERVE/cold-w1.ndjson"
+SMART_WORKERS=4 target/release/smart-datapath serve \
+  --script "$SERVE/requests.ndjson" > "$SERVE/cold-w4.ndjson"
+cmp "$SERVE/cold-w1.ndjson" "$SERVE/cold-w4.ndjson" || {
+  echo "serve replies diverged between SMART_WORKERS=1 and =4" >&2
+  exit 1
+}
+cp "$SERVE/cache.snapshot" "$SERVE/cache.cold.snapshot"
+for w in 1 4; do
+  SMART_WORKERS=$w target/release/smart-datapath serve --shards 3 \
+    --restore "$SERVE/cache.cold.snapshot" \
+    --script "$SERVE/requests.ndjson" > "$SERVE/warm-w$w.ndjson"
+done
+cmp "$SERVE/warm-w1.ndjson" "$SERVE/warm-w4.ndjson" || {
+  echo "warm serve replies diverged between SMART_WORKERS=1 and =4" >&2
+  exit 1
+}
+grep -v '"op":"stats"' "$SERVE/cold-w1.ndjson" > "$SERVE/cold-work.ndjson"
+grep -v '"op":"stats"' "$SERVE/warm-w1.ndjson" > "$SERVE/warm-work.ndjson"
+cmp "$SERVE/cold-work.ndjson" "$SERVE/warm-work.ndjson" || {
+  echo "warm-restarted serve replies diverged from the cold run" >&2
+  exit 1
+}
+cmp "$SERVE/cache.cold.snapshot" "$SERVE/cache.snapshot" || {
+  echo "re-snapshot from the warm daemon diverged from the cold snapshot" >&2
+  exit 1
+}
+
 echo "== clippy (no unwrap/expect in flow crates, pool/cache included) =="
 cargo clippy -q --offline -p smart-core -p smart-gp -p smart-lint -p smart-trace \
   -p smart-sta -p smart-models -p smart-posy -p smart-chaos -p smart-prng \
   -p smart-audit -p smart-netlist -p smart-sim -p smart-power -p smart-blocks \
-  -p smart-macros -p smart-bench -- \
+  -p smart-macros -p smart-bench -p smart-serve -- \
   -D clippy::unwrap_used -D clippy::expect_used
 
 echo "CI OK"

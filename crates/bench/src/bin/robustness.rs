@@ -138,7 +138,105 @@ fn main() {
     trace_section();
     let corner_rows = corner_yield_section(smoke);
     let chaos_rows = chaos_section(smoke);
-    write_json(&out_path, smoke, &corner_rows, &chaos_rows);
+    let serve_rows = serve_section(smoke);
+    write_json(&out_path, smoke, &corner_rows, &chaos_rows, &serve_rows);
+}
+
+/// One serve configuration's replay of the scripted request mix.
+struct ServeRow {
+    label: &'static str,
+    workers: usize,
+    requests: usize,
+    elapsed_ms: f64,
+    hits: usize,
+    misses: usize,
+}
+
+/// Throughput of the resident advisor (`smart-serve`): the same scripted
+/// request mix is replayed against a cold daemon at 1 and 4 workers and
+/// against a warm daemon restarted from the cold one's cache snapshot.
+/// Responses must be byte-identical across all three — the warm restart
+/// buys latency only, never different bytes (DESIGN.md §16).
+fn serve_section(smoke: bool) -> Vec<ServeRow> {
+    use smart_serve::{run_script, Advisor, ServeOptions};
+
+    println!("\n# Serve throughput: resident advisor, cold vs warm restart\n");
+    let macros: &[&str] = if smoke {
+        &["mux4", "mux8:dom", "zd16:domino"]
+    } else {
+        &["mux4", "mux8:dom", "mux2:enc", "zd16:domino", "zd32", "inc8", "dec8", "penc4"]
+    };
+    let loads: &[f64] = if smoke { &[15.0] } else { &[10.0, 15.0, 25.0] };
+    let mut script = String::new();
+    let mut requests = 0usize;
+    for (i, m) in macros.iter().enumerate() {
+        for load in loads {
+            let _ = writeln!(
+                script,
+                "{{\"op\":\"size\",\"id\":\"s{requests}\",\"macro\":\"{m}\",\"load\":{load},\"delay\":520}}"
+            );
+            requests += 1;
+        }
+        // Every third macro also goes through a batch fan-out.
+        if i % 3 == 0 {
+            let rows = macros
+                .iter()
+                .map(|m| format!("{{\"macro\":\"{m}\",\"load\":{},\"delay\":520}}", loads[0]))
+                .collect::<Vec<_>>()
+                .join(",");
+            let _ = writeln!(script, "{{\"op\":\"batch\",\"id\":\"b{i}\",\"requests\":[{rows}]}}");
+            requests += 1;
+        }
+    }
+
+    let advisor = |workers: usize| {
+        Advisor::new(ServeOptions {
+            parallel: Some(ParallelOptions::with_workers(workers)),
+            ..ServeOptions::default()
+        })
+    };
+    let replay = |a: &Advisor| {
+        let mut out = Vec::new();
+        run_script(a, &script, &mut out).unwrap_or_else(|e| panic!("serve script io: {e}"));
+        String::from_utf8(out).unwrap_or_else(|e| panic!("serve replies must be utf-8: {e}"))
+    };
+    let timed = |label: &'static str, workers: usize, a: &Advisor| {
+        let t0 = std::time::Instant::now();
+        let replies = replay(a);
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (hits, misses) = a.cache().stats();
+        let row = ServeRow { label, workers, requests, elapsed_ms, hits, misses };
+        println!(
+            "{label:<14} {workers:>7} {requests:>9} {elapsed_ms:>10.1} {:>9.1} {hits:>6} {misses:>7}",
+            1e3 * requests as f64 / elapsed_ms
+        );
+        (row, replies)
+    };
+
+    println!(
+        "{:<14} {:>7} {:>9} {:>10} {:>9} {:>6} {:>7}",
+        "config", "workers", "requests", "ms", "req/s", "hits", "misses"
+    );
+    let serial = advisor(1);
+    let (row1, out1) = timed("cold-serial", 1, &serial);
+    let cold = advisor(4);
+    let (row4, out4) = timed("cold-pool", 4, &cold);
+    let warm = advisor(4);
+    let restored = warm
+        .cache()
+        .restore(&cold.cache().snapshot())
+        .unwrap_or_else(|| panic!("own snapshot must restore"));
+    assert!(restored > 0, "the cold run must have populated the cache");
+    let (roww, outw) = timed("warm-restart", 4, &warm);
+
+    assert_eq!(out1, out4, "serve replies must not depend on the worker count");
+    assert_eq!(out4, outw, "a warm restart must replay byte-identically");
+    println!(
+        "\n(replies byte-identical across 1/4 workers and across the\n\
+         snapshot/warm-restart; the warm daemon re-solves nothing it has\n\
+         cached — cache effects are latency-only; DESIGN.md \u{a7}16.)"
+    );
+    vec![row1, row4, roww]
 }
 
 /// One macro's multi-corner solve plus its Monte-Carlo yield.
@@ -371,11 +469,17 @@ fn chaos_section(smoke: bool) -> Vec<ChaosRow> {
     rows
 }
 
-/// Machine-readable record of the corner/yield and chaos sweeps.
-fn write_json(out_path: &str, smoke: bool, corner_rows: &[CornerYieldRow], rows: &[ChaosRow]) {
+/// Machine-readable record of the corner/yield, chaos, and serve sweeps.
+fn write_json(
+    out_path: &str,
+    smoke: bool,
+    corner_rows: &[CornerYieldRow],
+    rows: &[ChaosRow],
+    serve_rows: &[ServeRow],
+) {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"robustness/v2\",");
+    let _ = writeln!(json, "  \"schema\": \"robustness/v3\",");
     let _ = writeln!(json, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
     let _ = writeln!(json, "  \"corner_yield\": [");
     for (i, r) in corner_rows.iter().enumerate() {
@@ -419,6 +523,24 @@ fn write_json(out_path: &str, smoke: bool, corner_rows: &[CornerYieldRow], rows:
             r.salvaged,
             r.salvaged as f64 / r.total.max(1) as f64,
             if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"serve\": [");
+    for (i, r) in serve_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"config\": \"{}\", \"workers\": {}, \"requests\": {}, \
+             \"elapsed_ms\": {:.1}, \"throughput_rps\": {:.1}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"byte_identical\": true}}{}",
+            r.label,
+            r.workers,
+            r.requests,
+            r.elapsed_ms,
+            1e3 * r.requests as f64 / r.elapsed_ms,
+            r.hits,
+            r.misses,
+            if i + 1 < serve_rows.len() { "," } else { "" }
         );
     }
     let _ = writeln!(json, "  ]");

@@ -30,8 +30,24 @@
 //! (sub-quantum spec differences are below any timing meaning by
 //! construction). The cache-correctness test suite asserts the bitwise
 //! replay.
+//!
+//! # Multi-client ownership
+//!
+//! The cache is built for *cross-request* sharing (the `smart-serve`
+//! workload): the map is split into N shards keyed by a stable hash of the
+//! [`CacheKey`], each behind its own lock, so concurrent sweeps contend
+//! per shard rather than on one global mutex. [`SizingCache::bounded`]
+//! adds an entry budget with least-recently-used eviction (per-shard
+//! recency stamps), and [`SizingCache::snapshot`] / [`SizingCache::restore`]
+//! persist the entries byte-stably (the checkpoint float-bit-pattern
+//! encoding, entries sorted by key) so a warm restart replays exactly the
+//! outcomes the previous process computed. Per-sweep hit/miss attribution
+//! is the caller's job via [`CacheStats`] — the cache's own counters are
+//! process-lifetime aggregates over *all* clients.
 
 use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -182,6 +198,10 @@ pub(crate) fn options_fingerprint(opts: &SizingOptions) -> u64 {
     // never what it computes.
     // opts.checkpoint likewise: persistence replays rows, it never
     // changes how they are computed.
+    // opts.cache_stats likewise: a statistics sink records what the flow
+    // did, it never changes what the flow computes — keying on it would
+    // split every sweep (each gets a fresh sink) into its own disjoint
+    // cache population, defeating cross-sweep memoization entirely.
     // opts.audit likewise, exactly like trace: certificates only *abort*
     // candidates (aborts are never cached), and dominance pruning is
     // feasible-set-preserving — the prune-parity suite in CI pins the
@@ -238,59 +258,199 @@ fn outcome_checksum(outcome: &SizingOutcome) -> u64 {
     h.finish()
 }
 
-/// A stored entry: the outcome plus the checksum computed at insert time.
-#[derive(Debug, Clone)]
-struct Entry {
-    checksum: u64,
-    outcome: SizingOutcome,
-}
-
-/// A thread-safe memoization store for successful sizing outcomes, shared
-/// via `Arc` in [`SizingOptions::cache`].
+/// Per-sweep hit/miss attribution sink, shared via `Arc` in
+/// [`SizingOptions::cache_stats`].
 ///
-/// Every entry carries a content checksum computed at insert time and
-/// verified on every read; an entry that fails verification is evicted
-/// and the lookup reports a miss, so a corrupted entry costs one
-/// recompute instead of replaying garbage into a sweep table.
-///
-/// Hit/miss counters are monotonic over the cache's lifetime; exploration
-/// snapshots them around a sweep to report per-sweep rates.
+/// The cache's own counters aggregate over *every* client for the cache's
+/// whole lifetime; when two sweeps share one cache concurrently (the
+/// `smart-serve` workload), deltas of those global counters misattribute
+/// each sweep's traffic to the other. A `CacheStats` belongs to exactly
+/// one sweep: the sizing flow records each of that sweep's own lookups
+/// into it, so the numbers are exact no matter how many sibling sweeps
+/// hammer the same cache. Excluded from the cache key fingerprint
+/// (observability never changes what the flow computes).
 #[derive(Debug, Default)]
-pub struct SizingCache {
-    map: Mutex<HashMap<CacheKey, Entry>>,
+pub struct CacheStats {
     hits: AtomicUsize,
     misses: AtomicUsize,
-    poisoned: AtomicUsize,
 }
 
-impl SizingCache {
-    /// An empty cache.
+impl CacheStats {
+    /// A zeroed sink.
     pub fn new() -> Self {
         Self::default()
     }
 
-    fn guard(&self) -> std::sync::MutexGuard<'_, HashMap<CacheKey, Entry>> {
+    /// Records one lookup outcome.
+    pub fn record(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Hits recorded into this sink.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Misses recorded into this sink.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// A stored entry: the outcome, the checksum computed at insert time, and
+/// the recency stamp LRU eviction orders by.
+#[derive(Debug, Clone)]
+struct Entry {
+    checksum: u64,
+    /// Shard-local recency: bumped from the owning shard's tick on every
+    /// verified hit, so eviction drops the least-recently-replayed entry.
+    stamp: u64,
+    outcome: SizingOutcome,
+}
+
+/// One lock's worth of the cache: a map plus the monotonic recency tick
+/// its entries are stamped from.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+}
+
+impl Shard {
+    fn next_stamp(&mut self) -> u64 {
+        let t = self.tick;
+        self.tick += 1;
+        t
+    }
+}
+
+/// A thread-safe memoization store for successful sizing outcomes, shared
+/// via `Arc` in [`SizingOptions::cache`] — and, in the serve workload,
+/// across many concurrent requests.
+///
+/// The map is split into shards keyed by a stable hash of the
+/// [`CacheKey`]; each shard has its own lock, so concurrent sweeps
+/// contend per shard instead of serializing on one mutex.
+/// [`SizingCache::new`] keeps the historical single-shard, unbounded
+/// configuration; [`SizingCache::bounded`] selects a shard count and an
+/// entry budget enforced by least-recently-used eviction.
+///
+/// Every entry carries a content checksum computed at insert time and
+/// verified on every read; an entry that fails verification is evicted
+/// and the lookup reports a miss, so a corrupted entry costs one
+/// recompute instead of replaying garbage into a sweep table. The same
+/// checksum travels inside [`SizingCache::snapshot`], so a damaged
+/// snapshot file restores as "no snapshot" rather than as wrong answers.
+///
+/// Hit/miss counters are monotonic over the cache's lifetime and
+/// aggregate across all clients; per-sweep attribution uses a
+/// [`CacheStats`] sink instead.
+#[derive(Debug)]
+pub struct SizingCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard entry budget (`None` = unbounded). The configured total
+    /// budget is split evenly across shards, rounded up, so the cache
+    /// never holds more than ~`budget + shards` entries.
+    per_shard_budget: Option<usize>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    poisoned: AtomicUsize,
+    evicted: AtomicUsize,
+}
+
+impl Default for SizingCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Stable shard index of a key: the same [`StableHasher`] the key
+/// fingerprints use, over all six dimensions, so the choice is
+/// deterministic across runs and processes (snapshots restore into the
+/// same shard layout they were taken from).
+fn shard_of(key: &CacheKey, shards: usize) -> usize {
+    let mut h = StableHasher::new();
+    h.write_u64(key.structure);
+    h.write_u64(key.process);
+    h.write_u64(key.spec_data);
+    h.write_u64(key.spec_precharge);
+    h.write_u64(key.boundary);
+    h.write_u64(key.options);
+    (h.finish() % shards as u64) as usize
+}
+
+impl SizingCache {
+    /// An empty cache: one shard, no entry budget — the historical
+    /// single-sweep configuration.
+    pub fn new() -> Self {
+        Self::with_config(1, None)
+    }
+
+    /// An empty cache with `shards` independently locked shards and an
+    /// optional total entry budget enforced by LRU eviction. `shards` is
+    /// clamped to at least 1; a budget of 0 is treated as 1 per shard
+    /// (a cache that can never hold an entry would silently disable
+    /// memoization).
+    pub fn bounded(shards: usize, budget: Option<usize>) -> Self {
+        Self::with_config(shards, budget)
+    }
+
+    fn with_config(shards: usize, budget: Option<usize>) -> Self {
+        let shards = shards.max(1);
+        SizingCache {
+            per_shard_budget: budget.map(|b| b.div_ceil(shards).max(1)),
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            poisoned: AtomicUsize::new(0),
+            evicted: AtomicUsize::new(0),
+        }
+    }
+
+    /// The shard count this cache was built with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The total entry budget (`None` = unbounded). Reported as the
+    /// per-shard budget times the shard count — the bound actually
+    /// enforced.
+    pub fn budget(&self) -> Option<usize> {
+        self.per_shard_budget.map(|b| b * self.shards.len())
+    }
+
+    fn guard(&self, idx: usize) -> std::sync::MutexGuard<'_, Shard> {
         // A poisoned mutex only means a panicking thread died mid-insert;
         // the map itself holds plain owned data and stays valid.
-        match self.map.lock() {
+        match self.shards[idx].lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         }
     }
 
+    fn shard_for(&self, key: &CacheKey) -> std::sync::MutexGuard<'_, Shard> {
+        self.guard(shard_of(key, self.shards.len()))
+    }
+
     /// Looks up `key`, counting the hit or miss. An entry whose stored
     /// checksum no longer matches its content is *poisoned*: it is
     /// evicted, counted, and the lookup reports a miss so the caller
-    /// recomputes.
+    /// recomputes. A verified hit refreshes the entry's LRU stamp.
     pub fn lookup(&self, key: &CacheKey) -> Option<SizingOutcome> {
         let found = {
-            let mut map = self.guard();
-            match map.get(key) {
+            let mut shard = self.shard_for(key);
+            let stamp = shard.next_stamp();
+            match shard.map.get_mut(key) {
                 Some(entry) if outcome_checksum(&entry.outcome) == entry.checksum => {
+                    entry.stamp = stamp;
                     Some(entry.outcome.clone())
                 }
                 Some(_) => {
-                    map.remove(key);
+                    shard.map.remove(key);
                     self.poisoned.fetch_add(1, Ordering::Relaxed);
                     smart_trace::counter("cache/poisoned", 1);
                     smart_trace::emit_with("cache/poisoned", || {
@@ -319,17 +479,44 @@ impl SizingCache {
 
     /// Stores a successful outcome under `key`, stamping its content
     /// checksum. Concurrent inserts of the same key are benign: the flow
-    /// is deterministic, so both threads computed the same value.
+    /// is deterministic, so both threads computed the same value. When
+    /// the shard is over budget, least-recently-used entries are evicted
+    /// (the fresh insert carries the newest stamp, so it always survives
+    /// its own admission).
     pub fn insert(&self, key: CacheKey, outcome: SizingOutcome) {
         let checksum = outcome_checksum(&outcome);
-        self.guard().insert(key, Entry { checksum, outcome });
+        let mut shard = self.shard_for(&key);
+        let stamp = shard.next_stamp();
+        shard.map.insert(
+            key,
+            Entry {
+                checksum,
+                stamp,
+                outcome,
+            },
+        );
+        if let Some(budget) = self.per_shard_budget {
+            while shard.map.len() > budget {
+                let Some(victim) = shard
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.stamp)
+                    .map(|(k, _)| *k)
+                else {
+                    break;
+                };
+                shard.map.remove(&victim);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+                smart_trace::counter("cache/evicted", 1);
+            }
+        }
     }
 
     /// Drops the entry under `key`, reporting whether one existed. A
     /// chaos/test hook standing in for any lost entry (eviction race,
     /// failed restore); the flow must absorb it as a plain miss.
     pub fn remove(&self, key: &CacheKey) -> bool {
-        self.guard().remove(key).is_some()
+        self.shard_for(key).map.remove(key).is_some()
     }
 
     /// Flips a bit in the entry under `key` *without* updating its
@@ -337,7 +524,7 @@ impl SizingCache {
     /// chaos/test hook simulating storage corruption: the next lookup
     /// must detect the mismatch, evict, and recompute.
     pub fn corrupt(&self, key: &CacheKey) -> bool {
-        match self.guard().get_mut(key) {
+        match self.shard_for(key).map.get_mut(key) {
             Some(entry) => {
                 // Lowest mantissa bit: the value stays finite (so nothing
                 // downstream of a hypothetical undetected replay would
@@ -351,9 +538,10 @@ impl SizingCache {
         }
     }
 
-    /// Entries currently stored.
+    /// Entries currently stored (summed across shards; a racing insert
+    /// may be counted or not, like any concurrent size query).
     pub fn len(&self) -> usize {
-        self.guard().len()
+        (0..self.shards.len()).map(|i| self.guard(i).map.len()).sum()
     }
 
     /// Whether the cache holds no entries.
@@ -361,7 +549,9 @@ impl SizingCache {
         self.len() == 0
     }
 
-    /// Lifetime `(hits, misses)` counters.
+    /// Lifetime `(hits, misses)` counters, aggregated over every client
+    /// that ever used this cache. For per-sweep attribution use
+    /// [`CacheStats`].
     pub fn stats(&self) -> (usize, usize) {
         (
             self.hits.load(Ordering::Relaxed),
@@ -374,9 +564,138 @@ impl SizingCache {
         self.poisoned.load(Ordering::Relaxed)
     }
 
+    /// Lifetime count of entries evicted by the LRU budget.
+    pub fn evicted(&self) -> usize {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
-        self.guard().clear();
+        for i in 0..self.shards.len() {
+            self.guard(i).map.clear();
+        }
+    }
+
+    /// Serializes every entry byte-stably: entries sorted by key (shard
+    /// layout and recency stamps are *not* serialized — they are
+    /// runtime-configuration, and a snapshot restored into a cache with a
+    /// different shard count must still replay identically), every float
+    /// as its 16-hex-digit `f64::to_bits` pattern (the checkpoint
+    /// encoding), each entry carrying the content checksum that
+    /// [`SizingCache::restore`] re-verifies. Snapshot → restore →
+    /// snapshot is the identity on the bytes.
+    pub fn snapshot(&self) -> String {
+        let mut entries: Vec<(CacheKey, u64, SizingOutcome)> = Vec::new();
+        for i in 0..self.shards.len() {
+            let shard = self.guard(i);
+            entries.extend(
+                shard
+                    .map
+                    .iter()
+                    .map(|(k, e)| (*k, e.checksum, e.outcome.clone())),
+            );
+        }
+        entries.sort_unstable_by_key(|(k, _, _)| {
+            (
+                k.structure,
+                k.process,
+                k.spec_data,
+                k.spec_precharge,
+                k.boundary,
+                k.options,
+            )
+        });
+        let mut s = String::new();
+        s.push_str("{\"version\":1,\"kind\":\"sizing-cache\",\"entries\":[");
+        for (n, (key, checksum, outcome)) in entries.iter().enumerate() {
+            if n > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"key\":[\"{}\",\"{}\",\"{}\",\"{}\",\"{}\",\"{}\"],\"sum\":\"{}\",",
+                crate::persist::hex64(key.structure),
+                crate::persist::hex64(key.process),
+                crate::persist::hex64(key.spec_data),
+                crate::persist::hex64(key.spec_precharge),
+                crate::persist::hex64(key.boundary),
+                crate::persist::hex64(key.options),
+                crate::persist::hex64(*checksum),
+            );
+            crate::persist::render_outcome_fields(&mut s, outcome);
+            s.push('}');
+        }
+        s.push_str("]}\n");
+        s
+    }
+
+    /// Restores entries from a [`SizingCache::snapshot`] string into this
+    /// cache, returning how many were loaded. All-or-nothing: any
+    /// deviation from the canonical form — truncation, a hand edit, an
+    /// entry whose stored checksum does not match its re-hashed content —
+    /// rejects the whole snapshot as `None` ("no snapshot"), mirroring
+    /// the checkpoint loader's policy, so damage can only ever cost warm
+    /// starts, never correctness. Restored entries go through the normal
+    /// insert path (budget eviction applies); counters are not touched.
+    pub fn restore(&self, text: &str) -> Option<usize> {
+        let mut p = crate::persist::Parser::new(text);
+        p.lit("{\"version\":1,\"kind\":\"sizing-cache\",\"entries\":[")?;
+        let mut entries = Vec::new();
+        if !p.peek(']') {
+            loop {
+                p.lit("{\"key\":[")?;
+                let mut dims = [0u64; 6];
+                for (i, d) in dims.iter_mut().enumerate() {
+                    if i > 0 {
+                        p.lit(",")?;
+                    }
+                    p.lit("\"")?;
+                    *d = p.hex_u64()?;
+                    p.lit("\"")?;
+                }
+                p.lit("],\"sum\":\"")?;
+                let sum = p.hex_u64()?;
+                p.lit("\",")?;
+                let outcome = crate::persist::parse_outcome_fields(&mut p)?;
+                p.lit("}")?;
+                // The checksum binds the snapshot bytes to the exact
+                // outcome content; a mismatch means damage (or tampering)
+                // and voids the whole file.
+                if outcome_checksum(&outcome) != sum {
+                    return None;
+                }
+                let key = CacheKey {
+                    structure: dims[0],
+                    process: dims[1],
+                    spec_data: dims[2],
+                    spec_precharge: dims[3],
+                    boundary: dims[4],
+                    options: dims[5],
+                };
+                entries.push((key, outcome));
+                if !p.comma() {
+                    break;
+                }
+            }
+        }
+        p.lit("]}")?;
+        let n = entries.len();
+        for (key, outcome) in entries {
+            self.insert(key, outcome);
+        }
+        Some(n)
+    }
+
+    /// Writes a snapshot to `path` atomically (uniquely named temp file +
+    /// rename, like the checkpointer).
+    pub fn save_snapshot(&self, path: &Path) -> std::io::Result<()> {
+        crate::persist::atomic_write(path, &self.snapshot())
+    }
+
+    /// Restores from a snapshot file; `None` for a missing, unreadable,
+    /// or non-canonical file (all equally "no snapshot").
+    pub fn load_snapshot(&self, path: &Path) -> Option<usize> {
+        self.restore(&std::fs::read_to_string(path).ok()?)
     }
 }
 
@@ -475,6 +794,137 @@ mod tests {
         );
         let b = cache_key(&c, &lib(), &boundary(15.0), &DelaySpec::uniform(300.0), &tight);
         assert_eq!(a, b, "budgets abort, they never steer; keys must agree");
+    }
+
+    fn outcome(seed: f64) -> SizingOutcome {
+        use crate::sizing::CornerDelay;
+        use smart_netlist::Sizing;
+        SizingOutcome {
+            sizing: Sizing::from_widths(vec![seed, seed + 1.0, seed + 2.0]),
+            measured_delay: 100.0 + seed,
+            measured_precharge: 80.0,
+            total_width: 3.0 * seed + 3.0,
+            iterations: 2,
+            constraint_paths: 9,
+            raw_paths: 1u128 << 70,
+            spec_relaxation: 0.0,
+            gp_restarts: 0,
+            corner_delays: vec![CornerDelay {
+                corner: "typical".to_owned(),
+                data: 100.0 + seed,
+                precharge: 80.0,
+            }],
+            binding_corner: "typical".to_owned(),
+        }
+    }
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey {
+            structure: n,
+            process: 1,
+            spec_data: 2,
+            spec_precharge: 3,
+            boundary: 4,
+            options: 5,
+        }
+    }
+
+    #[test]
+    fn sharded_cache_replays_like_single_shard() {
+        for shards in [1, 4, 7] {
+            let cache = SizingCache::bounded(shards, None);
+            for n in 0..20 {
+                cache.insert(key(n), outcome(n as f64 + 1.0));
+            }
+            assert_eq!(cache.len(), 20);
+            for n in 0..20 {
+                let got = cache.lookup(&key(n)).expect("inserted entry must hit");
+                assert_eq!(
+                    got.measured_delay.to_bits(),
+                    outcome(n as f64 + 1.0).measured_delay.to_bits(),
+                    "shards={shards} n={n}"
+                );
+            }
+            assert!(cache.lookup(&key(999)).is_none());
+            assert_eq!(cache.stats(), (20, 1));
+        }
+    }
+
+    #[test]
+    fn lru_eviction_keeps_the_recently_used_entry() {
+        // One shard, budget 2: inserting a third entry must evict the
+        // least recently *used* one, not the oldest-inserted one.
+        let cache = SizingCache::bounded(1, Some(2));
+        cache.insert(key(1), outcome(1.0));
+        cache.insert(key(2), outcome(2.0));
+        // Touch key 1 so key 2 becomes the LRU victim.
+        assert!(cache.lookup(&key(1)).is_some());
+        cache.insert(key(3), outcome(3.0));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evicted(), 1);
+        assert!(cache.lookup(&key(1)).is_some(), "recently used must survive");
+        assert!(cache.lookup(&key(2)).is_none(), "LRU entry must be evicted");
+        assert!(cache.lookup(&key(3)).is_some(), "fresh insert must survive");
+    }
+
+    #[test]
+    fn budget_bounds_entries_across_shards() {
+        let cache = SizingCache::bounded(4, Some(8));
+        for n in 0..100 {
+            cache.insert(key(n), outcome(n as f64 + 1.0));
+        }
+        // Per-shard budget is ceil(8/4)=2; at most 2 entries per shard.
+        assert!(cache.len() <= 8, "len {} exceeds budget", cache.len());
+        assert_eq!(cache.evicted(), 100 - cache.len());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_is_byte_identical() {
+        let cache = SizingCache::bounded(4, None);
+        for n in 0..12 {
+            cache.insert(key(n), outcome(n as f64 + 1.5));
+        }
+        let snap = cache.snapshot();
+        // Restoring into a cache with a *different* shard layout must
+        // reproduce both the entries and the snapshot bytes.
+        let warm = SizingCache::bounded(2, None);
+        assert_eq!(warm.restore(&snap), Some(12));
+        assert_eq!(warm.snapshot(), snap, "snapshot → restore → snapshot must be identity");
+        for n in 0..12 {
+            let got = warm.lookup(&key(n)).expect("restored entry must hit");
+            assert_eq!(
+                got.sizing.as_slice(),
+                outcome(n as f64 + 1.5).sizing.as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn damaged_snapshots_restore_as_no_snapshot() {
+        let cache = SizingCache::new();
+        cache.insert(key(1), outcome(1.0));
+        let snap = cache.snapshot();
+        let cases: Vec<String> = vec![
+            String::new(),
+            "not a snapshot".to_owned(),
+            snap[..snap.len() / 2].to_owned(),
+            // Flip one hex digit of the checksum field: the content no
+            // longer matches, the whole file must be rejected.
+            {
+                let i = snap.find("\"sum\":\"").expect("sum field") + 7;
+                let mut bytes = snap.clone().into_bytes();
+                bytes[i] = if bytes[i] == b'0' { b'1' } else { b'0' };
+                String::from_utf8(bytes).expect("ascii")
+            },
+        ];
+        for text in cases {
+            let fresh = SizingCache::new();
+            assert!(
+                fresh.restore(&text).is_none(),
+                "accepted damaged snapshot: {text:.60}"
+            );
+            assert!(fresh.is_empty(), "rejected snapshot must load nothing");
+        }
     }
 
     #[test]

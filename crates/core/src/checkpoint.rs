@@ -37,12 +37,13 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use smart_models::ModelLibrary;
-use smart_netlist::{Sizing, StableHasher};
+use smart_netlist::StableHasher;
 use smart_sta::Boundary;
 
 use smart_macros::MacroSpec;
 
-use crate::sizing::{CornerDelay, SizingOutcome};
+use crate::persist::{hex64, parse_outcome_fields, render_outcome_fields, Parser};
+use crate::sizing::SizingOutcome;
 use crate::{DelaySpec, SizingOptions};
 
 /// The digest binding a checkpoint file to one exact sweep: candidate
@@ -176,21 +177,17 @@ impl Checkpointer {
     }
 }
 
-/// Serializes and atomically replaces the checkpoint file. A failed write
-/// (disk full, permissions) is swallowed: checkpointing is salvage, and
-/// salvage must never be the thing that kills the sweep. The temp file
-/// lives next to the target so the rename stays within one filesystem.
+/// Serializes and atomically replaces the checkpoint file (uniquely named
+/// temp file + rename — see [`crate::persist::atomic_write`]; the old
+/// fixed `*.tmp` name let two writers clobber each other's partial file).
+/// A failed write (disk full, permissions) is swallowed: checkpointing is
+/// salvage, and salvage must never be the thing that kills the sweep.
 fn save_locked(path: &Path, state: &mut State) {
     let Some(fp) = state.fingerprint else { return };
     let json = render(fp, &state.rows);
-    let tmp = path.with_extension("tmp");
-    if std::fs::write(&tmp, json).is_ok() && std::fs::rename(&tmp, path).is_ok() {
+    if crate::persist::atomic_write(path, &json).is_ok() {
         state.unsaved = 0;
     }
-}
-
-fn hex64(v: u64) -> String {
-    format!("{v:016x}")
 }
 
 fn render(fingerprint: u64, rows: &BTreeMap<usize, SizingOutcome>) -> String {
@@ -200,45 +197,9 @@ fn render(fingerprint: u64, rows: &BTreeMap<usize, SizingOutcome>) -> String {
         if n > 0 {
             s.push(',');
         }
-        let _ = write!(
-            s,
-            "{{\"idx\":{idx},\"iters\":{},\"paths\":{},\"restarts\":{},\"raw_paths\":\"{:032x}\",\
-             \"delay\":\"{}\",\"precharge\":\"{}\",\"width\":\"{}\",\"relax\":\"{}\",\
-             \"binding\":\"{}\",\"corners\":[",
-            row.iterations,
-            row.constraint_paths,
-            row.gp_restarts,
-            row.raw_paths,
-            hex64(row.measured_delay.to_bits()),
-            hex64(row.measured_precharge.to_bits()),
-            hex64(row.total_width.to_bits()),
-            hex64(row.spec_relaxation.to_bits()),
-            row.binding_corner,
-        );
-        for (k, c) in row.corner_delays.iter().enumerate() {
-            if k > 0 {
-                s.push(',');
-            }
-            // Corner names are serialized verbatim; a name containing `"`
-            // or `\` produces a non-canonical file that the loader rejects
-            // wholesale ("no checkpoint") — such names never round-trip,
-            // they can never corrupt a resume.
-            let _ = write!(
-                s,
-                "{{\"name\":\"{}\",\"data\":\"{}\",\"pre\":\"{}\"}}",
-                c.corner,
-                hex64(c.data.to_bits()),
-                hex64(c.precharge.to_bits()),
-            );
-        }
-        s.push_str("],\"sizing\":[");
-        for (k, &w) in row.sizing.as_slice().iter().enumerate() {
-            if k > 0 {
-                s.push(',');
-            }
-            let _ = write!(s, "\"{}\"", hex64(w.to_bits()));
-        }
-        s.push_str("]}");
+        let _ = write!(s, "{{\"idx\":{idx},");
+        render_outcome_fields(&mut s, row);
+        s.push('}');
     }
     s.push_str("]}\n");
     s
@@ -272,162 +233,17 @@ fn load_file(path: &Path) -> Option<(u64, BTreeMap<usize, SizingOutcome>)> {
 fn parse_row(p: &mut Parser<'_>) -> Option<(usize, SizingOutcome)> {
     p.lit("{\"idx\":")?;
     let idx = p.number()?;
-    p.lit(",\"iters\":")?;
-    let iterations = p.number()?;
-    p.lit(",\"paths\":")?;
-    let constraint_paths = p.number()?;
-    p.lit(",\"restarts\":")?;
-    let gp_restarts = p.number()?;
-    p.lit(",\"raw_paths\":\"")?;
-    let raw_paths = p.hex_u128()?;
-    p.lit("\",\"delay\":\"")?;
-    let measured_delay = p.hex_f64()?;
-    p.lit("\",\"precharge\":\"")?;
-    let measured_precharge = p.hex_f64()?;
-    p.lit("\",\"width\":\"")?;
-    let total_width = p.hex_f64()?;
-    p.lit("\",\"relax\":\"")?;
-    let spec_relaxation = p.hex_f64()?;
-    p.lit("\",\"binding\":\"")?;
-    let binding_corner = p.take_while(|c| c != '"').to_owned();
-    p.lit("\",\"corners\":[")?;
-    let mut corner_delays = Vec::new();
-    if !p.peek(']') {
-        loop {
-            p.lit("{\"name\":\"")?;
-            let name = p.take_while(|c| c != '"').to_owned();
-            p.lit("\",\"data\":\"")?;
-            let data = p.hex_f64()?;
-            p.lit("\",\"pre\":\"")?;
-            let pre = p.hex_f64()?;
-            p.lit("\"}")?;
-            if !(data.is_finite() && pre.is_finite()) || name.is_empty() {
-                return None;
-            }
-            corner_delays.push(CornerDelay {
-                corner: name,
-                data,
-                precharge: pre,
-            });
-            if !p.comma() {
-                break;
-            }
-        }
-    }
-    p.lit("],\"sizing\":[")?;
-    let mut widths = Vec::new();
-    if !p.peek(']') {
-        loop {
-            p.lit("\"")?;
-            let w = p.hex_f64()?;
-            p.lit("\"")?;
-            // `Sizing::from_widths` treats non-positive/non-finite widths
-            // as a caller bug (panic); a damaged file must instead read as
-            // "no checkpoint".
-            if !(w.is_finite() && w > 0.0) {
-                return None;
-            }
-            widths.push(w);
-            if !p.comma() {
-                break;
-            }
-        }
-    }
-    p.lit("]}")?;
-    // Every live outcome carries at least one corner measurement and a
-    // binding-corner name; a row without them is not ours.
-    if widths.is_empty()
-        || corner_delays.is_empty()
-        || binding_corner.is_empty()
-        || !(measured_delay.is_finite()
-            && measured_precharge.is_finite()
-            && total_width.is_finite()
-            && spec_relaxation.is_finite())
-    {
-        return None;
-    }
-    Some((
-        idx,
-        SizingOutcome {
-            sizing: Sizing::from_widths(widths),
-            measured_delay,
-            measured_precharge,
-            total_width,
-            iterations,
-            constraint_paths,
-            raw_paths,
-            spec_relaxation,
-            gp_restarts,
-            corner_delays,
-            binding_corner,
-        },
-    ))
-}
-
-/// A cursor over the canonical checkpoint text.
-struct Parser<'a> {
-    rest: &'a str,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser {
-            rest: text.trim_end_matches('\n'),
-        }
-    }
-
-    fn lit(&mut self, s: &str) -> Option<()> {
-        self.rest = self.rest.strip_prefix(s)?;
-        Some(())
-    }
-
-    fn peek(&self, c: char) -> bool {
-        self.rest.starts_with(c)
-    }
-
-    fn comma(&mut self) -> bool {
-        if let Some(r) = self.rest.strip_prefix(',') {
-            self.rest = r;
-            true
-        } else {
-            false
-        }
-    }
-
-    fn take_while(&mut self, pred: impl Fn(char) -> bool) -> &'a str {
-        let end = self
-            .rest
-            .char_indices()
-            .find(|&(_, c)| !pred(c))
-            .map_or(self.rest.len(), |(i, _)| i);
-        let (tok, rest) = self.rest.split_at(end);
-        self.rest = rest;
-        tok
-    }
-
-    fn number(&mut self) -> Option<usize> {
-        let tok = self.take_while(|c| c.is_ascii_digit());
-        tok.parse().ok()
-    }
-
-    fn hex_u64(&mut self) -> Option<u64> {
-        let tok = self.take_while(|c| c.is_ascii_hexdigit());
-        (tok.len() == 16).then(|| u64::from_str_radix(tok, 16).ok())?
-    }
-
-    fn hex_u128(&mut self) -> Option<u128> {
-        let tok = self.take_while(|c| c.is_ascii_hexdigit());
-        (tok.len() == 32).then(|| u128::from_str_radix(tok, 16).ok())?
-    }
-
-    fn hex_f64(&mut self) -> Option<f64> {
-        self.hex_u64().map(f64::from_bits)
-    }
+    p.lit(",")?;
+    let outcome = parse_outcome_fields(p)?;
+    p.lit("}")?;
+    Some((idx, outcome))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sizing::CornerDelay;
+    use smart_netlist::Sizing;
 
     fn outcome(seed: f64, widths: usize) -> SizingOutcome {
         SizingOutcome {
@@ -547,6 +363,74 @@ mod tests {
         assert_eq!(again.rows_held(), 3);
         let stale = Checkpointer::new(&path);
         assert!(stale.begin(43).is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Regression (PR 9): the temp file used for the atomic replace must
+    /// be unique per save attempt. The old fixed `*.tmp` name let two
+    /// writers (two processes, or two serve requests sharing a target
+    /// path) truncate each other's partial file between its write and its
+    /// rename — publishing a torn checkpoint. With pid + counter in the
+    /// name, concurrent saves each own their temp file.
+    #[test]
+    fn tmp_names_are_unique_per_save_attempt() {
+        use crate::persist::unique_tmp;
+        let target = Path::new("/some/dir/sweep.ckpt");
+        let a = unique_tmp(target);
+        let b = unique_tmp(target);
+        assert_ne!(a, b, "two save attempts must never share a temp file");
+        let pid = std::process::id().to_string();
+        for t in [&a, &b] {
+            let name = t.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            assert!(
+                name.contains(&pid),
+                "temp name '{name}' must embed the pid so concurrent \
+                 processes cannot collide"
+            );
+            assert_eq!(t.parent(), target.parent(), "rename must stay on one filesystem");
+        }
+    }
+
+    /// Regression (PR 9): two checkpointers hammering the same target path
+    /// concurrently. Every save is an atomic whole-file replace, so after
+    /// any interleaving the file on disk must be a *complete* checkpoint
+    /// from one of the writers — a torn or truncated file (the fixed-tmp
+    /// failure mode) reads back as "no checkpoint" and fails this test.
+    #[test]
+    fn two_writers_never_publish_a_torn_file() {
+        let path = tmp_path("two-writers");
+        std::fs::remove_file(&path).ok();
+        let rounds = 40;
+        std::thread::scope(|s| {
+            for writer in 0u64..2 {
+                let path = path.clone();
+                s.spawn(move || {
+                    let ckpt = Checkpointer::new(&path).with_interval(1);
+                    ckpt.begin(1000 + writer);
+                    for i in 0..rounds {
+                        // Distinct row sets per writer so a torn mix of the
+                        // two files cannot accidentally parse.
+                        ckpt.record(i, &outcome(writer as f64 + 1.5, 4));
+                    }
+                    ckpt.flush();
+                });
+            }
+        });
+        let (fp, rows) = load_file(&path).expect("the surviving file must be a complete checkpoint");
+        assert!(fp == 1000 || fp == 1001, "fingerprint must be one writer's, got {fp}");
+        assert_eq!(rows.len(), rounds, "the published file must hold one writer's full row set");
+        // No temp debris left behind (`with_extension` strips `.json`, so
+        // match on the extension-less stem).
+        let dir = path.parent().expect("temp dir");
+        let stem = path.file_stem().and_then(|n| n.to_str()).expect("file stem");
+        let published = path.file_name().and_then(|n| n.to_str()).expect("file name");
+        let debris: Vec<String> = std::fs::read_dir(dir)
+            .expect("read temp dir")
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with(stem) && n != published)
+            .collect();
+        assert!(debris.is_empty(), "leftover temp files: {debris:?}");
         std::fs::remove_file(&path).ok();
     }
 

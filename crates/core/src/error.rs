@@ -84,13 +84,33 @@ pub enum FlowError {
         /// Human-readable detail (stage, counts).
         detail: String,
     },
+    /// The request itself was malformed — parameters outside the domain
+    /// the flow is defined on (a partitioned mux narrower than 3 inputs,
+    /// a comparator width with no legal grouping, an unparseable serve
+    /// request). Reported as a typed row so tools and the serve protocol
+    /// render it like any other taxonomy entry, never as a panic.
+    InvalidRequest {
+        /// What was requested (`"tune-partition"`, `"serve-request"`, …).
+        what: &'static str,
+        /// Human-readable explanation of the domain violation.
+        detail: String,
+    },
+    /// Every candidate of a sweep failed, so there is no winner to
+    /// return. Carries the sweep's failure-taxonomy histogram so the
+    /// caller sees *why* the sweep came up empty, not just that it did.
+    NoFeasibleCandidate {
+        /// Candidates evaluated.
+        total: usize,
+        /// `(taxonomy tag, count)` of the failed rows, sorted by tag.
+        taxonomy: Vec<(&'static str, usize)>,
+    },
 }
 
 impl FlowError {
     /// Short stable failure-taxonomy tag for reports and sweep tables
     /// (`infeasible`, `unbounded`, `numerical`, `non-finite`, `budget`,
     /// `panic`, `lint`, `sta`, `paths`, `no-convergence`, `no-endpoints`,
-    /// `pin`).
+    /// `pin`, `invalid-request`, `no-feasible`).
     pub fn taxonomy(&self) -> &'static str {
         match self {
             FlowError::Gp(GpError::Infeasible { .. }) => "infeasible",
@@ -107,6 +127,8 @@ impl FlowError {
             FlowError::Lint { .. } => "lint",
             FlowError::InfeasibleCertificate { .. } => "infeasible",
             FlowError::BudgetExceeded { .. } => "budget",
+            FlowError::InvalidRequest { .. } => "invalid-request",
+            FlowError::NoFeasibleCandidate { .. } => "no-feasible",
         }
     }
 }
@@ -165,6 +187,23 @@ impl fmt::Display for FlowError {
             }
             FlowError::BudgetExceeded { what, detail } => {
                 write!(f, "{what} budget exceeded: {detail}")
+            }
+            FlowError::InvalidRequest { what, detail } => {
+                write!(f, "invalid {what} request: {detail}")
+            }
+            FlowError::NoFeasibleCandidate { total, taxonomy } => {
+                write!(f, "no feasible candidate among {total}")?;
+                if !taxonomy.is_empty() {
+                    write!(f, " (")?;
+                    for (i, (tag, n)) in taxonomy.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{tag}\u{d7}{n}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
             }
         }
     }

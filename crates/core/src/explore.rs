@@ -68,14 +68,12 @@ pub struct Candidate {
 pub struct Exploration {
     /// All candidates in database order (requested topology first).
     pub candidates: Vec<Candidate>,
-    /// Sizing-cache hits attributable to this sweep (`0` without a cache):
-    /// the delta of [`crate::SizingCache::stats`] across the sweep.
-    ///
-    /// Attribution assumes one sweep at a time per cache: the delta is
-    /// taken over the cache's *global* counters, so two sweeps running
-    /// concurrently on the same `Arc<SizingCache>` each absorb the other's
-    /// lookups into their own hit/miss numbers. The candidate table is
-    /// unaffected either way — only these two statistics blur.
+    /// Sizing-cache hits attributable to this sweep (`0` without a
+    /// cache), recorded by a per-sweep [`crate::CacheStats`] sink the
+    /// engine threads through every candidate's options. Attribution is
+    /// *exact* even when concurrent sweeps share one `Arc<SizingCache>`
+    /// (the serve workload): each sweep counts only its own lookups,
+    /// never a sibling's.
     ///
     /// [`crate::variation_sweep`] re-measures never count here: a
     /// variation sweep performs zero sizing-cache lookups by
@@ -85,7 +83,7 @@ pub struct Exploration {
     /// the zero-traffic property.
     pub cache_hits: usize,
     /// Sizing-cache misses attributable to this sweep (`0` without a
-    /// cache). Same single-sweep-at-a-time attribution caveat as
+    /// cache). Same exact per-sweep attribution as
     /// [`Exploration::cache_hits`].
     pub cache_misses: usize,
     /// Rows replayed from a sweep checkpoint
@@ -593,7 +591,22 @@ where
     // Worker count legitimately differs run to run; keep it out of the
     // byte-stable export.
     sweep.emit_unstable("sweep/pool", &[("workers", par.workers.into())]);
-    let stats_before = opts.cache.as_ref().map_or((0, 0), |c| c.stats());
+    // Per-sweep cache attribution: a fresh sink owned by this sweep alone,
+    // injected into the options every candidate sizes under. Deltas of the
+    // cache's global counters would absorb concurrent sibling sweeps'
+    // traffic (the bug this replaced); the sink counts exactly this
+    // sweep's lookups. A caller-provided sink is preserved — it then
+    // aggregates this sweep into whatever scope the caller is measuring.
+    let sweep_stats;
+    let opts = if opts.cache.is_some() && opts.cache_stats.is_none() {
+        sweep_stats = SizingOptions {
+            cache_stats: Some(std::sync::Arc::new(crate::CacheStats::new())),
+            ..opts.clone()
+        };
+        &sweep_stats
+    } else {
+        opts
+    };
     // Bind the checkpointer (if any) to this sweep's fingerprint and pull
     // in whatever a previous interrupted run of the *same* sweep saved.
     let ckpt = opts.checkpoint.as_deref().map(|c| {
@@ -649,14 +662,10 @@ where
     if let Some((c, _)) = &ckpt {
         c.flush();
     }
-    let stats_after = opts.cache.as_ref().map_or((0, 0), |c| c.stats());
     let exploration = Exploration {
         candidates,
-        // Saturating: a sibling sweep on the same cache (see the field
-        // docs) could in principle skew the counters; stats must never
-        // take the whole table down with an underflow panic.
-        cache_hits: stats_after.0.saturating_sub(stats_before.0),
-        cache_misses: stats_after.1.saturating_sub(stats_before.1),
+        cache_hits: opts.cache_stats.as_deref().map_or(0, crate::CacheStats::hits),
+        cache_misses: opts.cache_stats.as_deref().map_or(0, crate::CacheStats::misses),
         resumed: replayed.load(Ordering::Relaxed),
     };
     sweep.end(

@@ -380,7 +380,14 @@ pub fn size_circuit(
                 ]);
             }
         }
-        if let Some(outcome) = cache.lookup(key) {
+        let found = cache.lookup(key);
+        // Per-sweep attribution: the cache's own counters aggregate over
+        // every concurrent client, so the sweep-owned sink is the only
+        // exact record of *this* flow's traffic.
+        if let Some(stats) = opts.cache_stats.as_deref() {
+            stats.record(found.is_some());
+        }
+        if let Some(outcome) = found {
             return Ok(outcome);
         }
     }

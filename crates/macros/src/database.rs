@@ -131,6 +131,118 @@ impl MacroSpec {
         }
     }
 
+    /// Parses the compact macro-name grammar shared by the CLI and the
+    /// serve wire protocol:
+    ///
+    /// ```text
+    /// mux<N>[:pass|weak|enc|tri|dom|split]   inc<N>   dec<N>
+    /// zd<N>[:domino]   decoder<N>   penc<N>   cmp<N>   cla<N>
+    /// rf<W>x<B>   shift<N>[:sll|srl|rol]
+    /// ```
+    ///
+    /// `None` for anything outside the grammar **or** outside the
+    /// generator's supported parameter range ([`MacroSpec::supported`])
+    /// — malformed names are a caller-facing "invalid request", never a
+    /// panic.
+    pub fn parse(name: &str) -> Option<MacroSpec> {
+        Self::parse_unchecked(name).filter(MacroSpec::supported)
+    }
+
+    /// Whether [`MacroSpec::generate`] accepts this spec's parameters —
+    /// the union of every generator's documented panic conditions, so
+    /// callers holding untrusted parameters (the serve wire protocol,
+    /// the CLI) can turn an out-of-range request into a typed error
+    /// instead of a panic.
+    pub fn supported(&self) -> bool {
+        match self {
+            MacroSpec::Mux { topology, width } => topology.supports_width(*width),
+            MacroSpec::Incrementor { width }
+            | MacroSpec::IncrementorCla { width }
+            | MacroSpec::Decrementor { width } => *width >= 1,
+            MacroSpec::ZeroDetect { width, .. } => *width >= 1,
+            MacroSpec::Decoder { in_bits } => (1..=8).contains(in_bits),
+            MacroSpec::PriorityEncoder { out_bits } | MacroSpec::OnehotEncoder { out_bits } => {
+                (1..=6).contains(out_bits)
+            }
+            MacroSpec::Comparator { width, variant } => {
+                *width >= 1 && width.is_multiple_of(variant.xorsum)
+            }
+            MacroSpec::ClaAdder { width } => (1..=64).contains(width),
+            MacroSpec::RegFileRead { words, bits } => {
+                words.is_power_of_two() && (2..=64).contains(words) && *bits >= 1
+            }
+            MacroSpec::BarrelShifter { width, .. } => {
+                width.is_power_of_two() && (2..=64).contains(width)
+            }
+        }
+    }
+
+    fn parse_unchecked(name: &str) -> Option<MacroSpec> {
+        let (base, variant) = match name.split_once(':') {
+            Some((b, v)) => (b, Some(v)),
+            None => (name, None),
+        };
+        let num = |prefix: &str| -> Option<usize> { base.strip_prefix(prefix)?.parse().ok() };
+        if let Some(w) = num("mux") {
+            let topology = match variant.unwrap_or("pass") {
+                "pass" => MuxTopology::StronglyMutexedPass,
+                "weak" => MuxTopology::WeaklyMutexedPass,
+                "enc" => MuxTopology::EncodedSelectPass,
+                "tri" => MuxTopology::Tristate,
+                "dom" => MuxTopology::UnsplitDomino,
+                "split" => MuxTopology::PartitionedDomino,
+                _ => return None,
+            };
+            return Some(MacroSpec::Mux { topology, width: w });
+        }
+        if let Some(w) = num("inc") {
+            return Some(MacroSpec::Incrementor { width: w });
+        }
+        // `decoder` before `dec`: both are prefixes of "decoder4".
+        if let Some(w) = num("decoder") {
+            return Some(MacroSpec::Decoder { in_bits: w });
+        }
+        if let Some(w) = num("dec") {
+            return Some(MacroSpec::Decrementor { width: w });
+        }
+        if let Some(w) = num("zd") {
+            let style = match variant {
+                Some("domino") => ZeroDetectStyle::Domino,
+                _ => ZeroDetectStyle::Static,
+            };
+            return Some(MacroSpec::ZeroDetect { width: w, style });
+        }
+        if let Some(w) = num("penc") {
+            return Some(MacroSpec::PriorityEncoder { out_bits: w });
+        }
+        if let Some(w) = num("cmp") {
+            return Some(MacroSpec::Comparator {
+                width: w,
+                variant: ComparatorVariant::merced(),
+            });
+        }
+        if let Some(w) = num("cla") {
+            return Some(MacroSpec::ClaAdder { width: w });
+        }
+        if let Some(w) = num("shift") {
+            let kind = match variant.unwrap_or("rol") {
+                "sll" => ShiftKind::LogicalLeft,
+                "srl" => ShiftKind::LogicalRight,
+                "rol" => ShiftKind::RotateLeft,
+                _ => return None,
+            };
+            return Some(MacroSpec::BarrelShifter { width: w, kind });
+        }
+        if let Some(rest) = base.strip_prefix("rf") {
+            let (w, b) = rest.split_once('x')?;
+            return Some(MacroSpec::RegFileRead {
+                words: w.parse().ok()?,
+                bits: b.parse().ok()?,
+            });
+        }
+        None
+    }
+
     /// The macro family, for database grouping.
     pub fn family(&self) -> MacroFamily {
         match self {
@@ -392,6 +504,85 @@ mod tests {
             variant: ComparatorVariant::merced(),
         };
         assert_eq!(spec.alternatives().len(), 3);
+    }
+
+    #[test]
+    fn parse_covers_the_grammar() {
+        let cases: &[(&str, MacroSpec)] = &[
+            (
+                "mux8:dom",
+                MacroSpec::Mux {
+                    topology: MuxTopology::UnsplitDomino,
+                    width: 8,
+                },
+            ),
+            (
+                "mux4",
+                MacroSpec::Mux {
+                    topology: MuxTopology::StronglyMutexedPass,
+                    width: 4,
+                },
+            ),
+            ("inc8", MacroSpec::Incrementor { width: 8 }),
+            ("dec8", MacroSpec::Decrementor { width: 8 }),
+            ("decoder4", MacroSpec::Decoder { in_bits: 4 }),
+            (
+                "zd16:domino",
+                MacroSpec::ZeroDetect {
+                    width: 16,
+                    style: ZeroDetectStyle::Domino,
+                },
+            ),
+            ("penc4", MacroSpec::PriorityEncoder { out_bits: 4 }),
+            (
+                "cmp32",
+                MacroSpec::Comparator {
+                    width: 32,
+                    variant: ComparatorVariant::merced(),
+                },
+            ),
+            ("cla64", MacroSpec::ClaAdder { width: 64 }),
+            (
+                "shift32:sll",
+                MacroSpec::BarrelShifter {
+                    width: 32,
+                    kind: ShiftKind::LogicalLeft,
+                },
+            ),
+            ("rf32x64", MacroSpec::RegFileRead { words: 32, bits: 64 }),
+        ];
+        for (name, want) in cases {
+            assert_eq!(MacroSpec::parse(name).as_ref(), Some(want), "{name}");
+        }
+    }
+
+    /// Every parsed name must be generatable: `parse` rejects parameters
+    /// the generators would panic on, so untrusted input (CLI argument,
+    /// serve wire request) can never elaborate its way into an assert.
+    #[test]
+    fn parse_rejects_out_of_range_parameters_not_just_bad_grammar() {
+        for name in [
+            "mux8:enc",    // encoded-select pass is a 2-input topology
+            "mux0",        // no zero-width macros anywhere
+            "inc0",
+            "zd0",
+            "decoder9",    // decoder supports 1..=8 address bits
+            "penc16",      // encoders support 1..=6 *output* bits
+            "cmp3",        // merced xorsum-2 needs an even width
+            "cla65",       // adder tops out at 64 bits
+            "shift24",     // barrel shifter needs a power of two
+            "rf3x8",       // regfile words must be a power of two
+            "rf8x0",
+        ] {
+            assert_eq!(MacroSpec::parse(name), None, "{name} must be rejected");
+        }
+        // The rejected names above are out of *range*; the grammar
+        // itself still accepts their families.
+        for name in ["mux2:enc", "inc1", "decoder8", "penc6", "cmp4", "shift16"] {
+            let spec = MacroSpec::parse(name).expect(name);
+            assert!(spec.supported(), "{name}");
+            assert!(spec.generate().device_count() > 0, "{name}");
+        }
     }
 
     #[test]

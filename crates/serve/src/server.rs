@@ -1,0 +1,125 @@
+//! Transports over [`Advisor::handle_line`]: TCP, Unix socket, and the
+//! in-process script replayer the CI smoke uses for byte-comparisons.
+//!
+//! Both socket servers are thread-per-connection over `std::net` /
+//! `std::os::unix::net` (the workspace's zero-dependency rule): each
+//! client reads newline-delimited JSON requests and writes one response
+//! line per request. A `shutdown` op flips a shared stop flag and pokes
+//! the listener with a loopback connection so the blocking `accept`
+//! observes it promptly.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::advisor::{Advisor, Control};
+
+/// Replays a newline-delimited request script through `advisor`, writing
+/// one response line per request to `out`. Blank lines and `#` comment
+/// lines are skipped (so scripts can be annotated). Stops early after a
+/// `shutdown` op. Returns the number of requests processed.
+///
+/// This is the determinism harness: the CI smoke replays the same script
+/// cold and warm, serial and parallel, and byte-compares the outputs.
+pub fn run_script(advisor: &Advisor, script: &str, out: &mut dyn Write) -> std::io::Result<usize> {
+    let mut handled = 0;
+    for line in script.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let reply = advisor.handle_line(line);
+        out.write_all(reply.text.as_bytes())?;
+        out.write_all(b"\n")?;
+        handled += 1;
+        if reply.control == Control::Shutdown {
+            break;
+        }
+    }
+    out.flush()?;
+    Ok(handled)
+}
+
+fn serve_client(advisor: &Advisor, stream: impl std::io::Read + Write, stop: &AtomicBool) {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client hung up
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = advisor.handle_line(line.trim());
+        let stream = reader.get_mut();
+        if stream.write_all(reply.text.as_bytes()).is_err()
+            || stream.write_all(b"\n").is_err()
+            || stream.flush().is_err()
+        {
+            return;
+        }
+        if reply.control == Control::Shutdown {
+            stop.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+/// Serves `advisor` on a TCP address (e.g. `127.0.0.1:4870`) until a
+/// client sends `{"op":"shutdown"}`. Blocks the calling thread.
+pub fn serve_tcp(advisor: Arc<Advisor>, addr: &str) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    eprintln!("smart-serve: listening on {local}");
+    let stop = Arc::new(AtomicBool::new(false));
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let advisor = Arc::clone(&advisor);
+        let stop_flag = Arc::clone(&stop);
+        let stop_accept = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            serve_client(&advisor, stream, &stop_flag);
+            if stop_accept.load(Ordering::SeqCst) {
+                // Poke the accept loop awake so shutdown is prompt.
+                let _ = TcpStream::connect(local);
+            }
+        });
+    }
+    Ok(())
+}
+
+/// Serves `advisor` on a Unix-domain socket path until shutdown. The
+/// socket file is removed first (stale sockets from a previous run would
+/// otherwise refuse the bind) and unlinked on exit.
+#[cfg(unix)]
+pub fn serve_unix(advisor: Arc<Advisor>, path: &std::path::Path) -> std::io::Result<()> {
+    use std::os::unix::net::{UnixListener, UnixStream};
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    eprintln!("smart-serve: listening on {}", path.display());
+    let stop = Arc::new(AtomicBool::new(false));
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let advisor = Arc::clone(&advisor);
+        let stop_flag = Arc::clone(&stop);
+        let stop_accept = Arc::clone(&stop);
+        let poke = path.to_path_buf();
+        std::thread::spawn(move || {
+            serve_client(&advisor, stream, &stop_flag);
+            if stop_accept.load(Ordering::SeqCst) {
+                let _ = UnixStream::connect(&poke);
+            }
+        });
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}

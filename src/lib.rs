@@ -28,6 +28,10 @@
 //! * [`chaos`] — smart-chaos, the deterministic fault-injection plan,
 //!   virtual clock and candidate-scope plumbing behind the robustness
 //!   harness (`examples/chaos.rs`, DESIGN.md §13).
+//! * [`serve`] — smart-serve, the resident advisory daemon: newline-
+//!   delimited JSON protocol over TCP/Unix sockets, cross-request sharded
+//!   sizing cache with snapshot/warm-restart, batch endpoints over the
+//!   worker pool (DESIGN.md §16).
 //! * [`blocks`] — synthetic functional blocks for the §6.4/Table 2
 //!   experiments.
 //! * [`mod@bench`] — one function per paper table/figure.
@@ -49,6 +53,7 @@ pub use smart_models as models;
 pub use smart_netlist as netlist;
 pub use smart_posy as posy;
 pub use smart_power as power;
+pub use smart_serve as serve;
 pub use smart_sim as sim;
 pub use smart_sta as sta;
 pub use smart_trace as trace;

@@ -9,6 +9,7 @@
 //! smart export <macro>                        # structural netlist text
 //! smart analyze <file>                        # parse + lint + path stats
 //! smart audit <macro> [--load L] [--delay T] [--corners stf]   # static GP audit (no solve)
+//! smart serve --script F | --listen A | --unix P   # resident advisor daemon
 //! ```
 //!
 //! Macro names: `mux<N>[:<topology>]`, `inc<N>`, `dec<N>`, `zd<N>[:domino]`,
@@ -20,9 +21,7 @@ use std::process::ExitCode;
 use smart_datapath::core::{
     explore, size_circuit, tune_partition_point, DelaySpec, SizingOptions,
 };
-use smart_datapath::macros::{
-    ComparatorVariant, MacroSpec, MuxTopology, ShiftKind, ZeroDetectStyle,
-};
+use smart_datapath::macros::MacroSpec;
 use smart_datapath::models::ModelLibrary;
 use smart_datapath::netlist::spice::to_spice;
 use smart_datapath::netlist::text;
@@ -30,76 +29,11 @@ use smart_datapath::sta::Boundary;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: smart <list|size|explore|spice|export|analyze|audit|tune-split> [macro|file] [--load L] [--delay T] [--corners stf]\n\
+        "usage: smart <list|size|explore|spice|export|analyze|audit|tune-split|serve> [macro|file] [--load L] [--delay T] [--corners stf]\n\
          macros: mux<N>[:pass|weak|enc|tri|dom|split]  inc<N>  dec<N>  zd<N>[:domino]\n\
          \x20       decoder<N>  penc<N>  cmp<N>  cla<N>  rf<W>x<B>  shift<N>[:sll|srl|rol]"
     );
     ExitCode::FAILURE
-}
-
-fn parse_macro(name: &str) -> Option<MacroSpec> {
-    let (base, variant) = match name.split_once(':') {
-        Some((b, v)) => (b, Some(v)),
-        None => (name, None),
-    };
-    let num = |prefix: &str| -> Option<usize> { base.strip_prefix(prefix)?.parse().ok() };
-    if let Some(w) = num("mux") {
-        let topology = match variant.unwrap_or("pass") {
-            "pass" => MuxTopology::StronglyMutexedPass,
-            "weak" => MuxTopology::WeaklyMutexedPass,
-            "enc" => MuxTopology::EncodedSelectPass,
-            "tri" => MuxTopology::Tristate,
-            "dom" => MuxTopology::UnsplitDomino,
-            "split" => MuxTopology::PartitionedDomino,
-            _ => return None,
-        };
-        return Some(MacroSpec::Mux { topology, width: w });
-    }
-    if let Some(w) = num("inc") {
-        return Some(MacroSpec::Incrementor { width: w });
-    }
-    if let Some(w) = num("decoder") {
-        return Some(MacroSpec::Decoder { in_bits: w });
-    }
-    if let Some(w) = num("dec") {
-        return Some(MacroSpec::Decrementor { width: w });
-    }
-    if let Some(w) = num("zd") {
-        let style = match variant {
-            Some("domino") => ZeroDetectStyle::Domino,
-            _ => ZeroDetectStyle::Static,
-        };
-        return Some(MacroSpec::ZeroDetect { width: w, style });
-    }
-    if let Some(w) = num("penc") {
-        return Some(MacroSpec::PriorityEncoder { out_bits: w });
-    }
-    if let Some(w) = num("cmp") {
-        return Some(MacroSpec::Comparator {
-            width: w,
-            variant: ComparatorVariant::merced(),
-        });
-    }
-    if let Some(w) = num("cla") {
-        return Some(MacroSpec::ClaAdder { width: w });
-    }
-    if let Some(w) = num("shift") {
-        let kind = match variant.unwrap_or("rol") {
-            "sll" => ShiftKind::LogicalLeft,
-            "srl" => ShiftKind::LogicalRight,
-            "rol" => ShiftKind::RotateLeft,
-            _ => return None,
-        };
-        return Some(MacroSpec::BarrelShifter { width: w, kind });
-    }
-    if let Some(rest) = base.strip_prefix("rf") {
-        let (w, b) = rest.split_once('x')?;
-        return Some(MacroSpec::RegFileRead {
-            words: w.parse().ok()?,
-            bits: b.parse().ok()?,
-        });
-    }
-    None
 }
 
 fn flag(args: &[String], name: &str, default: f64) -> f64 {
@@ -215,7 +149,7 @@ fn run(cmd: &str, args: &[String], lib: &ModelLibrary, opts: &SizingOptions) -> 
             ExitCode::SUCCESS
         }
         "export" => {
-            let Some(spec) = args.get(1).and_then(|n| parse_macro(n)) else {
+            let Some(spec) = args.get(1).and_then(|n| MacroSpec::parse(n)) else {
                 return usage();
             };
             print!("{}", text::to_text(&spec.generate()));
@@ -274,7 +208,7 @@ fn run(cmd: &str, args: &[String], lib: &ModelLibrary, opts: &SizingOptions) -> 
             ExitCode::SUCCESS
         }
         "size" | "spice" | "explore" => {
-            let Some(spec) = args.get(1).and_then(|n| parse_macro(n)) else {
+            let Some(spec) = args.get(1).and_then(|n| MacroSpec::parse(n)) else {
                 return usage();
             };
             let load = flag(&args, "--load", 15.0);
@@ -350,7 +284,7 @@ fn run(cmd: &str, args: &[String], lib: &ModelLibrary, opts: &SizingOptions) -> 
             }
         }
         "audit" => {
-            let Some(spec) = args.get(1).and_then(|n| parse_macro(n)) else {
+            let Some(spec) = args.get(1).and_then(|n| MacroSpec::parse(n)) else {
                 return usage();
             };
             let load = flag(&args, "--load", 15.0);
@@ -388,20 +322,27 @@ fn run(cmd: &str, args: &[String], lib: &ModelLibrary, opts: &SizingOptions) -> 
             }
         }
         "tune-split" => {
-            let Some(width) = args.get(1).and_then(|v| v.parse().ok()) else {
+            let Some(width) = args.get(1).and_then(|v| v.parse::<usize>().ok()) else {
                 return usage();
             };
             let load = flag(&args, "--load", 15.0);
             let delay = flag(&args, "--delay", 350.0);
-            let probe = smart_datapath::macros::mux::partitioned_domino(width, width / 2);
-            let boundary = boundary_for(&probe, load);
-            let sweep = tune_partition_point(
-                width,
-                &lib,
-                &boundary,
-                &DelaySpec::uniform(delay),
-                &opts,
-            );
+            // A too-narrow width is rejected by the tuner before the probe
+            // circuit exists, so build the boundary only on the Ok path.
+            let sweep = if width < 3 {
+                tune_partition_point(width, lib, &Boundary::default(), &DelaySpec::uniform(delay), opts)
+            } else {
+                let probe = smart_datapath::macros::mux::partitioned_domino(width, width / 2);
+                let boundary = boundary_for(&probe, load);
+                tune_partition_point(width, lib, &boundary, &DelaySpec::uniform(delay), opts)
+            };
+            let sweep = match sweep {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("tune-split {width}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             for c in &sweep.candidates {
                 match &c.result {
                     Ok(m) => println!(
@@ -411,10 +352,23 @@ fn run(cmd: &str, args: &[String], lib: &ModelLibrary, opts: &SizingOptions) -> 
                     Err(e) => println!("{:<14} infeasible: {e}", c.setting),
                 }
             }
-            if let Some(best) = sweep.best_by_width() {
-                println!("best split: {}", best.setting);
+            match sweep.winner_by_width() {
+                Ok(best) => {
+                    println!("best split: {}", best.setting);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("tune-split {width}: {e}");
+                    ExitCode::FAILURE
+                }
             }
-            ExitCode::SUCCESS
+        }
+        "serve" => {
+            if smart_datapath::serve::run_cli(&args[1..], &opts.trace) == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         _ => usage(),
     }
